@@ -1,0 +1,66 @@
+// Design-choice ablations called out in DESIGN.md §6:
+//   (a) γ sensitivity: sweep the candidate-band width γ and report
+//       EcoFusion(Attention, λ_E = 0.01) mAP/loss/energy. γ = 0 pins the
+//       predicted-best configuration; larger γ admits cheaper candidates.
+//   (b) Fusion-block algorithm: weighted box fusion (paper) vs a plain
+//       NMS merge, on the late-fusion baseline.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "eval/map_metric.hpp"
+#include "eval/metrics.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eco;
+  bench::Harness harness;
+  const auto& test = harness.data().test_indices();
+
+  std::printf("Ablation (a): gamma sensitivity "
+              "[EcoFusion, Attention gate, lambda_E = 0.01]\n\n");
+  util::Table gamma_table({"gamma", "mAP (%)", "Avg. Loss", "Energy (J)"});
+  for (float gamma : {0.0f, 0.1f, 0.25f, 0.5f, 1.0f, 2.0f}) {
+    core::JointOptParams params;
+    params.gamma = gamma;
+    params.lambda_energy = 0.01f;
+    std::vector<eval::FrameResult> results;
+    eval::RunningStats loss, energy;
+    for (std::size_t index : test) {
+      const auto& frame = harness.data().frame(index);
+      auto adaptive = harness.engine().run_adaptive(
+          frame, harness.attention_gate(), params);
+      loss.add(adaptive.run.loss.total());
+      energy.add(adaptive.run.energy_j);
+      results.push_back({std::move(adaptive.run.detections), frame.objects});
+    }
+    gamma_table.add_row({util::fmt(gamma, 2),
+                         util::fmt_pct(eval::mean_average_precision(results)),
+                         util::fmt(loss.mean()), util::fmt(energy.mean())});
+  }
+  std::printf("%s\n", gamma_table.render().c_str());
+
+  std::printf("Ablation (b): fusion block algorithm on late fusion "
+              "(CL+CR+L+R)\n\n");
+  util::Table wbf_table({"Fusion block", "mAP (%)", "Avg. Loss"});
+  for (int use_wbf = 1; use_wbf >= 0; --use_wbf) {
+    core::EngineConfig config;
+    config.fusion.algorithm = use_wbf != 0
+                                  ? fusion::FusionAlgorithm::kWeightedBoxFusion
+                                  : fusion::FusionAlgorithm::kNmsMerge;
+    core::EcoFusionEngine engine(config);
+    std::vector<eval::FrameResult> results;
+    eval::RunningStats loss;
+    for (std::size_t index : test) {
+      const auto& frame = harness.data().frame(index);
+      auto run = engine.run_static(frame, engine.baselines().late);
+      loss.add(run.loss.total());
+      results.push_back({std::move(run.detections), frame.objects});
+    }
+    wbf_table.add_row({use_wbf != 0 ? "Weighted Box Fusion (paper)" : "NMS merge",
+                       util::fmt_pct(eval::mean_average_precision(results)),
+                       util::fmt(loss.mean())});
+  }
+  std::printf("%s\n", wbf_table.render().c_str());
+  return 0;
+}

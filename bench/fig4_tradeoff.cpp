@@ -1,0 +1,61 @@
+// Reproduces Figure 4: the energy-loss trade-off of the joint optimization
+// for each gating model as λ_E sweeps 0 -> 1.
+//
+// Emits one (λ_E, loss, energy) series per gate, as CSV-like rows suitable
+// for plotting, plus a summary of each gate's extremes. Expected shape:
+// Loss-Based dominates (lowest-left frontier); Attention and Deep have
+// similar frontiers with Attention better at high λ_E; energy falls
+// steeply with λ_E while loss rises only slightly (the "nearly flat"
+// right side of the paper's plot); Knowledge is a single point (not
+// tunable).
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace eco;
+  bench::Harness harness;
+  const auto& test = harness.data().test_indices();
+
+  struct GateRow {
+    const char* name;
+    gating::Gate* gate;
+  };
+  const GateRow gates[] = {
+      {"Knowledge", &harness.knowledge_gate()},
+      {"Deep", &harness.deep_gate()},
+      {"Attention", &harness.attention_gate()},
+      {"Loss-Based", &harness.loss_gate()},
+  };
+
+  std::printf("Figure 4: energy-loss trade-off (lambda_E sweep 0..1)\n\n");
+  std::printf("gate,lambda_E,avg_loss,avg_energy_j\n");
+  const std::vector<float> lambdas = {0.0f,  0.01f, 0.02f, 0.05f, 0.1f, 0.2f,
+                                      0.3f,  0.4f,  0.5f,  0.6f,  0.7f, 0.8f,
+                                      0.9f,  1.0f};
+  for (const GateRow& row : gates) {
+    double best_loss = 1e30, best_loss_energy = 0.0;
+    double best_energy = 1e30, best_energy_loss = 0.0;
+    for (float lambda : lambdas) {
+      const bench::EvalSummary s =
+          harness.evaluate_adaptive(*row.gate, lambda, test, row.name);
+      std::printf("%s,%.2f,%.4f,%.4f\n", row.name, lambda, s.mean_loss,
+                  s.mean_energy_j);
+      if (s.mean_loss < best_loss) {
+        best_loss = s.mean_loss;
+        best_loss_energy = s.mean_energy_j;
+      }
+      if (s.mean_energy_j < best_energy) {
+        best_energy = s.mean_energy_j;
+        best_energy_loss = s.mean_loss;
+      }
+      if (!row.gate->tunable()) break;  // Knowledge: single point
+    }
+    std::printf("# %s: best-loss point (loss %.3f @ %.3f J), "
+                "best-energy point (%.3f J @ loss %.3f)\n",
+                row.name, best_loss, best_loss_energy, best_energy,
+                best_energy_loss);
+  }
+  return 0;
+}

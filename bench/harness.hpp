@@ -1,0 +1,89 @@
+// Shared experiment harness for the per-table / per-figure benchmark
+// binaries. Builds the dataset and engine with the canonical evaluation
+// settings (§5: 70:30 split, γ = 0.5), trains gates, and provides the
+// evaluation loops every table needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "eval/map_metric.hpp"
+#include "gating/gate_trainer.hpp"
+#include "gating/knowledge_gate.hpp"
+#include "gating/learned_gate.hpp"
+#include "gating/loss_gate.hpp"
+
+namespace eco::bench {
+
+/// Canonical experiment configuration.
+struct HarnessConfig {
+  std::size_t frames_per_scene = 40;
+  std::uint64_t dataset_seed = 2022;
+  float gamma = 0.5f;  // §5: γ = 0.5 throughout
+  gating::GateTrainConfig gate_training;
+};
+
+/// Aggregated evaluation of one policy (a fixed config or a gate+λ).
+struct EvalSummary {
+  std::string label;
+  double map = 0.0;        // VOC mAP@0.5 over the evaluated frames
+  double mean_loss = 0.0;  // average detection loss
+  double mean_energy_j = 0.0;
+  double mean_latency_ms = 0.0;
+};
+
+/// The harness owns the dataset, engine, trained gates, and cached
+/// per-frame oracle losses / features for the train and test splits.
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config = {});
+
+  [[nodiscard]] const dataset::Dataset& data() const noexcept { return *data_; }
+  [[nodiscard]] const core::EcoFusionEngine& engine() const noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] const HarnessConfig& config() const noexcept { return config_; }
+
+  /// Oracle losses L_f(Φ) for a frame index (cached).
+  [[nodiscard]] const std::vector<float>& oracle_losses(std::size_t frame_index);
+
+  /// Gate feature tensor F for a frame index (cached).
+  [[nodiscard]] const tensor::Tensor& features(std::size_t frame_index);
+
+  /// Trains (or returns the cached) Deep / Attention gate.
+  [[nodiscard]] gating::LearnedGate& deep_gate();
+  [[nodiscard]] gating::LearnedGate& attention_gate();
+  /// Knowledge gate built from the engine's domain table.
+  [[nodiscard]] gating::KnowledgeGate& knowledge_gate();
+  /// Loss-based oracle gate.
+  [[nodiscard]] gating::LossBasedGate& loss_gate();
+
+  /// Evaluates a static configuration over the given test frames.
+  [[nodiscard]] EvalSummary evaluate_static(std::size_t config_index,
+                                            const std::vector<std::size_t>& frames,
+                                            std::string label);
+
+  /// Evaluates EcoFusion with a gate and λ_E over the given test frames.
+  [[nodiscard]] EvalSummary evaluate_adaptive(
+      gating::Gate& gate, float lambda_energy,
+      const std::vector<std::size_t>& frames, std::string label);
+
+ private:
+  [[nodiscard]] std::vector<gating::GateExample> training_examples();
+  void train(gating::LearnedGate& gate);
+
+  HarnessConfig config_;
+  std::unique_ptr<dataset::Dataset> data_;
+  std::unique_ptr<core::EcoFusionEngine> engine_;
+  std::vector<std::vector<float>> oracle_cache_;    // by frame index
+  std::vector<tensor::Tensor> feature_cache_;       // by frame index
+  std::unique_ptr<gating::LearnedGate> deep_;
+  std::unique_ptr<gating::LearnedGate> attention_;
+  std::unique_ptr<gating::KnowledgeGate> knowledge_;
+  std::unique_ptr<gating::LossBasedGate> loss_based_;
+};
+
+}  // namespace eco::bench

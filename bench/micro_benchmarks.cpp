@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks of the hot paths: tensor primitives,
+// RPN proposal generation, ROI region extraction, weighted box fusion, the
+// full branch detector, gate inference, and a complete adaptive pass.
+// These quantify the simulator's own CPU cost (not the modelled PX2 cost).
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "detect/rpn.hpp"
+#include "fusion/wbf.hpp"
+#include "gating/learned_gate.hpp"
+#include "tensor/nn.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eco;
+
+dataset::Frame test_frame() {
+  dataset::DatasetConfig config;
+  return dataset::generate_frame(dataset::SceneType::kCity, config, 7);
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(1);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 32;
+  spec.out_channels = 16;
+  spec.stride = 2;
+  tensor::Conv2d conv(spec, rng);
+  tensor::Tensor input({32, 24, 24});
+  for (auto& v : input.vec()) v = rng.uniform_f(0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Matmul64(benchmark::State& state) {
+  util::Rng rng(2);
+  tensor::Tensor a({64, 64}), b({64, 64});
+  for (auto& v : a.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& v : b.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+}
+BENCHMARK(BM_Matmul64);
+
+void BM_RpnPropose(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const detect::Rpn rpn;
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpn.propose(grid));
+  }
+}
+BENCHMARK(BM_RpnPropose);
+
+void BM_RegionExtraction(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::extract_regions(grid, 0.25f, 3));
+  }
+}
+BENCHMARK(BM_RegionExtraction);
+
+void BM_BranchDetect(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const core::EcoFusionEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_branch(core::BranchId::kCameraRight, frame));
+  }
+}
+BENCHMARK(BM_BranchDetect);
+
+void BM_WeightedBoxFusion(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const core::EcoFusionEngine engine;
+  std::vector<fusion::DetectionList> lists;
+  for (core::BranchId b : {core::BranchId::kCameraLeft,
+                           core::BranchId::kCameraRight,
+                           core::BranchId::kLidar, core::BranchId::kRadar}) {
+    lists.push_back(engine.run_branch(b, frame));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::weighted_boxes_fusion(lists));
+  }
+}
+BENCHMARK(BM_WeightedBoxFusion);
+
+void BM_GateInference(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const core::EcoFusionEngine engine;
+  gating::LearnedGateConfig config;
+  config.in_channels = engine.stems().gate_channels();
+  config.num_configs = engine.config_space().size();
+  config.use_attention = state.range(0) != 0;
+  gating::LearnedGate gate(config);
+  const tensor::Tensor features = engine.gate_features(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.forward(features));
+  }
+}
+BENCHMARK(BM_GateInference)->Arg(0)->Arg(1);
+
+void BM_ConfigLossesAllBranches(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const core::EcoFusionEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.config_losses(frame));
+  }
+}
+BENCHMARK(BM_ConfigLossesAllBranches);
+
+void BM_FrameGeneration(benchmark::State& state) {
+  dataset::DatasetConfig config;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset::generate_frame(dataset::SceneType::kRain, config, id++));
+  }
+}
+BENCHMARK(BM_FrameGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Clock-gating planner: the §5.5.2 what-if analysis as a tool.
+//
+// For every configuration in Φ, prints the full per-frame energy budget
+// (Eq. 11): PX2 platform energy + per-sensor energy with and without clock
+// gating, so a system designer can see where the Joules actually go (the
+// Navtech radar dominates) and what stopping unused sensors saves.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "energy/sensor_energy.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eco;
+  const core::EcoFusionEngine engine;
+
+  // Sensor datasheet summary.
+  std::printf("Physical sensor power (Eq. 10: E_s = P_s / f_s; gated: "
+              "P_motor / f_s)\n\n");
+  util::Table sensors({"Sensor", "P total (W)", "P motor (W)", "f (Hz)",
+                       "E active (J)", "E gated (J)"});
+  for (std::size_t i = 0; i < energy::kNumPhysicalSensors; ++i) {
+    const auto sensor = static_cast<energy::PhysicalSensor>(i);
+    const auto spec = energy::sensor_power_spec(sensor);
+    sensors.add_row({energy::physical_sensor_name(sensor),
+                     util::fmt(spec.total_power_w, 1),
+                     util::fmt(spec.motor_power_w, 1),
+                     util::fmt(spec.frequency_hz, 1),
+                     util::fmt(spec.active_energy_j(), 3),
+                     util::fmt(spec.gated_energy_j(), 3)});
+  }
+  std::printf("%s\n", sensors.render().c_str());
+
+  // Per-configuration budget.
+  util::Table budget({"Configuration", "Platform (J)", "Sensors gated (J)",
+                      "Total gated (J)", "Total ungated (J)", "Savings"});
+  for (const auto& config : engine.config_space()) {
+    const double platform = engine.static_energy_j(config.index);
+    const auto usage = config.sensor_usage();
+    const double gated = energy::total_energy_j(platform, usage, true);
+    const double ungated = energy::total_energy_j(platform, usage, false);
+    budget.add_row({config.name, util::fmt(platform, 3),
+                    util::fmt(energy::sensor_energy_j(usage, true), 3),
+                    util::fmt(gated, 2), util::fmt(ungated, 2),
+                    util::fmt(100.0 * (1.0 - gated / ungated), 1) + "%"});
+  }
+  std::printf("Per-configuration energy budget (platform + sensors, "
+              "Eq. 11)\n\n%s\n", budget.render().c_str());
+  std::printf("Note the Navtech radar's 8 J/frame dominates any budget that "
+              "keeps it measuring;\ncamera-only configurations cut the "
+              "combined budget by ~75%% against late fusion.\n");
+  return 0;
+}

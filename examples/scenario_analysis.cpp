@@ -1,0 +1,60 @@
+// Scenario analysis: the paper's §1 contribution (4) — "an in-depth
+// analysis of the performance of each sensing modality in a range of
+// difficult driving contexts".
+//
+// For every scene type, evaluates each single-sensor configuration plus the
+// early/late baselines on the test split and prints per-scene loss, showing
+// which modality to trust where (the knowledge a KnowledgeGate encodes).
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eco;
+
+  dataset::DatasetConfig data_config;
+  data_config.frames_per_scene = 16;
+  const dataset::Dataset data(data_config);
+  const core::EcoFusionEngine engine;
+  const auto& b = engine.baselines();
+
+  util::Table table({"Scene", "CL", "CR", "Lidar", "Radar", "Early", "Late"});
+  const std::size_t configs[] = {b.camera_left, b.camera_right, b.lidar,
+                                 b.radar, b.early, b.late};
+
+  for (dataset::SceneType scene : dataset::all_scene_types()) {
+    const auto frames = data.test_indices_for_scene(scene);
+    std::vector<std::string> row = {dataset::scene_type_name(scene)};
+    double best = 1e30;
+    std::size_t best_col = 0, col = 0;
+    std::vector<double> losses;
+    for (std::size_t config_index : configs) {
+      eval::RunningStats stats;
+      for (std::size_t i : frames) {
+        stats.add(engine.run_static(data.frame(i), config_index).loss.total());
+      }
+      losses.push_back(stats.mean());
+      if (stats.mean() < best) {
+        best = stats.mean();
+        best_col = col;
+      }
+      ++col;
+    }
+    for (std::size_t c = 0; c < losses.size(); ++c) {
+      std::string cell = util::fmt(losses[c], 2);
+      if (c == best_col) cell += " *";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("Per-scene average detection loss by modality "
+              "(* = best in scene)\n\n%s\n", table.render().c_str());
+  std::printf("Reading guide: cameras lead in clear daylight, lidar/radar in "
+              "fog and snow,\nlate fusion is never far from the best — this "
+              "heterogeneity is what EcoFusion's\ncontext gating exploits.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "core/config_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eco::core {
+
+const char* branch_name(BranchId id) noexcept {
+  switch (id) {
+    case BranchId::kCameraLeft: return "CL";
+    case BranchId::kCameraRight: return "CR";
+    case BranchId::kLidar: return "L";
+    case BranchId::kRadar: return "R";
+    case BranchId::kEarlyCameras: return "E(CL+CR)";
+    case BranchId::kEarlyCamerasLidar: return "E(CL+CR+L)";
+    case BranchId::kEarlyLidarRadar: return "E(L+R)";
+  }
+  return "?";
+}
+
+std::vector<dataset::SensorKind> branch_inputs(BranchId id) {
+  using dataset::SensorKind;
+  switch (id) {
+    case BranchId::kCameraLeft: return {SensorKind::kCameraLeft};
+    case BranchId::kCameraRight: return {SensorKind::kCameraRight};
+    case BranchId::kLidar: return {SensorKind::kLidar};
+    case BranchId::kRadar: return {SensorKind::kRadar};
+    case BranchId::kEarlyCameras:
+      return {SensorKind::kCameraLeft, SensorKind::kCameraRight};
+    case BranchId::kEarlyCamerasLidar:
+      return {SensorKind::kCameraLeft, SensorKind::kCameraRight,
+              SensorKind::kLidar};
+    case BranchId::kEarlyLidarRadar:
+      return {SensorKind::kLidar, SensorKind::kRadar};
+  }
+  throw std::invalid_argument("branch_inputs: unknown branch");
+}
+
+std::vector<dataset::SensorKind> ModelConfig::sensors_used() const {
+  std::vector<dataset::SensorKind> sensors;
+  for (BranchId b : branches) {
+    for (dataset::SensorKind s : branch_inputs(b)) {
+      if (std::find(sensors.begin(), sensors.end(), s) == sensors.end()) {
+        sensors.push_back(s);
+      }
+    }
+  }
+  return sensors;
+}
+
+energy::SensorUsage ModelConfig::sensor_usage() const {
+  energy::SensorUsage usage;
+  for (dataset::SensorKind s : sensors_used()) {
+    switch (s) {
+      case dataset::SensorKind::kCameraLeft:
+      case dataset::SensorKind::kCameraRight:
+        usage.zed_camera = true;
+        break;
+      case dataset::SensorKind::kLidar:
+        usage.lidar = true;
+        break;
+      case dataset::SensorKind::kRadar:
+        usage.radar = true;
+        break;
+    }
+  }
+  return usage;
+}
+
+namespace {
+bool needs_projection(dataset::SensorKind kind) noexcept {
+  // Lidar point clouds and polar radar sweeps are projected to the common
+  // grid before consumption; cameras are already image-plane data.
+  return kind == dataset::SensorKind::kLidar ||
+         kind == dataset::SensorKind::kRadar;
+}
+}  // namespace
+
+energy::ExecutionProfile ModelConfig::execution_profile(
+    bool adaptive, energy::GateComplexity gate) const {
+  energy::ExecutionProfile profile;
+  profile.gate = gate;
+  const std::vector<dataset::SensorKind> used = sensors_used();
+  if (adaptive) {
+    // EcoFusion always runs every stem (the gate needs all features), and
+    // hence projects every non-camera sensor.
+    profile.stems_run = dataset::kNumSensors;
+    profile.stem_projections = 2;  // lidar + radar
+  } else {
+    profile.stems_run = used.size();
+    profile.stem_projections = static_cast<std::size_t>(
+        std::count_if(used.begin(), used.end(), needs_projection));
+  }
+  for (BranchId b : branches) {
+    const auto inputs = branch_inputs(b);
+    energy::BranchRun run;
+    run.input_count = inputs.size();
+    run.projected_inputs = static_cast<std::size_t>(
+        std::count_if(inputs.begin(), inputs.end(), needs_projection));
+    profile.branches.push_back(run);
+  }
+  profile.fusion_block = true;
+  return profile;
+}
+
+std::vector<ModelConfig> build_config_space() {
+  using B = BranchId;
+  std::vector<ModelConfig> space;
+  auto add = [&](std::string name, std::vector<B> branches) {
+    ModelConfig config;
+    config.index = space.size();
+    config.name = std::move(name);
+    config.branches = std::move(branches);
+    space.push_back(std::move(config));
+  };
+  // --- no fusion (single branch, single sensor) ---
+  add("CL", {B::kCameraLeft});
+  add("CR", {B::kCameraRight});
+  add("L", {B::kLidar});
+  add("R", {B::kRadar});
+  // --- early fusion only (single branch, multiple sensors) ---
+  add("E(CL+CR)", {B::kEarlyCameras});
+  add("E(CL+CR+L)", {B::kEarlyCamerasLidar});
+  add("E(L+R)", {B::kEarlyLidarRadar});
+  // --- late fusion (multiple single-sensor branches) ---
+  add("CL+CR+L+R", {B::kCameraLeft, B::kCameraRight, B::kLidar, B::kRadar});
+  add("CL+CR+L", {B::kCameraLeft, B::kCameraRight, B::kLidar});
+  add("CR+L", {B::kCameraRight, B::kLidar});
+  add("CR+R", {B::kCameraRight, B::kRadar});
+  add("L+R", {B::kLidar, B::kRadar});
+  // --- early/late hybrids (early branch late-fused with another branch) ---
+  add("E(CL+CR+L)+R", {B::kEarlyCamerasLidar, B::kRadar});
+  add("E(CL+CR)+L", {B::kEarlyCameras, B::kLidar});
+  // --- full ensemble: the most robust (and most expensive) configuration,
+  // used by the knowledge gate in the hardest weather ---
+  add("E(CL+CR+L)+CL+CR+L+R",
+      {B::kEarlyCamerasLidar, B::kCameraLeft, B::kCameraRight, B::kLidar,
+       B::kRadar});
+  return space;
+}
+
+BaselineIndices baseline_indices(const std::vector<ModelConfig>& space) {
+  BaselineIndices idx;
+  auto find = [&](const std::string& name) -> std::size_t {
+    for (const ModelConfig& c : space) {
+      if (c.name == name) return c.index;
+    }
+    throw std::logic_error("baseline_indices: missing config " + name);
+  };
+  idx.camera_left = find("CL");
+  idx.camera_right = find("CR");
+  idx.lidar = find("L");
+  idx.radar = find("R");
+  idx.early = find("E(CL+CR+L)");
+  idx.late = find("CL+CR+L+R");
+  return idx;
+}
+
+}  // namespace eco::core

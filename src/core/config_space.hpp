@@ -1,0 +1,76 @@
+// The model-configuration space Φ (§3.3, §4.3).
+//
+// A *branch* is one object detector: either single-sensor (no fusion) or an
+// early-fusion detector over a fixed sensor subset. The paper implements one
+// branch per sensor (C_L, C_R, L, R) plus three early-fusion branches mixing
+// homogeneous and heterogeneous sensor sets. A *configuration* φ ∈ Φ is a
+// non-empty set of branches whose outputs are late-fused by the fusion
+// block; configurations therefore span no fusion, early fusion, late fusion,
+// and early/late hybrids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/sensor_model.hpp"
+#include "energy/px2_model.hpp"
+#include "energy/sensor_energy.hpp"
+
+namespace eco::core {
+
+/// The seven detector branches of the paper's architecture.
+enum class BranchId : std::uint8_t {
+  kCameraLeft = 0,   // single sensor C_L
+  kCameraRight,      // single sensor C_R
+  kLidar,            // single sensor L
+  kRadar,            // single sensor R
+  kEarlyCameras,     // early fusion C_L + C_R (homogeneous)
+  kEarlyCamerasLidar,  // early fusion C_L + C_R + L (heterogeneous)
+  kEarlyLidarRadar,  // early fusion L + R (heterogeneous)
+};
+
+inline constexpr std::size_t kNumBranches = 7;
+
+[[nodiscard]] const char* branch_name(BranchId id) noexcept;
+
+/// Sensors consumed by a branch, in a fixed order.
+[[nodiscard]] std::vector<dataset::SensorKind> branch_inputs(BranchId id);
+
+/// One model configuration φ: a set of branches, late-fused.
+struct ModelConfig {
+  std::size_t index = 0;       // position within Φ
+  std::string name;            // e.g. "E(CL+CR+L)+R"
+  std::vector<BranchId> branches;
+
+  /// All sensors consumed by any branch (deduplicated).
+  [[nodiscard]] std::vector<dataset::SensorKind> sensors_used() const;
+
+  /// Physical-sensor usage for the clock-gating model.
+  [[nodiscard]] energy::SensorUsage sensor_usage() const;
+
+  /// Execution profile for the PX2 cost model. `adaptive` selects EcoFusion
+  /// accounting (all four stems + the gate always run); otherwise only the
+  /// consumed sensors' stems are costed (static baseline accounting).
+  [[nodiscard]] energy::ExecutionProfile execution_profile(
+      bool adaptive, energy::GateComplexity gate) const;
+};
+
+/// Builds the full configuration space Φ used throughout the reproduction:
+/// 4 single-sensor, 3 early-only, and a curated set of late/hybrid
+/// combinations (14 total).
+[[nodiscard]] std::vector<ModelConfig> build_config_space();
+
+/// Indices of the canonical baseline configurations inside Φ.
+struct BaselineIndices {
+  std::size_t camera_left = 0;
+  std::size_t camera_right = 0;
+  std::size_t lidar = 0;
+  std::size_t radar = 0;
+  std::size_t early = 0;       // E(CL+CR+L) — Table 1's "Early"
+  std::size_t late = 0;        // {CL, CR, L, R} late fusion — Table 1's "Late"
+};
+
+[[nodiscard]] BaselineIndices baseline_indices(
+    const std::vector<ModelConfig>& space);
+
+}  // namespace eco::core

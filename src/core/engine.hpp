@@ -1,0 +1,135 @@
+// The EcoFusion engine: Algorithm 1 of the paper, end to end.
+//
+//   1. sensor grids -> modality stems -> features F
+//   2. gate(F, Φ) -> predicted fusion losses L_f(Φ)
+//   3. ρ(L_f(Φ), γ) -> candidate set Φ*
+//   4. argmin_{φ ∈ Φ*} (1-λ_E)·L_f(φ) + λ_E·E(φ) -> φ*
+//   5. run the branches of φ*, late-fuse with the fusion block -> Ŷ
+//
+// The engine also runs any configuration statically (the None/Early/Late
+// baselines of Table 1) and computes ground-truth per-configuration losses
+// (for the Loss-Based oracle gate and for gate training).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config_space.hpp"
+#include "core/joint_opt.hpp"
+#include "core/stems.hpp"
+#include "dataset/generator.hpp"
+#include "detect/branch_detector.hpp"
+#include "detect/losses.hpp"
+#include "energy/px2_model.hpp"
+#include "fusion/fusion_block.hpp"
+#include "gating/gate.hpp"
+#include "gating/knowledge_gate.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::core {
+
+/// Engine-wide configuration.
+struct EngineConfig {
+  JointOptParams joint;                 // γ and default λ_E
+  fusion::FusionBlockConfig fusion;     // late-fusion block
+  StemConfig stem;                      // gate feature stems
+  detect::LossConfig loss;              // detection-loss weighting
+  /// Calibration factor mapping class signatures to expected in-box
+  /// amplitude for the ROI prototypes (accounts for average context
+  /// attenuation and edge dilution).
+  float prototype_amplitude_scale = 1.0f;
+};
+
+/// Result of executing one configuration on one frame.
+struct RunResult {
+  std::size_t config_index = 0;
+  std::vector<detect::Detection> detections;
+  detect::DetectionLoss loss;   // measured against ground truth
+  double latency_ms = 0.0;      // PX2 model
+  double energy_j = 0.0;        // PX2 model (Eq. 6)
+};
+
+/// Result of a full adaptive (Algorithm 1) pass.
+struct AdaptiveResult {
+  RunResult run;
+  std::vector<float> predicted_losses;   // gate output, size |Φ|
+  std::vector<std::size_t> candidates;   // Φ* indices
+};
+
+/// The engine. Construction builds all seven branch detectors, the stem
+/// bank, the fusion block and the PX2 model; it is immutable afterwards and
+/// safe to share across read-only callers.
+class EcoFusionEngine {
+ public:
+  explicit EcoFusionEngine(EngineConfig config = {});
+
+  [[nodiscard]] const std::vector<ModelConfig>& config_space() const noexcept {
+    return space_;
+  }
+  [[nodiscard]] const BaselineIndices& baselines() const noexcept {
+    return baselines_;
+  }
+  [[nodiscard]] const energy::Px2Model& hardware() const noexcept {
+    return px2_;
+  }
+  [[nodiscard]] const StemBank& stems() const noexcept { return stems_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Offline per-configuration energy table E(Φ) with EcoFusion (adaptive)
+  /// accounting: all stems + gate always run (§3.2: computed offline).
+  [[nodiscard]] const std::vector<float>& adaptive_energy_table(
+      energy::GateComplexity gate) const;
+
+  /// Energy/latency of a configuration under static (baseline) accounting.
+  [[nodiscard]] double static_latency_ms(std::size_t config_index) const;
+  [[nodiscard]] double static_energy_j(std::size_t config_index) const;
+
+  /// Runs one branch on the frame's grids.
+  [[nodiscard]] std::vector<detect::Detection> run_branch(
+      BranchId branch, const dataset::Frame& frame) const;
+
+  /// Runs configuration `config_index` statically (baseline accounting).
+  [[nodiscard]] RunResult run_static(const dataset::Frame& frame,
+                                     std::size_t config_index) const;
+
+  /// Ground-truth fusion loss of every configuration on this frame.
+  /// Each branch executes once; fusion + loss evaluated per configuration.
+  [[nodiscard]] std::vector<float> config_losses(
+      const dataset::Frame& frame) const;
+
+  /// Stem features F for the gate.
+  [[nodiscard]] tensor::Tensor gate_features(
+      const dataset::Frame& frame) const {
+    return stems_.gate_features(frame);
+  }
+
+  /// Full adaptive pass (Algorithm 1). `params` overrides the engine's
+  /// default γ/λ_E when provided. If the gate needs oracle losses
+  /// (Loss-Based), they are computed on the fly unless supplied.
+  [[nodiscard]] AdaptiveResult run_adaptive(
+      const dataset::Frame& frame, gating::Gate& gate,
+      std::optional<JointOptParams> params = std::nullopt,
+      const std::vector<float>* precomputed_oracle = nullptr) const;
+
+  /// Domain-knowledge table for the Knowledge gate (§4.2.1): the best
+  /// sensor combination per context, encoded from the modality analysis.
+  [[nodiscard]] gating::KnowledgeTable default_knowledge_table() const;
+
+ private:
+  [[nodiscard]] std::vector<tensor::Tensor> branch_grids(
+      BranchId branch, const dataset::Frame& frame) const;
+
+  EngineConfig config_;
+  std::vector<ModelConfig> space_;
+  BaselineIndices baselines_;
+  StemBank stems_;
+  energy::Px2Model px2_;
+  fusion::FusionBlock fusion_block_;
+  std::vector<std::unique_ptr<detect::BranchDetector>> branches_;
+  // E(Φ) tables per gate complexity (lazily built, cached).
+  mutable std::array<std::vector<float>, 4> energy_tables_;
+};
+
+}  // namespace eco::core

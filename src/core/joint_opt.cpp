@@ -1,0 +1,58 @@
+#include "core/joint_opt.hpp"
+
+#include <stdexcept>
+
+namespace eco::core {
+
+std::size_t best_loss_index(const std::vector<float>& losses) {
+  if (losses.empty()) {
+    throw std::invalid_argument("best_loss_index: empty loss vector");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < losses.size(); ++i) {
+    if (losses[i] < losses[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::size_t> candidate_set(const std::vector<float>& losses,
+                                       float gamma) {
+  const std::size_t best = best_loss_index(losses);
+  const float best_loss = losses[best];
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    // Eq. 7 (textual semantics): L_f(φ) − L_f(φ') ≤ γ. Always admits φ'.
+    if (losses[i] - best_loss <= gamma) candidates.push_back(i);
+  }
+  return candidates;
+}
+
+float joint_loss(float fusion_loss, float energy_j,
+                 float lambda_energy) noexcept {
+  return (1.0f - lambda_energy) * fusion_loss + lambda_energy * energy_j;
+}
+
+std::size_t select_configuration(const std::vector<float>& losses,
+                                 const std::vector<float>& energies,
+                                 const JointOptParams& params) {
+  if (losses.size() != energies.size()) {
+    throw std::invalid_argument(
+        "select_configuration: losses/energies arity mismatch");
+  }
+  const std::vector<std::size_t> candidates =
+      candidate_set(losses, params.gamma);
+  std::size_t best = candidates.front();
+  float best_joint = joint_loss(losses[best], energies[best],
+                                params.lambda_energy);
+  for (std::size_t idx : candidates) {
+    const float j = joint_loss(losses[idx], energies[idx],
+                               params.lambda_energy);
+    if (j < best_joint) {
+      best_joint = j;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace eco::core

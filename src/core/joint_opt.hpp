@@ -1,0 +1,45 @@
+// Joint energy-performance optimization (§3.3, Eq. 7-9).
+//
+//   Φ* = ρ(L_f(Φ), γ) = { φ : L_f(φ) − L_f(φ') ≤ γ }              (Eq. 7)
+//   L_joint(φ, λ_E) = (1 − λ_E)·L_f(φ) + λ_E·E(φ)                 (Eq. 8)
+//   φ* = argmin_{φ ∈ Φ*} L_joint(φ, λ_E)                           (Eq. 9)
+//
+// Note on Eq. 7: as printed in the paper the band reads
+// "L_f(φ) − L_f(φ') ≤ L_f(φ') + γ", but the surrounding text states that
+// γ = 0 leaves *only* φ' in Φ* — which only holds for the plain band
+// L_f(φ) − L_f(φ') ≤ γ. We implement the band the text describes (γ is "the
+// maximum allowable difference in loss between any φ and φ'"); it is also
+// well defined for gates that emit shifted/negative loss estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eco::core {
+
+/// Joint-optimization parameters.
+struct JointOptParams {
+  /// Max allowed deviation from the best predicted fusion loss (γ).
+  float gamma = 0.5f;
+  /// Energy weight λ_E ∈ [0, 1].
+  float lambda_energy = 0.01f;
+};
+
+/// Index of the minimum-loss configuration φ' (ties -> lowest index).
+[[nodiscard]] std::size_t best_loss_index(const std::vector<float>& losses);
+
+/// Candidate set Φ* per Eq. 7. Never empty (always contains φ').
+[[nodiscard]] std::vector<std::size_t> candidate_set(
+    const std::vector<float>& losses, float gamma);
+
+/// L_joint per Eq. 8.
+[[nodiscard]] float joint_loss(float fusion_loss, float energy_j,
+                               float lambda_energy) noexcept;
+
+/// Full selection per Eq. 7-9. `losses` and `energies` are indexed by
+/// configuration; returns the index of φ*.
+[[nodiscard]] std::size_t select_configuration(
+    const std::vector<float>& losses, const std::vector<float>& energies,
+    const JointOptParams& params);
+
+}  // namespace eco::core

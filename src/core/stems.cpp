@@ -1,0 +1,78 @@
+#include "core/stems.hpp"
+
+#include "util/rng.hpp"
+
+namespace eco::core {
+
+namespace {
+
+/// Fixed stem kernels: the classical filters trained first-layer convs
+/// converge to (identity, smoothing, oriented edges, Laplacian, high-pass,
+/// centre-surround). They expose exactly the statistics the gate needs —
+/// signal level, edge density, noise floor — per sensor.
+void set_stem_kernels(tensor::Conv2d& conv) {
+  tensor::Tensor& w = conv.weight().value;  // (8, 1, 3, 3)
+  w.zero();
+  auto set = [&](std::size_t oc, std::initializer_list<float> k) {
+    std::size_t i = 0;
+    for (float v : k) {
+      w.at(oc, 0, i / 3, i % 3) = v;
+      ++i;
+    }
+  };
+  // identity
+  set(0, {0, 0, 0, 0, 1, 0, 0, 0, 0});
+  // 3x3 box blur
+  set(1, {.111f, .111f, .111f, .111f, .111f, .111f, .111f, .111f, .111f});
+  // Sobel X (positive phase; ReLU keeps rising edges)
+  set(2, {-1, 0, 1, -2, 0, 2, -1, 0, 1});
+  // Sobel Y
+  set(3, {-1, -2, -1, 0, 0, 0, 1, 2, 1});
+  // Laplacian
+  set(4, {0, 1, 0, 1, -4, 1, 0, 1, 0});
+  // inverted Laplacian (captures the negative phase lost to ReLU)
+  set(5, {0, -1, 0, -1, 4, -1, 0, -1, 0});
+  // high-pass (identity - blur)
+  set(6, {-.111f, -.111f, -.111f, -.111f, .889f, -.111f, -.111f, -.111f,
+          -.111f});
+  // centre-surround (difference of local means)
+  set(7, {-.25f, -.25f, -.25f, -.25f, 2.0f, -.25f, -.25f, -.25f, -.25f});
+  conv.bias().value.zero();
+}
+
+}  // namespace
+
+StemBank::StemBank(StemConfig config) : config_(config) {
+  util::Rng rng(config_.seed);
+  for (std::size_t s = 0; s < dataset::kNumSensors; ++s) {
+    auto stem = std::make_unique<tensor::Sequential>();
+    tensor::Conv2dSpec conv;
+    conv.in_channels = 1;
+    conv.out_channels = config_.out_channels;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.padding = 1;
+    auto conv_layer = std::make_unique<tensor::Conv2d>(conv, rng);
+    if (config_.out_channels == 8) set_stem_kernels(*conv_layer);
+    stem->add(std::move(conv_layer));
+    stem->emplace<tensor::ReLU>();
+    stem->emplace<tensor::MaxPool2d>();
+    stems_[s] = std::move(stem);
+  }
+}
+
+tensor::Tensor StemBank::features(dataset::SensorKind kind,
+                                  const tensor::Tensor& grid) const {
+  return stems_[static_cast<std::size_t>(kind)]->forward(grid);
+}
+
+tensor::Tensor StemBank::gate_features(const dataset::Frame& frame) const {
+  std::vector<tensor::Tensor> parts;
+  parts.reserve(dataset::kNumSensors);
+  for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
+    parts.push_back(features(kind, frame.grid(kind)));
+  }
+  return tensor::concat_channels(parts);
+}
+
+}  // namespace eco::core

@@ -1,0 +1,60 @@
+// Modality-specific stem models (§4.1).
+//
+// Each sensor has a small CNN stem producing an initial feature map; the
+// concatenated stem outputs F feed the gate model. In the paper the stem is
+// the first convolution block of each branch's ResNet-18, trained end to
+// end. Substitution (DESIGN.md §2): stems are deterministic fixed-weight
+// conv feature extractors (random projections + pooling). They preserve the
+// property the gate depends on — F carries enough per-modality SNR/context
+// signal to predict per-configuration losses — without multi-hour branch
+// training.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "dataset/generator.hpp"
+#include "dataset/sensor_model.hpp"
+#include "tensor/nn.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::core {
+
+/// Stem configuration.
+struct StemConfig {
+  std::size_t out_channels = 8;
+  std::uint64_t seed = 0xECu;
+};
+
+/// One stem per sensor; produces per-sensor features and the concatenated
+/// gate input F.
+class StemBank {
+ public:
+  explicit StemBank(StemConfig config = {});
+
+  /// Features of one sensor grid: (out_channels, H/2, W/2).
+  [[nodiscard]] tensor::Tensor features(dataset::SensorKind kind,
+                                        const tensor::Tensor& grid) const;
+
+  /// Concatenated features F over all four sensors:
+  /// (4*out_channels, H/2, W/2).
+  [[nodiscard]] tensor::Tensor gate_features(
+      const dataset::Frame& frame) const;
+
+  [[nodiscard]] std::size_t out_channels() const noexcept {
+    return config_.out_channels;
+  }
+  /// Channels of the concatenated gate input F.
+  [[nodiscard]] std::size_t gate_channels() const noexcept {
+    return config_.out_channels * dataset::kNumSensors;
+  }
+
+ private:
+  StemConfig config_;
+  // One fixed-weight conv stack per sensor; mutable because Module::forward
+  // caches state, but stems are logically const (weights never change).
+  mutable std::array<std::unique_ptr<tensor::Sequential>,
+                     dataset::kNumSensors> stems_;
+};
+
+}  // namespace eco::core

@@ -1,0 +1,145 @@
+#include "core/temporal.hpp"
+
+#include <stdexcept>
+
+namespace eco::core {
+
+TemporalRunner::TemporalRunner(const EcoFusionEngine& engine,
+                               gating::Gate& gate, TemporalConfig config)
+    : engine_(engine), gate_(gate), config_(config) {}
+
+void TemporalRunner::reset() {
+  ema_.clear();
+  current_.reset();
+  hold_ = 0;
+  switches_ = 0;
+}
+
+TemporalStepResult TemporalRunner::step(const dataset::Frame& frame) {
+  // Gate prediction on this frame's features.
+  const tensor::Tensor features = engine_.gate_features(frame);
+  gating::GateInput input;
+  input.features = &features;
+  input.scene = frame.scene;
+  std::vector<float> oracle;
+  if (gate_.needs_oracle()) {
+    oracle = engine_.config_losses(frame);
+    input.oracle_losses = &oracle;
+  }
+  const std::vector<float> predicted = gate_.predict_losses(input);
+
+  // Exponential smoothing.
+  if (ema_.size() != predicted.size()) {
+    ema_ = predicted;
+  } else {
+    for (std::size_t i = 0; i < ema_.size(); ++i) {
+      ema_[i] = config_.ema_alpha * predicted[i] +
+                (1.0f - config_.ema_alpha) * ema_[i];
+    }
+  }
+
+  // Joint optimization on the smoothed estimates.
+  const auto& energies = engine_.adaptive_energy_table(gate_.complexity());
+  const std::size_t challenger =
+      select_configuration(ema_, energies, config_.joint);
+
+  bool switched = false;
+  if (!current_.has_value()) {
+    current_ = challenger;
+    switched = true;
+  } else if (challenger != *current_) {
+    const float lambda = config_.joint.lambda_energy;
+    const float challenger_joint =
+        joint_loss(ema_[challenger], energies[challenger], lambda);
+    const float incumbent_joint =
+        joint_loss(ema_[*current_], energies[*current_], lambda);
+    const bool margin_met =
+        incumbent_joint - challenger_joint >= config_.switch_margin;
+    const bool hold_met = hold_ >= config_.min_hold_frames;
+    if (margin_met && hold_met) {
+      current_ = challenger;
+      switched = true;
+      ++switches_;
+      hold_ = 0;
+    }
+  }
+  ++hold_;
+
+  // Execute the (possibly held) configuration with adaptive accounting.
+  TemporalStepResult result;
+  result.smoothed_losses = ema_;
+  result.switched = switched;
+  RunResult run = engine_.run_static(frame, *current_);
+  const auto& space = engine_.config_space();
+  run.latency_ms = engine_.hardware().latency_ms(
+      space[*current_].execution_profile(/*adaptive=*/true,
+                                         gate_.complexity()));
+  run.energy_j = energies[*current_];
+  result.run = std::move(run);
+  return result;
+}
+
+SensorDutyCycler::SensorDutyCycler(DutyCycleConfig config) : config_(config) {
+  reset();
+}
+
+void SensorDutyCycler::reset() {
+  frames_ = 0;
+  total_ = 0.0;
+  idle_frames_.fill(1000);  // start gated
+  active_frames_.fill(0);
+}
+
+double SensorDutyCycler::step(const energy::SensorUsage& usage) {
+  double frame_energy = 0.0;
+  for (std::size_t i = 0; i < energy::kNumPhysicalSensors; ++i) {
+    const auto sensor = static_cast<energy::PhysicalSensor>(i);
+    if (usage.uses(sensor)) {
+      idle_frames_[i] = 0;
+    } else if (idle_frames_[i] < 1000) {
+      ++idle_frames_[i];
+    }
+    const bool measuring = idle_frames_[i] <= config_.off_delay_frames;
+    const auto spec = energy::sensor_power_spec(sensor);
+    frame_energy += measuring ? spec.active_energy_j() : spec.gated_energy_j();
+    if (measuring) ++active_frames_[i];
+  }
+  ++frames_;
+  total_ += frame_energy;
+  return frame_energy;
+}
+
+double SensorDutyCycler::duty_cycle(energy::PhysicalSensor sensor) const {
+  if (frames_ == 0) return 0.0;
+  return static_cast<double>(
+             active_frames_[static_cast<std::size_t>(sensor)]) /
+         static_cast<double>(frames_);
+}
+
+SequenceSummary run_sequence(const EcoFusionEngine& engine, gating::Gate& gate,
+                             const dataset::Sequence& sequence,
+                             const TemporalConfig& config,
+                             const DutyCycleConfig& duty) {
+  TemporalRunner runner(engine, gate, config);
+  SensorDutyCycler cycler(duty);
+  SequenceSummary summary;
+  double loss_total = 0.0, platform_total = 0.0;
+  for (const dataset::Frame& frame : sequence.frames) {
+    const TemporalStepResult step = runner.step(frame);
+    loss_total += step.run.loss.total();
+    platform_total += step.run.energy_j;
+    const auto& space = engine.config_space();
+    cycler.step(space[step.run.config_index].sensor_usage());
+  }
+  const auto n = static_cast<double>(sequence.frames.size());
+  if (n > 0) {
+    summary.mean_loss = loss_total / n;
+    summary.mean_platform_energy_j = platform_total / n;
+    summary.mean_sensor_energy_j = cycler.total_energy_j() / n;
+  }
+  summary.switches = runner.switch_count();
+  summary.frames = sequence.frames.size();
+  return summary;
+}
+
+}  // namespace eco::core

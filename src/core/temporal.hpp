@@ -1,0 +1,130 @@
+// Temporal gating (extension of §5.5.2).
+//
+// Per-frame gating re-decides the configuration from scratch; across a
+// sequence that causes two problems the paper anticipates:
+//   * prediction noise flips the configuration frame-to-frame (execution
+//     churn, cache/pipeline thrash on real hardware), and
+//   * sensors cannot be clock-gated for "specific periods" if the
+//     configuration never settles.
+//
+// TemporalRunner adds exponential smoothing of the gate's loss estimates
+// plus switch hysteresis (a configuration change must beat the incumbent by
+// a margin and respect a minimum hold time). SensorDutyCycler turns the
+// resulting configuration stream into per-sensor clock-gating schedules
+// with spin-down delays, and accounts the sensor energy of the sequence
+// (Eq. 10-11 over time).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataset/sequence.hpp"
+#include "energy/sensor_energy.hpp"
+#include "gating/gate.hpp"
+
+namespace eco::core {
+
+/// Temporal smoothing / hysteresis parameters.
+struct TemporalConfig {
+  /// EMA factor for the predicted loss vector (1 = no smoothing).
+  float ema_alpha = 0.45f;
+  /// A challenger configuration must improve the joint objective by this
+  /// margin (absolute) to replace the incumbent.
+  float switch_margin = 0.05f;
+  /// Minimum number of frames a configuration is held before switching.
+  std::size_t min_hold_frames = 3;
+  JointOptParams joint;  // γ and λ_E
+};
+
+/// Per-frame result of a temporal run.
+struct TemporalStepResult {
+  RunResult run;
+  bool switched = false;          // configuration changed this frame
+  std::vector<float> smoothed_losses;
+};
+
+/// Stateful sequence runner: engine + gate + smoothing + hysteresis.
+class TemporalRunner {
+ public:
+  TemporalRunner(const EcoFusionEngine& engine, gating::Gate& gate,
+                 TemporalConfig config = {});
+
+  /// Processes the next frame of the sequence.
+  TemporalStepResult step(const dataset::Frame& frame);
+
+  /// Resets the temporal state (new sequence).
+  void reset();
+
+  [[nodiscard]] std::size_t switch_count() const noexcept { return switches_; }
+  [[nodiscard]] std::optional<std::size_t> current_config() const noexcept {
+    return current_;
+  }
+
+ private:
+  const EcoFusionEngine& engine_;
+  gating::Gate& gate_;
+  TemporalConfig config_;
+  std::vector<float> ema_;
+  std::optional<std::size_t> current_;
+  std::size_t hold_ = 0;
+  std::size_t switches_ = 0;
+};
+
+/// Clock-gating schedule for the physical sensors over a sequence.
+struct DutyCycleConfig {
+  /// A sensor's measurement stays powered for this many frames after its
+  /// last use (spin-down delay; avoids thrashing the Navtech/Velodyne).
+  std::size_t off_delay_frames = 2;
+};
+
+/// Accumulates per-frame sensor usage and accounts sequence energy.
+class SensorDutyCycler {
+ public:
+  explicit SensorDutyCycler(DutyCycleConfig config = {});
+
+  /// Records the usage of the frame's executed configuration and returns
+  /// this frame's sensor energy in Joules (gated sensors cost their motor
+  /// share only).
+  double step(const energy::SensorUsage& usage);
+
+  void reset();
+
+  /// Total sensor energy so far.
+  [[nodiscard]] double total_energy_j() const noexcept { return total_; }
+  /// Frames processed.
+  [[nodiscard]] std::size_t frames() const noexcept { return frames_; }
+  /// Per-sensor fraction of frames spent measuring (not gated).
+  [[nodiscard]] double duty_cycle(energy::PhysicalSensor sensor) const;
+
+ private:
+  DutyCycleConfig config_;
+  std::size_t frames_ = 0;
+  double total_ = 0.0;
+  // Frames since each sensor was last used (saturating), and active-frame
+  // counts.
+  std::array<std::size_t, energy::kNumPhysicalSensors> idle_frames_{};
+  std::array<std::size_t, energy::kNumPhysicalSensors> active_frames_{};
+};
+
+/// Summary of one sequence evaluation (for the temporal bench/example).
+struct SequenceSummary {
+  double mean_loss = 0.0;
+  double mean_platform_energy_j = 0.0;
+  double mean_sensor_energy_j = 0.0;
+  std::size_t switches = 0;
+  std::size_t frames = 0;
+
+  [[nodiscard]] double mean_total_energy_j() const noexcept {
+    return mean_platform_energy_j + mean_sensor_energy_j;
+  }
+};
+
+/// Runs a whole sequence through the temporal machinery.
+[[nodiscard]] SequenceSummary run_sequence(const EcoFusionEngine& engine,
+                                           gating::Gate& gate,
+                                           const dataset::Sequence& sequence,
+                                           const TemporalConfig& config = {},
+                                           const DutyCycleConfig& duty = {});
+
+}  // namespace eco::core

@@ -1,0 +1,128 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace eco::dataset {
+
+std::vector<detect::GroundTruth> generate_objects(const SceneEnvironment& env,
+                                                  const SensorGridSpec& spec,
+                                                  util::Rng& rng) {
+  const int count = static_cast<int>(
+      rng.uniform_int(env.min_objects, env.max_objects));
+  std::vector<detect::GroundTruth> objects;
+  objects.reserve(static_cast<std::size_t>(count));
+
+  const std::vector<double> weights(env.class_weights.begin(),
+                                    env.class_weights.end());
+  const auto grid_w = static_cast<float>(spec.width);
+  const auto grid_h = static_cast<float>(spec.height);
+
+  int attempts = 0;
+  while (static_cast<int>(objects.size()) < count && attempts < count * 30) {
+    ++attempts;
+    const auto cls = static_cast<detect::ObjectClass>(rng.categorical(weights));
+    const ClassPriors& priors = class_priors(cls);
+    // Cell-aligned boxes: annotations coincide with the rendered support,
+    // as in real datasets where labellers outline the visible pixels.
+    const auto w = static_cast<float>(std::max<std::int64_t>(
+        2, std::llround(priors.width * rng.uniform(0.90, 1.15))));
+    const auto h = static_cast<float>(std::max<std::int64_t>(
+        2, std::llround(priors.height * rng.uniform(0.90, 1.15))));
+    detect::GroundTruth gt;
+    gt.cls = cls;
+    gt.box.x1 = static_cast<float>(
+        rng.uniform_int(1, static_cast<std::int64_t>(grid_w - w) - 1));
+    gt.box.y1 = static_cast<float>(
+        rng.uniform_int(1, static_cast<std::int64_t>(grid_h - h) - 1));
+    gt.box.x2 = gt.box.x1 + w;
+    gt.box.y2 = gt.box.y1 + h;
+    gt.occlusion = rng.bernoulli(0.25) ? rng.uniform_f(0.1f, 0.5f) : 0.0f;
+
+    // Reject objects that touch an already-placed object (1-cell guard
+    // band) so instances stay resolvable as separate components.
+    detect::Box guard = gt.box;
+    guard.x1 -= 1.0f;
+    guard.y1 -= 1.0f;
+    guard.x2 += 1.0f;
+    guard.y2 += 1.0f;
+    bool overlaps = false;
+    for (const auto& other : objects) {
+      if (detect::intersection_area(guard, other.box) > 0.0f) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) objects.push_back(gt);
+  }
+  return objects;
+}
+
+Frame generate_frame(SceneType scene, const DatasetConfig& config,
+                     std::uint64_t frame_id) {
+  // Independent deterministic stream per (seed, frame id).
+  util::Rng rng(util::hash_combine(config.seed, frame_id));
+  const SceneEnvironment env = scene_environment(scene);
+
+  Frame frame;
+  frame.id = frame_id;
+  frame.scene = scene;
+  frame.objects = generate_objects(env, config.grid, rng);
+  // The phantom field is shared: every sensor sees the same artifact
+  // positions (with its own susceptibility), so weather-induced false
+  // positives are correlated across modalities.
+  const std::vector<Phantom> phantoms =
+      generate_phantoms(env, config.grid, rng);
+  for (SensorKind kind : all_sensor_kinds()) {
+    util::Rng sensor_rng =
+        rng.fork(static_cast<std::uint64_t>(kind) + 0x5E5Eull);
+    frame.sensor_grids[static_cast<std::size_t>(kind)] = render_sensor(
+        kind, env, frame.objects, phantoms, config.grid, sensor_rng);
+  }
+  return frame;
+}
+
+Dataset::Dataset(const DatasetConfig& config) : config_(config) {
+  frames_.reserve(kNumSceneTypes * config.frames_per_scene);
+  std::uint64_t next_id = 0;
+  for (SceneType scene : all_scene_types()) {
+    for (std::size_t i = 0; i < config.frames_per_scene; ++i) {
+      frames_.push_back(generate_frame(scene, config, next_id++));
+    }
+  }
+
+  // Stratified split: within each scene block, shuffle deterministically and
+  // take the first train_fraction for training.
+  util::Rng split_rng(util::hash_combine(config.seed, 0x511Dull));
+  for (std::size_t s = 0; s < kNumSceneTypes; ++s) {
+    std::vector<std::size_t> block(config.frames_per_scene);
+    const std::size_t base = s * config.frames_per_scene;
+    for (std::size_t i = 0; i < block.size(); ++i) block[i] = base + i;
+    split_rng.shuffle(block);
+    const auto train_count = static_cast<std::size_t>(
+        static_cast<double>(block.size()) * config.train_fraction + 0.5);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      (i < train_count ? train_indices_ : test_indices_).push_back(block[i]);
+    }
+  }
+  std::sort(train_indices_.begin(), train_indices_.end());
+  std::sort(test_indices_.begin(), test_indices_.end());
+}
+
+void inject_sensor_failure(Frame& frame, SensorKind kind) {
+  frame.sensor_grids[static_cast<std::size_t>(kind)].zero();
+}
+
+std::vector<std::size_t> Dataset::test_indices_for_scene(
+    SceneType scene) const {
+  std::vector<std::size_t> out;
+  for (std::size_t index : test_indices_) {
+    if (frames_[index].scene == scene) out.push_back(index);
+  }
+  return out;
+}
+
+}  // namespace eco::dataset

@@ -1,0 +1,93 @@
+// Frame and dataset generation.
+//
+// A Frame is one synchronized multi-sensor sample: ground-truth objects plus
+// one observation grid per sensor. A Dataset is a deterministic collection of
+// frames balanced across the 8 RADIATE scene types with the paper's 70:30
+// train/test split (§5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/scene.hpp"
+#include "dataset/sensor_model.hpp"
+#include "detect/box.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace eco::dataset {
+
+/// One synchronized multi-sensor sample.
+struct Frame {
+  std::uint64_t id = 0;
+  SceneType scene = SceneType::kCity;
+  std::vector<detect::GroundTruth> objects;
+  /// Observation grids indexed by SensorKind (all (1,H,W)).
+  std::array<tensor::Tensor, kNumSensors> sensor_grids;
+
+  [[nodiscard]] const tensor::Tensor& grid(SensorKind kind) const {
+    return sensor_grids[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// Dataset generation parameters.
+struct DatasetConfig {
+  SensorGridSpec grid;
+  /// Frames generated per scene type.
+  std::size_t frames_per_scene = 40;
+  /// Train fraction of the 70:30 split.
+  double train_fraction = 0.7;
+  std::uint64_t seed = 2022;
+};
+
+/// Generates the ground-truth objects of one scene (no sensor rendering).
+[[nodiscard]] std::vector<detect::GroundTruth> generate_objects(
+    const SceneEnvironment& env, const SensorGridSpec& spec, util::Rng& rng);
+
+/// Generates one complete frame for a scene type.
+[[nodiscard]] Frame generate_frame(SceneType scene, const DatasetConfig& config,
+                                   std::uint64_t frame_id);
+
+/// Failure injection: blacks out one sensor's observation (hardware fault,
+/// lens blockage, connector loss). The adaptive engine should route around
+/// the dead modality; static configurations that depend on it degrade.
+void inject_sensor_failure(Frame& frame, SensorKind kind);
+
+/// A generated dataset with a deterministic stratified split.
+class Dataset {
+ public:
+  /// Generates all frames up front (deterministic in config.seed).
+  explicit Dataset(const DatasetConfig& config);
+
+  [[nodiscard]] const DatasetConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<Frame>& frames() const noexcept {
+    return frames_;
+  }
+
+  /// Indices of train / test frames (stratified 70:30 per scene type).
+  [[nodiscard]] const std::vector<std::size_t>& train_indices() const noexcept {
+    return train_indices_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& test_indices() const noexcept {
+    return test_indices_;
+  }
+
+  /// Test indices restricted to one scene type.
+  [[nodiscard]] std::vector<std::size_t> test_indices_for_scene(
+      SceneType scene) const;
+
+  [[nodiscard]] const Frame& frame(std::size_t index) const {
+    return frames_.at(index);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return frames_.size(); }
+
+ private:
+  DatasetConfig config_;
+  std::vector<Frame> frames_;
+  std::vector<std::size_t> train_indices_;
+  std::vector<std::size_t> test_indices_;
+};
+
+}  // namespace eco::dataset

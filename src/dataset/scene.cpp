@@ -1,0 +1,143 @@
+#include "dataset/scene.hpp"
+
+namespace eco::dataset {
+
+const char* scene_type_name(SceneType type) noexcept {
+  switch (type) {
+    case SceneType::kCity: return "city";
+    case SceneType::kFog: return "fog";
+    case SceneType::kJunction: return "junction";
+    case SceneType::kMotorway: return "motorway";
+    case SceneType::kNight: return "night";
+    case SceneType::kRain: return "rain";
+    case SceneType::kRural: return "rural";
+    case SceneType::kSnow: return "snow";
+  }
+  return "?";
+}
+
+std::vector<SceneType> all_scene_types() {
+  std::vector<SceneType> types;
+  types.reserve(kNumSceneTypes);
+  for (std::size_t i = 0; i < kNumSceneTypes; ++i) {
+    types.push_back(static_cast<SceneType>(i));
+  }
+  return types;
+}
+
+bool parse_scene_type(const std::string& name, SceneType& out) {
+  for (SceneType t : all_scene_types()) {
+    if (name == scene_type_name(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+const ClassPriors& class_priors(detect::ObjectClass cls) noexcept {
+  // Extents are in cells of the 48x48 sensor grid (~1 cell = 1.5 m).
+  // Signatures are separated enough that a prototype classifier can
+  // distinguish classes from clean observations, and close enough that noisy
+  // contexts cause realistic confusion (car vs van, bicycle vs motorbike).
+  static const std::array<ClassPriors, detect::kNumObjectClasses> kTable = {{
+      // width height cam    lidar  radar
+      {6.0f, 3.8f, 0.62f, 0.55f, 0.72f},   // car
+      {6.8f, 5.6f, 0.48f, 0.60f, 0.80f},   // van
+      {10.5f, 4.8f, 0.42f, 0.64f, 0.90f},  // truck
+      {13.0f, 6.0f, 0.72f, 0.68f, 0.95f},  // bus
+      {3.4f, 1.9f, 0.52f, 0.42f, 0.46f},   // motorbike
+      {2.4f, 2.3f, 0.36f, 0.32f, 0.34f},   // bicycle
+      {1.8f, 2.9f, 0.56f, 0.30f, 0.30f},   // pedestrian
+      {5.0f, 2.9f, 0.46f, 0.36f, 0.40f},   // group of pedestrians
+  }};
+  return kTable[static_cast<std::size_t>(cls)];
+}
+
+SceneEnvironment scene_environment(SceneType type) noexcept {
+  SceneEnvironment env;
+  env.type = type;
+  // Class weights: cars dominate everywhere; pedestrians concentrate in
+  // city/junction; trucks on motorways; bicycles in city/rural.
+  auto weights = [&](double car, double van, double truck, double bus,
+                     double moto, double bike, double ped, double group) {
+    env.class_weights = {car, van, truck, bus, moto, bike, ped, group};
+  };
+  switch (type) {
+    case SceneType::kCity:
+      env.attenuation = 0.02f;
+      env.precipitation = 0.0f;
+      env.illumination = 1.0f;
+      env.clutter = 0.55f;
+      env.min_objects = 4;
+      env.max_objects = 9;
+      weights(0.30, 0.12, 0.05, 0.06, 0.05, 0.10, 0.22, 0.10);
+      break;
+    case SceneType::kFog:
+      env.attenuation = 0.75f;
+      env.precipitation = 0.10f;
+      env.illumination = 0.75f;
+      env.clutter = 0.35f;
+      env.min_objects = 2;
+      env.max_objects = 6;
+      weights(0.45, 0.15, 0.10, 0.05, 0.03, 0.05, 0.12, 0.05);
+      break;
+    case SceneType::kJunction:
+      env.attenuation = 0.02f;
+      env.precipitation = 0.0f;
+      env.illumination = 1.0f;
+      env.clutter = 0.45f;
+      env.min_objects = 3;
+      env.max_objects = 8;
+      weights(0.38, 0.14, 0.06, 0.07, 0.05, 0.08, 0.15, 0.07);
+      break;
+    case SceneType::kMotorway:
+      env.attenuation = 0.02f;
+      env.precipitation = 0.0f;
+      env.illumination = 1.0f;
+      env.clutter = 0.15f;
+      env.min_objects = 3;
+      env.max_objects = 8;
+      weights(0.45, 0.18, 0.20, 0.08, 0.04, 0.01, 0.02, 0.02);
+      break;
+    case SceneType::kNight:
+      env.attenuation = 0.05f;
+      env.precipitation = 0.0f;
+      env.illumination = 0.15f;
+      env.clutter = 0.30f;
+      env.min_objects = 2;
+      env.max_objects = 6;
+      weights(0.48, 0.15, 0.08, 0.04, 0.04, 0.04, 0.12, 0.05);
+      break;
+    case SceneType::kRain:
+      env.attenuation = 0.30f;
+      env.precipitation = 0.65f;
+      env.illumination = 0.70f;
+      env.clutter = 0.35f;
+      env.min_objects = 2;
+      env.max_objects = 7;
+      weights(0.42, 0.15, 0.10, 0.06, 0.03, 0.05, 0.13, 0.06);
+      break;
+    case SceneType::kRural:
+      env.attenuation = 0.02f;
+      env.precipitation = 0.0f;
+      env.illumination = 1.0f;
+      env.clutter = 0.25f;
+      env.min_objects = 1;
+      env.max_objects = 5;
+      weights(0.45, 0.15, 0.15, 0.03, 0.05, 0.08, 0.06, 0.03);
+      break;
+    case SceneType::kSnow:
+      env.attenuation = 0.70f;
+      env.precipitation = 0.80f;
+      env.illumination = 0.80f;
+      env.clutter = 0.30f;
+      env.min_objects = 2;
+      env.max_objects = 6;
+      weights(0.45, 0.16, 0.12, 0.05, 0.02, 0.03, 0.12, 0.05);
+      break;
+  }
+  return env;
+}
+
+}  // namespace eco::dataset

@@ -1,0 +1,78 @@
+// Scene taxonomy for the synthetic RADIATE-like dataset.
+//
+// RADIATE (Sheeny et al., 2020) records real driving in 8 context types:
+// city, fog, junction, motorway, night, rain, rural, snow. The paper's whole
+// premise is that per-sensor perception quality is context-dependent, so the
+// substitution dataset (DESIGN.md §2) keeps exactly this taxonomy and
+// reproduces the *relative* sensor behaviour in each context.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace eco::dataset {
+
+/// Driving contexts, mirroring RADIATE scene folders.
+enum class SceneType : std::uint8_t {
+  kCity = 0,
+  kFog,
+  kJunction,
+  kMotorway,
+  kNight,
+  kRain,
+  kRural,
+  kSnow,
+};
+
+inline constexpr std::size_t kNumSceneTypes = 8;
+
+[[nodiscard]] const char* scene_type_name(SceneType type) noexcept;
+[[nodiscard]] std::vector<SceneType> all_scene_types();
+
+/// Parses a scene name ("city", "fog", ...); returns true on success.
+[[nodiscard]] bool parse_scene_type(const std::string& name, SceneType& out);
+
+/// Physical/appearance priors for an object class, shared by the sensor
+/// renderers and the ROI classification head prototypes.
+struct ClassPriors {
+  /// Typical extents in grid cells (width x height), before jitter.
+  float width = 4.0f;
+  float height = 3.0f;
+  /// Visual signature in [0,1]: mean normalized camera intensity.
+  float camera_intensity = 0.5f;
+  /// Lidar reflectivity signature in [0,1].
+  float lidar_reflectivity = 0.5f;
+  /// Radar cross-section signature in [0,1] (metal bulk -> high).
+  float radar_rcs = 0.5f;
+};
+
+/// Priors for a given class (static table, see scene.cpp).
+[[nodiscard]] const ClassPriors& class_priors(detect::ObjectClass cls) noexcept;
+
+/// Scene-level environment parameters derived from the scene type.
+/// These feed the sensor observation models.
+struct SceneEnvironment {
+  SceneType type = SceneType::kCity;
+  /// Atmospheric attenuation in [0,1]: 0 = clear, 1 = opaque (fog/snow).
+  float attenuation = 0.0f;
+  /// Precipitation speckle density in [0,1] (rain/snow streaks, droplets).
+  float precipitation = 0.0f;
+  /// Ambient illumination in [0,1]: 1 = daylight, ~0.15 = night.
+  float illumination = 1.0f;
+  /// Scene clutter level in [0,1] (urban furniture, vegetation).
+  float clutter = 0.3f;
+  /// Typical object count range for the context.
+  int min_objects = 2;
+  int max_objects = 7;
+  /// Relative class frequency weights (indexed by ObjectClass).
+  std::array<double, detect::kNumObjectClasses> class_weights{};
+};
+
+/// Canonical environment for a scene type (deterministic).
+[[nodiscard]] SceneEnvironment scene_environment(SceneType type) noexcept;
+
+}  // namespace eco::dataset

@@ -1,0 +1,392 @@
+#include "dataset/sensor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eco::dataset {
+
+const char* sensor_kind_name(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kCameraLeft: return "camera_left";
+    case SensorKind::kCameraRight: return "camera_right";
+    case SensorKind::kLidar: return "lidar";
+    case SensorKind::kRadar: return "radar";
+  }
+  return "?";
+}
+
+const char* sensor_kind_abbrev(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kCameraLeft: return "CL";
+    case SensorKind::kCameraRight: return "CR";
+    case SensorKind::kLidar: return "L";
+    case SensorKind::kRadar: return "R";
+  }
+  return "?";
+}
+
+std::vector<SensorKind> all_sensor_kinds() {
+  return {SensorKind::kCameraLeft, SensorKind::kCameraRight,
+          SensorKind::kLidar, SensorKind::kRadar};
+}
+
+float sensor_quality(SensorKind kind, SceneType scene) noexcept {
+  // Rows: scene in enum order (city, fog, junction, motorway, night, rain,
+  // rural, snow). Columns chosen so that on the full test split the
+  // single-sensor ranking matches the paper's Table 1
+  // (C_R > C_L > Lidar > Radar) while fog/snow invert it (radar/lidar win).
+  using Row = std::array<float, kNumSceneTypes>;
+  static constexpr Row kCamLeft = {0.86f, 0.28f, 0.86f, 0.88f,
+                                   0.52f, 0.58f, 0.86f, 0.33f};
+  static constexpr Row kCamRight = {0.93f, 0.32f, 0.92f, 0.93f,
+                                    0.60f, 0.66f, 0.92f, 0.37f};
+  static constexpr Row kLidar = {0.66f, 0.55f, 0.66f, 0.68f,
+                                 0.64f, 0.58f, 0.66f, 0.50f};
+  static constexpr Row kRadar = {0.70f, 0.67f, 0.70f, 0.72f,
+                                 0.70f, 0.67f, 0.70f, 0.67f};
+  const auto s = static_cast<std::size_t>(scene);
+  switch (kind) {
+    case SensorKind::kCameraLeft: return kCamLeft[s];
+    case SensorKind::kCameraRight: return kCamRight[s];
+    case SensorKind::kLidar: return kLidar[s];
+    case SensorKind::kRadar: return kRadar[s];
+  }
+  return 0.0f;
+}
+
+float sensor_clutter_rate(SensorKind kind, SceneType scene) noexcept {
+  const SceneEnvironment env = scene_environment(scene);
+  switch (kind) {
+    case SensorKind::kCameraLeft:
+    case SensorKind::kCameraRight:
+      // Visual clutter rises with precipitation (droplets on lens) and
+      // urban complexity; fog washes out structure rather than adding it.
+      return 0.6f * env.clutter + 1.2f * env.precipitation;
+    case SensorKind::kLidar:
+      // Backscatter returns from rain/snow/fog particles.
+      return 0.3f * env.clutter + 1.2f * env.precipitation +
+             0.8f * env.attenuation;
+    case SensorKind::kRadar:
+      // Multipath ghosts: roughly constant, slightly worse in clutter.
+      return 1.1f + 0.8f * env.clutter;
+  }
+  return 0.0f;
+}
+
+float sensor_miss_probability(SensorKind kind, SceneType scene,
+                              detect::ObjectClass cls) noexcept {
+  const float quality = sensor_quality(kind, scene);
+  const float signature = class_signature(kind, cls);
+  // Low quality and weak signature both push toward a total miss.
+  float miss = 0.30f * (1.0f - quality) * (1.0f - 0.6f * signature);
+  return std::clamp(miss, 0.0f, 0.95f);
+}
+
+float class_signature(SensorKind kind, detect::ObjectClass cls) noexcept {
+  const ClassPriors& priors = class_priors(cls);
+  switch (kind) {
+    case SensorKind::kCameraLeft:
+    case SensorKind::kCameraRight:
+      return priors.camera_intensity;
+    case SensorKind::kLidar:
+      return priors.lidar_reflectivity;
+    case SensorKind::kRadar:
+      return priors.radar_rcs;
+  }
+  return 0.0f;
+}
+
+std::vector<Phantom> generate_phantoms(const SceneEnvironment& env,
+                                       const SensorGridSpec& spec,
+                                       util::Rng& rng) {
+  const double rate = 3.0 * (env.attenuation + env.precipitation);
+  const int count = rng.poisson(rate);
+  std::vector<Phantom> phantoms;
+  phantoms.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Phantom ph;
+    const float w = rng.uniform_f(2.0f, 6.0f);
+    const float h = rng.uniform_f(2.0f, 4.5f);
+    ph.box.x1 = rng.uniform_f(0.0f, static_cast<float>(spec.width) - w);
+    ph.box.y1 = rng.uniform_f(0.0f, static_cast<float>(spec.height) - h);
+    ph.box.x2 = ph.box.x1 + w;
+    ph.box.y2 = ph.box.y1 + h;
+    ph.strength = rng.uniform_f(0.45f, 0.95f);
+    phantoms.push_back(ph);
+  }
+  return phantoms;
+}
+
+float phantom_susceptibility(SensorKind kind,
+                             const SceneEnvironment& env) noexcept {
+  switch (kind) {
+    case SensorKind::kCameraLeft:
+    case SensorKind::kCameraRight:
+      // Rain/snow streaks and fog glare read as structure to a camera.
+      return std::clamp(0.20f + 0.45f * env.precipitation +
+                            0.40f * env.attenuation,
+                        0.0f, 0.85f);
+    case SensorKind::kLidar:
+      // Backscatter from dense droplet volumes.
+      return std::clamp(0.15f + 0.40f * env.precipitation +
+                            0.50f * env.attenuation,
+                        0.0f, 0.85f);
+    case SensorKind::kRadar:
+      // 79 GHz penetrates weather; phantoms rarely have radar cross-section.
+      return 0.10f;
+  }
+  return 0.0f;
+}
+
+namespace {
+
+/// Splats a filled rectangle of amplitude `value` (max-composited).
+void splat_rect(tensor::Tensor& grid, const detect::Box& box, float value) {
+  const auto h = grid.size(1), w = grid.size(2);
+  const auto y0 = static_cast<std::size_t>(std::max(0.0f, box.y1));
+  const auto x0 = static_cast<std::size_t>(std::max(0.0f, box.x1));
+  const auto y1 = static_cast<std::size_t>(
+      std::clamp(box.y2, 0.0f, static_cast<float>(h)));
+  const auto x1 = static_cast<std::size_t>(
+      std::clamp(box.x2, 0.0f, static_cast<float>(w)));
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) {
+      grid.at(0, y, x) = std::max(grid.at(0, y, x), value);
+    }
+  }
+}
+
+/// Splats an isotropic Gaussian blob centred at (cx, cy).
+void splat_blob(tensor::Tensor& grid, float cx, float cy, float sigma_x,
+                float sigma_y, float value) {
+  const auto h = static_cast<std::ptrdiff_t>(grid.size(1));
+  const auto w = static_cast<std::ptrdiff_t>(grid.size(2));
+  const auto reach_x = static_cast<std::ptrdiff_t>(3.0f * sigma_x + 1.0f);
+  const auto reach_y = static_cast<std::ptrdiff_t>(3.0f * sigma_y + 1.0f);
+  const auto icx = static_cast<std::ptrdiff_t>(cx);
+  const auto icy = static_cast<std::ptrdiff_t>(cy);
+  for (std::ptrdiff_t y = std::max<std::ptrdiff_t>(0, icy - reach_y);
+       y <= std::min(h - 1, icy + reach_y); ++y) {
+    for (std::ptrdiff_t x = std::max<std::ptrdiff_t>(0, icx - reach_x);
+         x <= std::min(w - 1, icx + reach_x); ++x) {
+      const float dx = (static_cast<float>(x) - cx) / sigma_x;
+      const float dy = (static_cast<float>(y) - cy) / sigma_y;
+      const float g = value * std::exp(-0.5f * (dx * dx + dy * dy));
+      auto& cell = grid.at(0, static_cast<std::size_t>(y),
+                           static_cast<std::size_t>(x));
+      cell = std::max(cell, g);
+    }
+  }
+}
+
+/// Adds i.i.d. Gaussian noise of the given sigma (clamped at 0 below).
+void add_noise(tensor::Tensor& grid, float sigma, util::Rng& rng) {
+  if (sigma <= 0.0f) return;
+  for (float& v : grid.vec()) {
+    v += static_cast<float>(rng.normal(0.0, sigma));
+    if (v < 0.0f) v = 0.0f;
+  }
+}
+
+/// Adds salt speckle: `count` single-cell spikes (rain streaks, droplets).
+void add_speckle(tensor::Tensor& grid, int count, float amplitude,
+                 util::Rng& rng) {
+  const auto h = grid.size(1), w = grid.size(2);
+  for (int i = 0; i < count; ++i) {
+    const std::size_t y = rng.index(h);
+    const std::size_t x = rng.index(w);
+    grid.at(0, y, x) = std::max(grid.at(0, y, x),
+                                amplitude * rng.uniform_f(0.6f, 1.0f));
+  }
+}
+
+tensor::Tensor render_camera(SensorKind kind, const SceneEnvironment& env,
+                             const std::vector<detect::GroundTruth>& objects,
+                             const std::vector<Phantom>& phantoms,
+                             const SensorGridSpec& spec, util::Rng& rng) {
+  tensor::Tensor grid({1, spec.height, spec.width});
+  const float quality = sensor_quality(kind, env.type);
+  const SceneType scene = env.type;
+
+  // Ambient background texture (stronger in cluttered scenes).
+  add_noise(grid, 0.02f + 0.05f * env.clutter, rng);
+
+  for (const auto& gt : objects) {
+    if (rng.bernoulli(sensor_miss_probability(kind, scene, gt.cls))) continue;
+    const float signature = class_signature(kind, gt.cls);
+    // The per-scene quality table already folds in attenuation and
+    // illumination; contrast falls with quality but keeps a floor so
+    // degradation is gradual, not a cliff.
+    const float amplitude = signature * (0.45f + 0.55f * quality) *
+                            (1.0f - 0.25f * gt.occlusion);
+    // Left camera has a slightly offset viewpoint: small horizontal shift.
+    detect::Box box = gt.box;
+    if (kind == SensorKind::kCameraLeft) {
+      const float shift = rng.uniform_f(-0.2f, 0.1f);
+      box.x1 += shift;
+      box.x2 += shift;
+    }
+    splat_rect(grid, box, amplitude + rng.uniform_f(-0.02f, 0.02f));
+  }
+
+  // Shared weather phantoms: streak clusters / glare patches.
+  for (const Phantom& ph : phantoms) {
+    if (!rng.bernoulli(phantom_susceptibility(kind, env))) continue;
+    splat_rect(grid, ph.box,
+               0.42f * ph.strength * (0.45f + 0.55f * quality) +
+                   rng.uniform_f(-0.02f, 0.02f));
+  }
+
+  // Precipitation speckle on the lens + sensor noise grows as quality drops.
+  const auto h = static_cast<float>(spec.height);
+  add_speckle(grid, static_cast<int>(env.precipitation * h * 1.6f),
+              0.35f + 0.2f * env.precipitation, rng);
+  const int clutter_blobs = rng.poisson(sensor_clutter_rate(kind, scene));
+  for (int i = 0; i < clutter_blobs; ++i) {
+    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+               rng.uniform_f(0.0f, h), rng.uniform_f(0.8f, 2.0f),
+               rng.uniform_f(0.8f, 2.0f), rng.uniform_f(0.15f, 0.45f));
+  }
+  add_noise(grid, 0.02f + 0.10f * (1.0f - quality), rng);
+  return grid;
+}
+
+tensor::Tensor render_lidar(const SceneEnvironment& env,
+                            const std::vector<detect::GroundTruth>& objects,
+                            const std::vector<Phantom>& phantoms,
+                            const SensorGridSpec& spec, util::Rng& rng) {
+  tensor::Tensor grid({1, spec.height, spec.width});
+  const float quality = sensor_quality(SensorKind::kLidar, env.type);
+
+  for (const auto& gt : objects) {
+    if (rng.bernoulli(
+            sensor_miss_probability(SensorKind::kLidar, env.type, gt.cls))) {
+      continue;
+    }
+    const float signature = class_signature(SensorKind::kLidar, gt.cls);
+    const float amplitude = signature * (0.5f + 0.5f * quality) *
+                            (1.0f - 0.2f * gt.occlusion);
+    // Lidar sees geometry as a sparse point cloud: fill the box with
+    // per-cell returns, dropping points as quality falls (weather
+    // backscatter absorbs returns). The baseline sparsity (32 beams) caps
+    // lidar's clear-weather ceiling below the cameras'.
+    const float keep = 0.32f + 0.55f * quality;
+    const auto y0 = static_cast<std::size_t>(std::max(0.0f, gt.box.y1));
+    const auto x0 = static_cast<std::size_t>(std::max(0.0f, gt.box.x1));
+    const auto y1 = static_cast<std::size_t>(std::clamp(
+        gt.box.y2, 0.0f, static_cast<float>(spec.height)));
+    const auto x1 = static_cast<std::size_t>(std::clamp(
+        gt.box.x2, 0.0f, static_cast<float>(spec.width)));
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) {
+        if (!rng.bernoulli(keep)) continue;
+        grid.at(0, y, x) = std::max(
+            grid.at(0, y, x), amplitude * rng.uniform_f(0.75f, 1.05f));
+      }
+    }
+  }
+
+  // Shared weather phantoms: dense backscatter volumes.
+  for (const Phantom& ph : phantoms) {
+    if (!rng.bernoulli(phantom_susceptibility(SensorKind::kLidar, env))) {
+      continue;
+    }
+    const float amp = 0.40f * ph.strength * (0.5f + 0.5f * quality);
+    const auto py0 = static_cast<std::size_t>(std::max(0.0f, ph.box.y1));
+    const auto px0 = static_cast<std::size_t>(std::max(0.0f, ph.box.x1));
+    const auto py1 = static_cast<std::size_t>(std::clamp(
+        ph.box.y2, 0.0f, static_cast<float>(spec.height)));
+    const auto px1 = static_cast<std::size_t>(std::clamp(
+        ph.box.x2, 0.0f, static_cast<float>(spec.width)));
+    for (std::size_t y = py0; y < py1; ++y) {
+      for (std::size_t x = px0; x < px1; ++x) {
+        if (!rng.bernoulli(0.75)) continue;
+        grid.at(0, y, x) =
+            std::max(grid.at(0, y, x), amp * rng.uniform_f(0.7f, 1.1f));
+      }
+    }
+  }
+
+  // Backscatter speckle from precipitation / fog droplets.
+  const auto cells = static_cast<float>(spec.height * spec.width);
+  add_speckle(grid,
+              static_cast<int>(cells * 0.004f *
+                               (env.precipitation + env.attenuation)),
+              0.4f, rng);
+  const int clutter_blobs =
+      rng.poisson(sensor_clutter_rate(SensorKind::kLidar, env.type));
+  for (int i = 0; i < clutter_blobs; ++i) {
+    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+               rng.uniform_f(0.0f, static_cast<float>(spec.height)),
+               rng.uniform_f(0.6f, 1.5f), rng.uniform_f(0.6f, 1.5f),
+               rng.uniform_f(0.15f, 0.4f));
+  }
+  add_noise(grid, 0.02f + 0.06f * (1.0f - quality), rng);
+  return grid;
+}
+
+tensor::Tensor render_radar(const SceneEnvironment& env,
+                            const std::vector<detect::GroundTruth>& objects,
+                            const std::vector<Phantom>& phantoms,
+                            const SensorGridSpec& spec, util::Rng& rng) {
+  tensor::Tensor grid({1, spec.height, spec.width});
+  const float quality = sensor_quality(SensorKind::kRadar, env.type);
+
+  for (const auto& gt : objects) {
+    if (rng.bernoulli(
+            sensor_miss_probability(SensorKind::kRadar, env.type, gt.cls))) {
+      continue;
+    }
+    const float signature = class_signature(SensorKind::kRadar, gt.cls);
+    const float amplitude = signature * (0.55f + 0.45f * quality);
+    // Radar smears the object into a blob with positional jitter: poor
+    // extent estimation is what caps radar mAP in clear scenes.
+    const float jx = static_cast<float>(rng.normal(0.0, 0.45));
+    const float jy = static_cast<float>(rng.normal(0.0, 0.45));
+    splat_blob(grid, gt.box.cx() + jx, gt.box.cy() + jy,
+               std::max(1.0f, 0.38f * gt.box.width()),
+               std::max(1.0f, 0.38f * gt.box.height()), amplitude);
+  }
+
+  // Shared weather phantoms: weak multipath-like blobs (radar is largely
+  // immune; susceptibility is low).
+  for (const Phantom& ph : phantoms) {
+    if (!rng.bernoulli(phantom_susceptibility(SensorKind::kRadar, env))) {
+      continue;
+    }
+    splat_blob(grid, ph.box.cx(), ph.box.cy(),
+               std::max(1.0f, 0.38f * ph.box.width()),
+               std::max(1.0f, 0.38f * ph.box.height()),
+               0.35f * ph.strength);
+  }
+  const int clutter_blobs =
+      rng.poisson(sensor_clutter_rate(SensorKind::kRadar, env.type));
+  for (int i = 0; i < clutter_blobs; ++i) {
+    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+               rng.uniform_f(0.0f, static_cast<float>(spec.height)),
+               rng.uniform_f(1.0f, 2.2f), rng.uniform_f(1.0f, 2.2f),
+               rng.uniform_f(0.15f, 0.35f));
+  }
+  add_noise(grid, 0.05f, rng);
+  return grid;
+}
+
+}  // namespace
+
+tensor::Tensor render_sensor(SensorKind kind, const SceneEnvironment& env,
+                             const std::vector<detect::GroundTruth>& objects,
+                             const std::vector<Phantom>& phantoms,
+                             const SensorGridSpec& spec, util::Rng& rng) {
+  switch (kind) {
+    case SensorKind::kCameraLeft:
+    case SensorKind::kCameraRight:
+      return render_camera(kind, env, objects, phantoms, spec, rng);
+    case SensorKind::kLidar:
+      return render_lidar(env, objects, phantoms, spec, rng);
+    case SensorKind::kRadar:
+      return render_radar(env, objects, phantoms, spec, rng);
+  }
+  return tensor::Tensor({1, spec.height, spec.width});
+}
+
+}  // namespace eco::dataset

@@ -1,0 +1,45 @@
+#include "detect/anchors.hpp"
+
+namespace eco::detect {
+
+std::vector<AnchorShape> AnchorConfig::default_shapes() {
+  // Covers the class-prior extents (pedestrian 2x2.6 ... bus 12x5.5) with a
+  // small set of shapes, like Faster R-CNN's 3-scale x 3-aspect grid.
+  return {
+      {1.8f, 2.9f},   // pedestrian
+      {2.4f, 2.3f},   // bicycle
+      {3.4f, 1.9f},   // motorbike
+      {5.0f, 2.9f},   // pedestrian group
+      {6.0f, 3.8f},   // car
+      {6.8f, 5.6f},   // van
+      {10.5f, 4.8f},  // truck
+      {13.0f, 6.0f},  // bus
+  };
+}
+
+std::vector<Box> generate_anchors(std::size_t grid_height,
+                                  std::size_t grid_width,
+                                  const AnchorConfig& config) {
+  std::vector<Box> anchors;
+  const std::size_t stride = config.stride == 0 ? 1 : config.stride;
+  anchors.reserve((grid_height / stride) * (grid_width / stride) *
+                  config.shapes.size());
+  const auto limit_w = static_cast<float>(grid_width);
+  const auto limit_h = static_cast<float>(grid_height);
+  for (std::size_t cy = stride / 2; cy < grid_height; cy += stride) {
+    for (std::size_t cx = stride / 2; cx < grid_width; cx += stride) {
+      for (const AnchorShape& shape : config.shapes) {
+        Box box;
+        box.x1 = static_cast<float>(cx) - 0.5f * shape.width;
+        box.y1 = static_cast<float>(cy) - 0.5f * shape.height;
+        box.x2 = box.x1 + shape.width;
+        box.y2 = box.y1 + shape.height;
+        box = box.clipped(limit_w, limit_h);
+        if (box.valid()) anchors.push_back(box);
+      }
+    }
+  }
+  return anchors;
+}
+
+}  // namespace eco::detect

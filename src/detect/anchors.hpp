@@ -1,0 +1,36 @@
+// Anchor generation for the region proposal network (RPN).
+//
+// Mirrors Faster R-CNN's anchor scheme (paper reference [19]): a fixed set of
+// template box shapes is tiled across the feature map at a given stride; the
+// RPN scores each anchor for objectness and regresses a refinement.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace eco::detect {
+
+/// One anchor template: width x height in grid cells.
+struct AnchorShape {
+  float width = 4.0f;
+  float height = 3.0f;
+};
+
+/// Anchor tiling configuration.
+struct AnchorConfig {
+  /// Distance between adjacent anchor centres, in grid cells.
+  std::size_t stride = 2;
+  /// Template shapes; defaults cover the dataset's class extents.
+  std::vector<AnchorShape> shapes = default_shapes();
+
+  [[nodiscard]] static std::vector<AnchorShape> default_shapes();
+};
+
+/// Generates all anchors for a height x width grid, clipped to bounds.
+/// Order: row-major over centres, inner loop over shapes.
+[[nodiscard]] std::vector<Box> generate_anchors(std::size_t grid_height,
+                                                std::size_t grid_width,
+                                                const AnchorConfig& config);
+
+}  // namespace eco::detect

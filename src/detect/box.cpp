@@ -1,0 +1,62 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eco::detect {
+
+const char* object_class_name(ObjectClass cls) noexcept {
+  switch (cls) {
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kVan: return "van";
+    case ObjectClass::kTruck: return "truck";
+    case ObjectClass::kBus: return "bus";
+    case ObjectClass::kMotorbike: return "motorbike";
+    case ObjectClass::kBicycle: return "bicycle";
+    case ObjectClass::kPedestrian: return "pedestrian";
+    case ObjectClass::kPedestrianGroup: return "group_of_pedestrians";
+  }
+  return "?";
+}
+
+std::vector<ObjectClass> all_object_classes() {
+  std::vector<ObjectClass> classes;
+  classes.reserve(kNumObjectClasses);
+  for (std::size_t i = 0; i < kNumObjectClasses; ++i) {
+    classes.push_back(static_cast<ObjectClass>(i));
+  }
+  return classes;
+}
+
+Box Box::clipped(float width_limit, float height_limit) const noexcept {
+  Box out;
+  out.x1 = std::clamp(x1, 0.0f, width_limit);
+  out.y1 = std::clamp(y1, 0.0f, height_limit);
+  out.x2 = std::clamp(x2, 0.0f, width_limit);
+  out.y2 = std::clamp(y2, 0.0f, height_limit);
+  return out;
+}
+
+std::string Box::to_string() const {
+  std::ostringstream out;
+  out << "[" << x1 << ", " << y1 << ", " << x2 << ", " << y2 << "]";
+  return out.str();
+}
+
+float intersection_area(const Box& a, const Box& b) noexcept {
+  const float ix1 = std::max(a.x1, b.x1);
+  const float iy1 = std::max(a.y1, b.y1);
+  const float ix2 = std::min(a.x2, b.x2);
+  const float iy2 = std::min(a.y2, b.y2);
+  const float w = ix2 - ix1, h = iy2 - iy1;
+  return (w > 0.0f && h > 0.0f) ? w * h : 0.0f;
+}
+
+float iou(const Box& a, const Box& b) noexcept {
+  const float inter = intersection_area(a, b);
+  if (inter <= 0.0f) return 0.0f;
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+}  // namespace eco::detect

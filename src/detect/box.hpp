@@ -1,0 +1,77 @@
+// Axis-aligned 2-D bounding boxes and detection records. These are the
+// Y^i_reg / Y^i_class targets of the paper's problem formulation (§3.1,
+// Eq. 2): each object has a class label and box coordinates in the frame of
+// the sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco::detect {
+
+/// Object classes annotated in RADIATE (§5 of the paper).
+enum class ObjectClass : std::uint8_t {
+  kCar = 0,
+  kVan,
+  kTruck,
+  kBus,
+  kMotorbike,
+  kBicycle,
+  kPedestrian,
+  kPedestrianGroup,
+};
+
+inline constexpr std::size_t kNumObjectClasses = 8;
+
+[[nodiscard]] const char* object_class_name(ObjectClass cls) noexcept;
+[[nodiscard]] std::vector<ObjectClass> all_object_classes();
+
+/// Axis-aligned box: corners (x1,y1) top-left inclusive, (x2,y2)
+/// bottom-right exclusive, in grid-cell units of the sensor frame.
+struct Box {
+  float x1 = 0.0f;
+  float y1 = 0.0f;
+  float x2 = 0.0f;
+  float y2 = 0.0f;
+
+  [[nodiscard]] float width() const noexcept { return x2 - x1; }
+  [[nodiscard]] float height() const noexcept { return y2 - y1; }
+  [[nodiscard]] float area() const noexcept {
+    const float w = width(), h = height();
+    return (w > 0.0f && h > 0.0f) ? w * h : 0.0f;
+  }
+  [[nodiscard]] float cx() const noexcept { return 0.5f * (x1 + x2); }
+  [[nodiscard]] float cy() const noexcept { return 0.5f * (y1 + y2); }
+  [[nodiscard]] bool valid() const noexcept { return x2 > x1 && y2 > y1; }
+
+  /// Clips to [0, width) x [0, height).
+  [[nodiscard]] Box clipped(float width_limit, float height_limit) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Intersection-over-union in [0, 1].
+[[nodiscard]] float iou(const Box& a, const Box& b) noexcept;
+
+/// Intersection area.
+[[nodiscard]] float intersection_area(const Box& a, const Box& b) noexcept;
+
+/// A detector output: box + class + confidence in [0, 1].
+struct Detection {
+  Box box;
+  ObjectClass cls = ObjectClass::kCar;
+  float score = 0.0f;
+  /// Per-class scores (optional; used by the fusion block and losses).
+  std::vector<float> class_scores;
+};
+
+/// A ground-truth annotation.
+struct GroundTruth {
+  Box box;
+  ObjectClass cls = ObjectClass::kCar;
+  /// Fraction of the object that is occluded in [0,1); affects rendering.
+  float occlusion = 0.0f;
+};
+
+}  // namespace eco::detect

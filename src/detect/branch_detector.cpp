@@ -1,0 +1,89 @@
+#include "detect/branch_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "detect/nms.hpp"
+
+namespace eco::detect {
+
+BranchDetector::BranchDetector(
+    BranchConfig config,
+    std::vector<std::vector<ClassPrototype>> prototypes_per_input)
+    : config_(std::move(config)), rpn_(config_.rpn) {
+  if (prototypes_per_input.size() != config_.input_count) {
+    throw std::invalid_argument("BranchDetector '" + config_.name +
+                                "': prototype arity mismatch");
+  }
+  roi_heads_.reserve(config_.input_count);
+  for (std::size_t i = 0; i < config_.input_count; ++i) {
+    const RoiHeadConfig& roi_config =
+        config_.roi_per_input.empty()
+            ? RoiHeadConfig{}
+            : config_.roi_per_input[std::min(i, config_.roi_per_input.size() - 1)];
+    roi_heads_.emplace_back(roi_config, std::move(prototypes_per_input[i]));
+  }
+}
+
+tensor::Tensor BranchDetector::fuse_inputs(
+    const std::vector<tensor::Tensor>& grids) const {
+  if (grids.size() != config_.input_count) {
+    throw std::invalid_argument("BranchDetector '" + config_.name +
+                                "': expected " +
+                                std::to_string(config_.input_count) +
+                                " grids, got " + std::to_string(grids.size()));
+  }
+  for (const auto& g : grids) {
+    if (g.shape() != grids.front().shape()) {
+      throw std::invalid_argument("BranchDetector: grid shape mismatch");
+    }
+  }
+  if (grids.size() == 1) return grids.front();
+
+  tensor::Tensor fused(grids.front().shape());
+  switch (config_.fusion_mode) {
+    case EarlyFusionMode::kMean: {
+      for (const auto& g : grids) fused += g;
+      fused *= 1.0f / static_cast<float>(grids.size());
+      break;
+    }
+    case EarlyFusionMode::kMax: {
+      fused = grids.front();
+      for (std::size_t gi = 1; gi < grids.size(); ++gi) {
+        for (std::size_t i = 0; i < fused.numel(); ++i) {
+          fused[i] = std::max(fused[i], grids[gi][i]);
+        }
+      }
+      break;
+    }
+  }
+  return fused;
+}
+
+std::vector<Detection> BranchDetector::detect(
+    const std::vector<tensor::Tensor>& grids) const {
+  if (grids.size() != config_.input_count) {
+    throw std::invalid_argument("BranchDetector '" + config_.name +
+                                "': expected " +
+                                std::to_string(config_.input_count) +
+                                " grids, got " + std::to_string(grids.size()));
+  }
+  if (grids.size() == 1) {
+    const std::vector<Proposal> proposals = rpn_.propose(grids.front());
+    return roi_heads_.front().run(grids.front(), proposals);
+  }
+
+  // Early fusion: per-channel detection, merged as a plain union. No
+  // cross-channel confidence calibration (see header).
+  std::vector<Detection> merged;
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    const std::vector<Proposal> proposals = rpn_.propose(grids[i]);
+    std::vector<Detection> channel = roi_heads_[i].run(grids[i], proposals);
+    merged.insert(merged.end(), std::make_move_iterator(channel.begin()),
+                  std::make_move_iterator(channel.end()));
+  }
+  return nms(std::move(merged), config_.channel_merge_iou,
+             /*class_aware=*/false);
+}
+
+}  // namespace eco::detect

@@ -1,0 +1,98 @@
+#include "detect/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace eco::detect {
+
+std::vector<int> match_detections(const std::vector<Detection>& detections,
+                                  const std::vector<GroundTruth>& ground_truth,
+                                  float match_iou) {
+  // Sort detection indices by score descending; greedily claim the best
+  // still-unclaimed ground truth above the IoU threshold.
+  std::vector<std::size_t> order(detections.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return detections[a].score > detections[b].score;
+                   });
+
+  std::vector<int> matches(detections.size(), -1);
+  std::vector<bool> claimed(ground_truth.size(), false);
+  for (std::size_t di : order) {
+    float best_iou = match_iou;
+    int best_gt = -1;
+    for (std::size_t gi = 0; gi < ground_truth.size(); ++gi) {
+      if (claimed[gi]) continue;
+      const float overlap = iou(detections[di].box, ground_truth[gi].box);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        best_gt = static_cast<int>(gi);
+      }
+    }
+    if (best_gt >= 0) {
+      matches[di] = best_gt;
+      claimed[static_cast<std::size_t>(best_gt)] = true;
+    }
+  }
+  return matches;
+}
+
+DetectionLoss detection_loss(const std::vector<Detection>& detections,
+                             const std::vector<GroundTruth>& ground_truth,
+                             const LossConfig& config) {
+  const std::vector<int> matches =
+      match_detections(detections, ground_truth, config.match_iou);
+
+  DetectionLoss loss;
+  std::size_t matched_gt = 0;
+
+  for (std::size_t di = 0; di < detections.size(); ++di) {
+    const Detection& det = detections[di];
+    if (matches[di] < 0) {
+      loss.false_positive += config.false_positive_cost * det.score;
+      continue;
+    }
+    ++matched_gt;
+    const GroundTruth& gt =
+        ground_truth[static_cast<std::size_t>(matches[di])];
+
+    // Smooth-L1 over the 4 box coordinates, normalised by coordinate_scale.
+    const float inv = 1.0f / config.coordinate_scale;
+    const tensor::Tensor pred = tensor::Tensor::from_vector(
+        {det.box.x1 * inv, det.box.y1 * inv, det.box.x2 * inv,
+         det.box.y2 * inv});
+    const tensor::Tensor target = tensor::Tensor::from_vector(
+        {gt.box.x1 * inv, gt.box.y1 * inv, gt.box.x2 * inv, gt.box.y2 * inv});
+    loss.regression +=
+        config.regression_weight * tensor::smooth_l1(pred, target);
+
+    // Cross-entropy of the predicted class distribution vs the true class.
+    const auto target_cls = static_cast<std::size_t>(gt.cls);
+    if (!det.class_scores.empty() && target_cls < det.class_scores.size()) {
+      const float p = std::max(det.class_scores[target_cls], 1e-6f);
+      loss.classification -= config.classification_weight * std::log(p);
+    } else {
+      // No distribution available: hard 0/1 classification penalty.
+      loss.classification +=
+          config.classification_weight * (det.cls == gt.cls ? 0.0f : 2.0f);
+    }
+  }
+
+  const std::size_t misses = ground_truth.size() - matched_gt;
+  loss.miss_penalty = config.miss_cost * static_cast<float>(misses);
+
+  if (config.normalize_by_gt) {
+    const float denom =
+        static_cast<float>(std::max<std::size_t>(1, ground_truth.size()));
+    loss.regression /= denom;
+    loss.classification /= denom;
+    loss.miss_penalty /= denom;
+    loss.false_positive /= denom;
+  }
+  return loss;
+}
+
+}  // namespace eco::detect

@@ -1,0 +1,49 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace eco::detect {
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold, bool class_aware) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<Detection> kept;
+  kept.reserve(detections.size());
+  for (const Detection& candidate : detections) {
+    bool suppressed = false;
+    for (const Detection& keeper : kept) {
+      if (class_aware && keeper.cls != candidate.cls) continue;
+      if (iou(keeper.box, candidate.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+std::vector<Detection> filter_by_score(std::vector<Detection> detections,
+                                       float min_score) {
+  std::erase_if(detections, [min_score](const Detection& d) {
+    return d.score < min_score;
+  });
+  return detections;
+}
+
+std::vector<Detection> keep_top_k(std::vector<Detection> detections,
+                                  std::size_t top_k) {
+  if (detections.size() <= top_k) return detections;
+  std::partial_sort(detections.begin(), detections.begin() + static_cast<std::ptrdiff_t>(top_k),
+                    detections.end(),
+                    [](const Detection& a, const Detection& b) {
+                      return a.score > b.score;
+                    });
+  detections.resize(top_k);
+  return detections;
+}
+
+}  // namespace eco::detect

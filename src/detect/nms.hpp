@@ -1,0 +1,26 @@
+// Non-maximum suppression over detections.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace eco::detect {
+
+/// Greedy NMS: sorts by score descending, suppresses boxes with
+/// IoU > `iou_threshold` against an already-kept box. Class-agnostic when
+/// `class_aware` is false (used by the RPN); per-class otherwise (used on
+/// final detections).
+[[nodiscard]] std::vector<Detection> nms(std::vector<Detection> detections,
+                                         float iou_threshold,
+                                         bool class_aware = true);
+
+/// Drops detections with score below `min_score`.
+[[nodiscard]] std::vector<Detection> filter_by_score(
+    std::vector<Detection> detections, float min_score);
+
+/// Keeps at most the `top_k` highest-scoring detections.
+[[nodiscard]] std::vector<Detection> keep_top_k(
+    std::vector<Detection> detections, std::size_t top_k);
+
+}  // namespace eco::detect

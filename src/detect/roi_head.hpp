@@ -1,0 +1,96 @@
+// Region-of-interest head: region extraction + classification.
+//
+// Faster R-CNN's ROI head pools features inside each proposal and predicts
+// refined box coordinates plus per-class scores. The substrate equivalent
+// extracts candidate regions as connected components of the adaptively
+// thresholded (smoothed) observation grid — one component per contiguous
+// bright structure — and validates each against the RPN proposals: a
+// component is emitted only where the RPN also proposed, and it inherits the
+// best overlapping proposal's objectness. Classification is
+// nearest-prototype matching in (amplitude, log-width, log-height) space;
+// prototypes come from the dataset class priors for the branch's modality,
+// so confusable classes (car/van, motorbike/bicycle) stay confusable and
+// the classifier degrades smoothly as sensor SNR drops.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "detect/box.hpp"
+#include "detect/rpn.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::detect {
+
+/// Per-class prototype in the ROI feature space.
+struct ClassPrototype {
+  ObjectClass cls = ObjectClass::kCar;
+  float amplitude = 0.5f;  // expected mean in-box signal
+  float width = 4.0f;      // expected box extent (cells)
+  float height = 3.0f;
+};
+
+/// ROI head configuration.
+struct RoiHeadConfig {
+  /// Softmax temperature for prototype distances (lower = more confident).
+  float temperature = 0.55f;
+  /// Weights of the (amplitude, log-width, log-height) distance terms.
+  float amplitude_weight = 3.2f;
+  float extent_weight = 1.8f;
+  /// Mask threshold = background + this fraction of (signal - background),
+  /// where signal = max(p95, signal_peak_fraction * peak).
+  float mask_fraction = 0.45f;
+  /// Weight of the grid peak in the signal estimate. Keeps sparse scenes
+  /// segmentable; set to 0 for modalities whose peaks are dominated by
+  /// clutter spikes (radar).
+  float signal_peak_fraction = 0.6f;
+  /// Minimum component area, in cells.
+  std::size_t min_component_area = 3;
+  /// Minimum IoU between a component box and some RPN proposal for the
+  /// component to be validated.
+  float proposal_validation_iou = 0.20f;
+  /// Multiplicative box shrink about the centre applied before
+  /// classification/output (the "trained regression" of a branch whose
+  /// sensor smears extent — radar blobs). 1.0 = no change.
+  float box_deflate = 1.0f;
+  /// Final class-agnostic NMS IoU (safety net; components are disjoint).
+  float nms_iou = 0.45f;
+  /// Minimum final detection score.
+  float min_score = 0.38f;
+};
+
+/// The ROI head. Stateless apart from configuration + prototypes.
+class RoiHead {
+ public:
+  RoiHead(RoiHeadConfig config, std::vector<ClassPrototype> prototypes);
+
+  /// Extracts and classifies regions on the observation grid (1,H,W),
+  /// validated against the RPN proposals.
+  [[nodiscard]] std::vector<Detection> run(
+      const tensor::Tensor& grid, const std::vector<Proposal>& proposals) const;
+
+  [[nodiscard]] const RoiHeadConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<ClassPrototype>& prototypes() const noexcept {
+    return prototypes_;
+  }
+
+ private:
+  RoiHeadConfig config_;
+  std::vector<ClassPrototype> prototypes_;
+};
+
+/// Candidate region from the component analysis (exposed for tests).
+struct Region {
+  Box box;
+  float mean_amplitude = 0.0f;
+  float peak_amplitude = 0.0f;
+  std::size_t area = 0;
+};
+
+/// Connected components of `grid >= threshold` (4-connectivity), with
+/// components smaller than `min_area` cells discarded.
+[[nodiscard]] std::vector<Region> extract_regions(const tensor::Tensor& grid,
+                                                  float threshold,
+                                                  std::size_t min_area);
+
+}  // namespace eco::detect

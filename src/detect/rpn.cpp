@@ -1,0 +1,135 @@
+#include "detect/rpn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "detect/nms.hpp"
+
+namespace eco::detect {
+
+IntegralImage::IntegralImage(const tensor::Tensor& grid) {
+  const bool chw = grid.dim() == 3;
+  if (chw && grid.size(0) != 1) {
+    throw std::invalid_argument("IntegralImage: expected single channel");
+  }
+  if (!chw && grid.dim() != 2) {
+    throw std::invalid_argument("IntegralImage: expected (1,H,W) or (H,W)");
+  }
+  height_ = chw ? grid.size(1) : grid.size(0);
+  width_ = chw ? grid.size(2) : grid.size(1);
+  cumulative_.assign((height_ + 1) * (width_ + 1), 0.0);
+  const float* data = grid.data();
+  for (std::size_t y = 0; y < height_; ++y) {
+    double row = 0.0;
+    for (std::size_t x = 0; x < width_; ++x) {
+      row += data[y * width_ + x];
+      cumulative_[(y + 1) * (width_ + 1) + (x + 1)] =
+          cumulative_[y * (width_ + 1) + (x + 1)] + row;
+    }
+  }
+}
+
+double IntegralImage::box_sum(const Box& box) const noexcept {
+  const auto clamp_x = [&](float v) {
+    return static_cast<std::size_t>(
+        std::clamp(v, 0.0f, static_cast<float>(width_)));
+  };
+  const auto clamp_y = [&](float v) {
+    return static_cast<std::size_t>(
+        std::clamp(v, 0.0f, static_cast<float>(height_)));
+  };
+  const std::size_t x1 = clamp_x(box.x1), x2 = clamp_x(box.x2);
+  const std::size_t y1 = clamp_y(box.y1), y2 = clamp_y(box.y2);
+  if (x2 <= x1 || y2 <= y1) return 0.0;
+  const std::size_t w1 = width_ + 1;
+  return cumulative_[y2 * w1 + x2] - cumulative_[y1 * w1 + x2] -
+         cumulative_[y2 * w1 + x1] + cumulative_[y1 * w1 + x1];
+}
+
+double IntegralImage::box_mean(const Box& box) const noexcept {
+  const auto clamped = box.clipped(static_cast<float>(width_),
+                                   static_cast<float>(height_));
+  const float area = clamped.area();
+  if (area <= 0.0f) return 0.0;
+  return box_sum(clamped) / area;
+}
+
+tensor::Tensor box_blur3(const tensor::Tensor& grid) {
+  const std::size_t h = grid.size(1), w = grid.size(2);
+  tensor::Tensor out({1, h, w});
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      int n = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + dy;
+        if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + dx;
+          if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+          acc += grid.at(0, static_cast<std::size_t>(yy),
+                         static_cast<std::size_t>(xx));
+          ++n;
+        }
+      }
+      out.at(0, y, x) = n > 0 ? acc / static_cast<float>(n) : 0.0f;
+    }
+  }
+  return out;
+}
+
+Rpn::Rpn(RpnConfig config) : config_(std::move(config)) {}
+
+std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid) const {
+  if (grid.dim() != 3 || grid.size(0) != 1) {
+    throw std::invalid_argument("Rpn::propose: expected (1,H,W) grid");
+  }
+  const std::size_t h = grid.size(1), w = grid.size(2);
+
+  const tensor::Tensor smoothed = box_blur3(grid);
+  const IntegralImage integral(smoothed);
+
+  const std::vector<Box> anchors = generate_anchors(h, w, config_.anchors);
+  std::vector<Detection> raw;
+  raw.reserve(anchors.size() / 4);
+
+  for (const Box& anchor : anchors) {
+    const double inside = integral.box_mean(anchor);
+    Box ring = anchor;
+    ring.x1 -= config_.ring;
+    ring.y1 -= config_.ring;
+    ring.x2 += config_.ring;
+    ring.y2 += config_.ring;
+    ring = ring.clipped(static_cast<float>(w), static_cast<float>(h));
+    const double ring_sum = integral.box_sum(ring);
+    const double inner_sum = integral.box_sum(
+        anchor.clipped(static_cast<float>(w), static_cast<float>(h)));
+    const double ring_area =
+        ring.area() -
+        anchor.clipped(static_cast<float>(w), static_cast<float>(h)).area();
+    const double background =
+        ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
+    const double contrast = inside - background;
+    if (contrast < config_.min_contrast) continue;
+
+    Detection d;
+    d.box = anchor;
+    // Sigmoid squashing of the contrast to [0,1] objectness.
+    d.score = static_cast<float>(
+        1.0 / (1.0 + std::exp(-config_.contrast_scale * contrast)));
+    raw.push_back(d);
+  }
+
+  raw = nms(std::move(raw), config_.nms_iou, /*class_aware=*/false);
+  raw = keep_top_k(std::move(raw), config_.top_k);
+
+  std::vector<Proposal> proposals;
+  proposals.reserve(raw.size());
+  for (const Detection& d : raw) {
+    proposals.push_back(Proposal{d.box, d.score});
+  }
+  return proposals;
+}
+
+}  // namespace eco::detect

@@ -1,0 +1,78 @@
+// Region Proposal Network.
+//
+// Faster R-CNN's RPN scores a dense anchor grid for objectness and proposes
+// candidate regions. Our substrate implements the same contract with a
+// deterministic signal-processing head (DESIGN.md §2): objectness is the
+// contrast between the mean activation inside an anchor and the mean in its
+// surrounding ring, computed in O(1) per anchor via an integral image.
+// Proposal quality therefore tracks the sensor's SNR in the current context,
+// which is exactly the property the gate model exploits.
+#pragma once
+
+#include <vector>
+
+#include "detect/anchors.hpp"
+#include "detect/box.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::detect {
+
+/// An RPN proposal: candidate box + objectness score in [0, 1].
+struct Proposal {
+  Box box;
+  float objectness = 0.0f;
+};
+
+/// Integral image over a (1,H,W) or (H,W) grid for O(1) box sums.
+class IntegralImage {
+ public:
+  explicit IntegralImage(const tensor::Tensor& grid);
+
+  /// Sum of grid values over [x1,x2) x [y1,y2) clamped to bounds.
+  [[nodiscard]] double box_sum(const Box& box) const noexcept;
+
+  /// Mean of grid values over the box (0 if empty).
+  [[nodiscard]] double box_mean(const Box& box) const noexcept;
+
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+ private:
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> cumulative_;  // (H+1) x (W+1)
+};
+
+/// RPN configuration.
+struct RpnConfig {
+  AnchorConfig anchors;
+  /// Ring width (cells) around the anchor used as local background.
+  float ring = 2.0f;
+  /// Minimum inside-vs-ring contrast for a proposal to survive.
+  float min_contrast = 0.09f;
+  /// Proposal-stage NMS IoU.
+  float nms_iou = 0.60f;
+  /// Max proposals forwarded to the ROI head.
+  std::size_t top_k = 48;
+  /// Contrast scale mapping to objectness (sigmoid temperature).
+  float contrast_scale = 9.0f;
+};
+
+/// The proposal network. Stateless apart from configuration.
+class Rpn {
+ public:
+  explicit Rpn(RpnConfig config = {});
+
+  /// Proposes regions on a single-channel observation/feature grid (1,H,W).
+  [[nodiscard]] std::vector<Proposal> propose(const tensor::Tensor& grid) const;
+
+  [[nodiscard]] const RpnConfig& config() const noexcept { return config_; }
+
+ private:
+  RpnConfig config_;
+};
+
+/// 3x3 box blur used as the fixed smoothing "convolution" ahead of scoring.
+[[nodiscard]] tensor::Tensor box_blur3(const tensor::Tensor& grid);
+
+}  // namespace eco::detect

@@ -1,0 +1,122 @@
+#include "energy/px2_model.hpp"
+
+namespace eco::energy {
+
+double ResNet18Macs::stem_macs() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < stem_end && i < layers.size(); ++i) {
+    total += layers[i].macs();
+  }
+  return total;
+}
+
+double ResNet18Macs::branch_macs() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = stem_end; i < layers.size(); ++i) {
+    total += layers[i].macs();
+  }
+  return total;
+}
+
+double ResNet18Macs::total_macs() const noexcept {
+  return stem_macs() + branch_macs();
+}
+
+ResNet18Macs resnet18_macs() {
+  // ResNet-18 at 224x224 input. The paper splits after the first convolution
+  // block: conv1 + conv2_x become the stem; conv3_x..conv5_x plus the RPN and
+  // ROI head form the branch.
+  ResNet18Macs table;
+  auto add = [&](const char* name, std::size_t cin, std::size_t cout,
+                 std::size_t k, std::size_t stride, std::size_t oh,
+                 std::size_t ow) {
+    table.layers.push_back(ConvLayerSpec{name, cin, cout, k, stride, oh, ow});
+  };
+  // Stem: conv1 (7x7/2) + maxpool + conv2_x (2 basic blocks, 64ch @ 56x56).
+  add("conv1", 3, 64, 7, 2, 112, 112);
+  add("conv2_1a", 64, 64, 3, 1, 56, 56);
+  add("conv2_1b", 64, 64, 3, 1, 56, 56);
+  add("conv2_2a", 64, 64, 3, 1, 56, 56);
+  add("conv2_2b", 64, 64, 3, 1, 56, 56);
+  table.stem_end = table.layers.size();
+  // Branch backbone: conv3_x (128ch @ 28x28), conv4_x (256 @ 14), conv5_x
+  // (512 @ 7), plus downsample projections.
+  add("conv3_1a", 64, 128, 3, 2, 28, 28);
+  add("conv3_1b", 128, 128, 3, 1, 28, 28);
+  add("conv3_ds", 64, 128, 1, 2, 28, 28);
+  add("conv3_2a", 128, 128, 3, 1, 28, 28);
+  add("conv3_2b", 128, 128, 3, 1, 28, 28);
+  add("conv4_1a", 128, 256, 3, 2, 14, 14);
+  add("conv4_1b", 256, 256, 3, 1, 14, 14);
+  add("conv4_ds", 128, 256, 1, 2, 14, 14);
+  add("conv4_2a", 256, 256, 3, 1, 14, 14);
+  add("conv4_2b", 256, 256, 3, 1, 14, 14);
+  add("conv5_1a", 256, 512, 3, 2, 7, 7);
+  add("conv5_1b", 512, 512, 3, 1, 7, 7);
+  add("conv5_ds", 256, 512, 1, 2, 7, 7);
+  add("conv5_2a", 512, 512, 3, 1, 7, 7);
+  add("conv5_2b", 512, 512, 3, 1, 7, 7);
+  // Detection heads: RPN 3x3 conv + objectness/regression 1x1s on the
+  // 14x14 feature map, and the ROI head approximated as one dense layer.
+  add("rpn_conv", 256, 256, 3, 1, 14, 14);
+  add("rpn_cls", 256, 9, 1, 1, 14, 14);
+  add("rpn_reg", 256, 36, 1, 1, 14, 14);
+  add("roi_head", 512, 1024, 1, 1, 7, 7);
+  return table;
+}
+
+Px2Model::Px2Model() : macs_(resnet18_macs()) {}
+
+double Px2Model::early_combine_latency_ms(std::size_t inputs) const noexcept {
+  if (inputs <= 1) return 0.0;
+  return combine_per_extra_input_ms_ * static_cast<double>(inputs - 1);
+}
+
+double Px2Model::fusion_block_latency_ms(std::size_t branches) const noexcept {
+  // A single branch needs no late-fusion pass (the paper's "None"/"Early"
+  // rows carry no fusion-block cost).
+  if (branches < 2) return 0.0;
+  return fusion_base_ms_ + fusion_per_branch_ms_ * static_cast<double>(branches);
+}
+
+double Px2Model::gate_latency_ms(GateComplexity gate) const noexcept {
+  // After TensorRT compilation the gates are tiny (§5: < 0.005 J, i.e.
+  // ~0.1 ms at 45.4 W). Knowledge gating is a table lookup.
+  switch (gate) {
+    case GateComplexity::kNone: return 0.0;
+    case GateComplexity::kKnowledge: return 0.01;
+    case GateComplexity::kDeep: return 0.08;
+    case GateComplexity::kAttention: return 0.10;
+  }
+  return 0.0;
+}
+
+double Px2Model::latency_ms(const ExecutionProfile& profile) const {
+  double total = 0.0;
+  total += stem_ms_ * static_cast<double>(profile.stems_run);
+  total += projection_ms_ * static_cast<double>(profile.stem_projections);
+  total += gate_latency_ms(profile.gate);
+  for (const BranchRun& branch : profile.branches) {
+    total += branch_ms_;
+    total += early_combine_latency_ms(branch.input_count);
+  }
+  if (profile.fusion_block) {
+    total += fusion_block_latency_ms(profile.branches.size());
+  }
+  if (!profile.branches.empty()) total += postprocess_ms_;
+  return total;
+}
+
+double Px2Model::energy_j(const ExecutionProfile& profile) const {
+  return load_power_w_ * latency_ms(profile) * 1e-3;
+}
+
+double Px2Model::effective_gmacs_stem() const {
+  return macs_.stem_macs() / (stem_ms_ * 1e-3) * 1e-9;
+}
+
+double Px2Model::effective_gmacs_branch() const {
+  return macs_.branch_macs() / (branch_ms_ * 1e-3) * 1e-9;
+}
+
+}  // namespace eco::energy

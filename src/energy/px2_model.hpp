@@ -1,0 +1,132 @@
+// Nvidia Drive PX2 platform model (§3.2, Eq. 6: E(φ,X) = P(φ,X) · t(φ,X)).
+//
+// The paper measures per-configuration latency and power on real PX2
+// hardware and uses the resulting E(φ) as an offline lookup inside the joint
+// optimization. Our substitution (DESIGN.md §2) is an analytical cost model:
+//
+//   * per-layer MAC counts of the ResNet-18 Faster R-CNN stems/branches are
+//     computed from the architecture (resnet18_macs());
+//   * module latencies are the MAC counts divided by an effective
+//     throughput, with per-module calibration factors chosen so that the
+//     composite pipeline latencies reproduce the paper's measured Table 1
+//     (21.57 ms single-camera, 21.85 ms lidar/radar, 31.36 ms early fusion,
+//     84.32 ms late fusion);
+//   * energy is latency x the measured 45.4 W average load power.
+//
+// Because E(φ) enters the optimization only as a per-configuration constant,
+// any monotone model with the paper's calibrated values yields the same
+// gating behaviour — which is what the reproduction needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eco::energy {
+
+/// One convolution layer's dimensions (for MAC accounting).
+struct ConvLayerSpec {
+  std::string name;
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t out_height = 0;
+  std::size_t out_width = 0;
+
+  /// Multiply-accumulate operations for this layer.
+  [[nodiscard]] double macs() const noexcept {
+    return static_cast<double>(in_channels) * out_channels * kernel * kernel *
+           out_height * out_width;
+  }
+};
+
+/// ResNet-18 layer table at the paper's input resolution (224x224), split
+/// after the first convolution block as the paper does: layers [0, stem_end)
+/// form the stem, the rest the branch backbone.
+struct ResNet18Macs {
+  std::vector<ConvLayerSpec> layers;
+  std::size_t stem_end = 0;  // index of first branch layer
+
+  [[nodiscard]] double stem_macs() const noexcept;
+  [[nodiscard]] double branch_macs() const noexcept;
+  [[nodiscard]] double total_macs() const noexcept;
+};
+
+/// Builds the ResNet-18 MAC table.
+[[nodiscard]] ResNet18Macs resnet18_macs();
+
+/// Gate model families, for latency/energy accounting (§5: gate energy is
+/// negligible, < 0.005 J, after TensorRT compilation — the model reflects
+/// that but still tracks it).
+enum class GateComplexity { kNone = 0, kKnowledge, kDeep, kAttention };
+
+/// One branch execution within a configuration.
+struct BranchRun {
+  /// Number of input grids fused at the input (1 = no early fusion).
+  std::size_t input_count = 1;
+  /// Number of inputs needing point-cloud/polar projection (lidar/radar).
+  std::size_t projected_inputs = 0;
+};
+
+/// Everything the hardware model needs to cost one inference pass.
+struct ExecutionProfile {
+  /// Stems executed this pass (EcoFusion always runs all four; static
+  /// baselines run only the stems of the sensors they consume).
+  std::size_t stems_run = 1;
+  /// Projections performed for stem inputs (lidar/radar consumed).
+  std::size_t stem_projections = 0;
+  GateComplexity gate = GateComplexity::kNone;
+  std::vector<BranchRun> branches;
+  /// Whether the late-fusion block runs (it does whenever >= 1 branch).
+  bool fusion_block = true;
+};
+
+/// The calibrated PX2 model.
+class Px2Model {
+ public:
+  Px2Model();
+
+  /// Latency of a full pass, in milliseconds.
+  [[nodiscard]] double latency_ms(const ExecutionProfile& profile) const;
+
+  /// Energy of a full pass, in Joules (Eq. 6: E = P * t).
+  [[nodiscard]] double energy_j(const ExecutionProfile& profile) const;
+
+  /// Average power under load, Watts (measured in the paper: 45.4 W).
+  [[nodiscard]] double load_power_w() const noexcept { return load_power_w_; }
+
+  // ----- calibrated module latencies (ms) -----
+  [[nodiscard]] double stem_latency_ms() const noexcept { return stem_ms_; }
+  [[nodiscard]] double branch_latency_ms() const noexcept { return branch_ms_; }
+  [[nodiscard]] double postprocess_latency_ms() const noexcept {
+    return postprocess_ms_;
+  }
+  [[nodiscard]] double projection_latency_ms() const noexcept {
+    return projection_ms_;
+  }
+  [[nodiscard]] double early_combine_latency_ms(std::size_t inputs) const noexcept;
+  [[nodiscard]] double fusion_block_latency_ms(std::size_t branches) const noexcept;
+  [[nodiscard]] double gate_latency_ms(GateComplexity gate) const noexcept;
+
+  /// Effective MAC throughput implied by the calibration (GMAC/s), for the
+  /// px2_latency ablation bench.
+  [[nodiscard]] double effective_gmacs_stem() const;
+  [[nodiscard]] double effective_gmacs_branch() const;
+
+  [[nodiscard]] const ResNet18Macs& macs() const noexcept { return macs_; }
+
+ private:
+  ResNet18Macs macs_;
+  double load_power_w_ = 45.4;
+  // Calibrated module latencies; see px2_model.cpp for derivation.
+  double stem_ms_ = 4.5;
+  double branch_ms_ = 16.2;
+  double postprocess_ms_ = 0.87;
+  double projection_ms_ = 0.28;
+  double combine_per_extra_input_ms_ = 0.17;
+  double fusion_base_ms_ = 0.30;
+  double fusion_per_branch_ms_ = 0.18;
+};
+
+}  // namespace eco::energy

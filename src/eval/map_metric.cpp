@@ -1,0 +1,131 @@
+#include "eval/map_metric.hpp"
+
+#include <algorithm>
+
+namespace eco::eval {
+
+namespace {
+
+/// A detection tagged with its frame, for cross-frame ranking.
+struct RankedDetection {
+  std::size_t frame = 0;
+  const detect::Detection* det = nullptr;
+};
+
+float ap_from_curve(std::vector<PrPoint>& curve, bool eleven_point) {
+  if (curve.empty()) return 0.0f;
+  // Make precision monotonically non-increasing from right to left.
+  for (std::size_t i = curve.size() - 1; i > 0; --i) {
+    curve[i - 1].precision =
+        std::max(curve[i - 1].precision, curve[i].precision);
+  }
+  if (eleven_point) {
+    float total = 0.0f;
+    for (int k = 0; k <= 10; ++k) {
+      const float r = static_cast<float>(k) / 10.0f;
+      float best = 0.0f;
+      for (const PrPoint& p : curve) {
+        if (p.recall >= r) {
+          best = p.precision;
+          break;  // precision already monotone; first point suffices
+        }
+      }
+      total += best;
+    }
+    return total / 11.0f;
+  }
+  // All-point: sum precision * recall step.
+  float ap = 0.0f;
+  float prev_recall = 0.0f;
+  for (const PrPoint& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+}  // namespace
+
+std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
+                                  const MapConfig& config) {
+  std::vector<ClassAp> result;
+  for (detect::ObjectClass cls : detect::all_object_classes()) {
+    ClassAp entry;
+    entry.cls = cls;
+
+    // Gather class ground truth counts and detections.
+    std::size_t gt_total = 0;
+    for (const FrameResult& frame : frames) {
+      for (const auto& gt : frame.ground_truth) {
+        if (gt.cls == cls) ++gt_total;
+      }
+    }
+    entry.ground_truth_count = gt_total;
+
+    std::vector<RankedDetection> ranked;
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      for (const auto& det : frames[f].detections) {
+        if (det.cls == cls) ranked.push_back({f, &det});
+      }
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedDetection& a, const RankedDetection& b) {
+                       return a.det->score > b.det->score;
+                     });
+
+    if (gt_total == 0) {
+      result.push_back(std::move(entry));
+      continue;
+    }
+
+    // Greedy matching in confidence order.
+    std::vector<std::vector<bool>> claimed(frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      claimed[f].assign(frames[f].ground_truth.size(), false);
+    }
+    std::size_t tp = 0, fp = 0;
+    entry.curve.reserve(ranked.size());
+    for (const RankedDetection& rd : ranked) {
+      const auto& gts = frames[rd.frame].ground_truth;
+      float best_iou = config.iou_threshold;
+      int best_gt = -1;
+      for (std::size_t g = 0; g < gts.size(); ++g) {
+        if (gts[g].cls != cls || claimed[rd.frame][g]) continue;
+        const float overlap = detect::iou(rd.det->box, gts[g].box);
+        if (overlap >= best_iou) {
+          best_iou = overlap;
+          best_gt = static_cast<int>(g);
+        }
+      }
+      if (best_gt >= 0) {
+        claimed[rd.frame][static_cast<std::size_t>(best_gt)] = true;
+        ++tp;
+      } else {
+        ++fp;
+      }
+      PrPoint point;
+      point.recall = static_cast<float>(tp) / static_cast<float>(gt_total);
+      point.precision =
+          static_cast<float>(tp) / static_cast<float>(tp + fp);
+      entry.curve.push_back(point);
+    }
+    entry.ap = ap_from_curve(entry.curve, config.eleven_point);
+    result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+float mean_average_precision(const std::vector<FrameResult>& frames,
+                             const MapConfig& config) {
+  const std::vector<ClassAp> aps = per_class_ap(frames, config);
+  float total = 0.0f;
+  std::size_t counted = 0;
+  for (const ClassAp& entry : aps) {
+    if (entry.ground_truth_count == 0) continue;
+    total += entry.ap;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<float>(counted) : 0.0f;
+}
+
+}  // namespace eco::eval

@@ -1,0 +1,50 @@
+// Mean average precision (mAP) at IoU >= 0.5, following the PASCAL VOC
+// protocol the paper uses (§5, reference [8]): per class, detections across
+// all frames are sorted by confidence, greedily matched to unclaimed ground
+// truth with IoU >= threshold, and AP is the area under the
+// precision-recall curve (all-point interpolation). mAP averages AP over
+// classes that appear in the ground truth.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace eco::eval {
+
+/// Detections + ground truth for one frame.
+struct FrameResult {
+  std::vector<detect::Detection> detections;
+  std::vector<detect::GroundTruth> ground_truth;
+};
+
+/// A point on the precision-recall curve.
+struct PrPoint {
+  float recall = 0.0f;
+  float precision = 0.0f;
+};
+
+/// AP computation output for one class.
+struct ClassAp {
+  detect::ObjectClass cls = detect::ObjectClass::kCar;
+  float ap = 0.0f;
+  std::size_t ground_truth_count = 0;
+  std::vector<PrPoint> curve;
+};
+
+/// mAP configuration.
+struct MapConfig {
+  float iou_threshold = 0.5f;
+  /// Use VOC-2007 11-point interpolation instead of all-point.
+  bool eleven_point = false;
+};
+
+/// Computes per-class AP over a set of frames.
+[[nodiscard]] std::vector<ClassAp> per_class_ap(
+    const std::vector<FrameResult>& frames, const MapConfig& config = {});
+
+/// Mean AP over classes with at least one ground-truth instance.
+[[nodiscard]] float mean_average_precision(
+    const std::vector<FrameResult>& frames, const MapConfig& config = {});
+
+}  // namespace eco::eval

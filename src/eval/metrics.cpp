@@ -1,0 +1,41 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+namespace eco::eval {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+float mean_of(const std::vector<float>& values) noexcept {
+  if (values.empty()) return 0.0f;
+  double total = 0.0;
+  for (float v : values) total += v;
+  return static_cast<float>(total / static_cast<double>(values.size()));
+}
+
+}  // namespace eco::eval

@@ -1,0 +1,33 @@
+// Aggregate statistics helpers used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eco::eval {
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& values) noexcept;
+[[nodiscard]] float mean_of(const std::vector<float>& values) noexcept;
+
+}  // namespace eco::eval

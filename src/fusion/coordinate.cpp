@@ -1,0 +1,36 @@
+#include "fusion/coordinate.hpp"
+
+namespace eco::fusion {
+
+detect::Box AffineTransform2d::apply(const detect::Box& box) const noexcept {
+  detect::Box out;
+  out.x1 = scale_x * box.x1 + offset_x;
+  out.y1 = scale_y * box.y1 + offset_y;
+  out.x2 = scale_x * box.x2 + offset_x;
+  out.y2 = scale_y * box.y2 + offset_y;
+  // Keep corners ordered if a negative scale flipped them.
+  if (out.x2 < out.x1) std::swap(out.x1, out.x2);
+  if (out.y2 < out.y1) std::swap(out.y1, out.y2);
+  return out;
+}
+
+AffineTransform2d AffineTransform2d::inverse() const noexcept {
+  AffineTransform2d inv;
+  inv.scale_x = scale_x != 0.0f ? 1.0f / scale_x : 0.0f;
+  inv.scale_y = scale_y != 0.0f ? 1.0f / scale_y : 0.0f;
+  inv.offset_x = -offset_x * inv.scale_x;
+  inv.offset_y = -offset_y * inv.scale_y;
+  return inv;
+}
+
+AffineTransform2d compose(const AffineTransform2d& a,
+                          const AffineTransform2d& b) noexcept {
+  AffineTransform2d out;
+  out.scale_x = a.scale_x * b.scale_x;
+  out.scale_y = a.scale_y * b.scale_y;
+  out.offset_x = a.scale_x * b.offset_x + a.offset_x;
+  out.offset_y = a.scale_y * b.offset_y + a.offset_y;
+  return out;
+}
+
+}  // namespace eco::fusion

@@ -1,0 +1,32 @@
+// Coordinate unification (§4.4): "detections from any number of branches are
+// first converted to a uniform coordinate system" before fusion. Each sensor
+// nominally shares the vehicle-centred grid, but real rigs have per-sensor
+// extrinsics; we model them as affine 2-D transforms so the fusion block can
+// exercise the same code path as the paper's system.
+#pragma once
+
+#include <array>
+
+#include "detect/box.hpp"
+
+namespace eco::fusion {
+
+/// 2-D affine transform: p' = scale * p + offset (per axis).
+struct AffineTransform2d {
+  float scale_x = 1.0f;
+  float scale_y = 1.0f;
+  float offset_x = 0.0f;
+  float offset_y = 0.0f;
+
+  [[nodiscard]] detect::Box apply(const detect::Box& box) const noexcept;
+  [[nodiscard]] AffineTransform2d inverse() const noexcept;
+
+  /// Identity transform.
+  [[nodiscard]] static AffineTransform2d identity() noexcept { return {}; }
+};
+
+/// Composition: (a ∘ b)(p) = a(b(p)).
+[[nodiscard]] AffineTransform2d compose(const AffineTransform2d& a,
+                                        const AffineTransform2d& b) noexcept;
+
+}  // namespace eco::fusion

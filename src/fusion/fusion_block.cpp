@@ -1,0 +1,49 @@
+#include "fusion/fusion_block.hpp"
+
+#include <stdexcept>
+
+#include "detect/nms.hpp"
+
+namespace eco::fusion {
+
+FusionBlock::FusionBlock(FusionBlockConfig config) : config_(config) {}
+
+std::vector<detect::Detection> FusionBlock::fuse(
+    const std::vector<DetectionList>& per_branch,
+    const std::vector<AffineTransform2d>& transforms) const {
+  if (!transforms.empty() && transforms.size() != per_branch.size()) {
+    throw std::invalid_argument("FusionBlock::fuse: transform arity mismatch");
+  }
+
+  // Unify coordinates.
+  std::vector<DetectionList> unified = per_branch;
+  if (!transforms.empty()) {
+    for (std::size_t b = 0; b < unified.size(); ++b) {
+      for (detect::Detection& d : unified[b]) {
+        d.box = transforms[b].apply(d.box);
+      }
+    }
+  }
+
+  std::vector<detect::Detection> fused;
+  switch (config_.algorithm) {
+    case FusionAlgorithm::kWeightedBoxFusion:
+      fused = weighted_boxes_fusion(unified, config_.wbf);
+      // WBF clusters per class; a residual class-agnostic NMS removes
+      // cross-class duplicates when branches disagree on the label.
+      fused = detect::nms(std::move(fused), 0.55f, /*class_aware=*/false);
+      break;
+    case FusionAlgorithm::kNmsMerge: {
+      DetectionList flat;
+      for (const auto& list : unified) {
+        flat.insert(flat.end(), list.begin(), list.end());
+      }
+      fused = detect::nms(std::move(flat), config_.nms_iou,
+                          /*class_aware=*/true);
+      break;
+    }
+  }
+  return detect::filter_by_score(std::move(fused), config_.min_score);
+}
+
+}  // namespace eco::fusion

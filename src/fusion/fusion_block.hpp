@@ -1,0 +1,46 @@
+// The late-fusion block (§4.4): converts branch detections to the common
+// coordinate frame and fuses them with weighted box fusion. Also provides a
+// plain NMS-merge alternative for the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+#include "fusion/coordinate.hpp"
+#include "fusion/wbf.hpp"
+
+namespace eco::fusion {
+
+/// Fusion algorithm selector (WBF per the paper; NMS for ablation).
+enum class FusionAlgorithm { kWeightedBoxFusion, kNmsMerge };
+
+/// Fusion block configuration.
+struct FusionBlockConfig {
+  FusionAlgorithm algorithm = FusionAlgorithm::kWeightedBoxFusion;
+  WbfConfig wbf;
+  /// IoU for the NMS-merge alternative.
+  float nms_iou = 0.50f;
+  /// Minimum fused score kept in the output.
+  float min_score = 0.12f;
+};
+
+/// Late-fusion block.
+class FusionBlock {
+ public:
+  explicit FusionBlock(FusionBlockConfig config = {});
+
+  /// Fuses per-branch detections. `transforms`, if non-empty, maps each
+  /// branch's coordinates into the common frame (arity must match).
+  [[nodiscard]] std::vector<detect::Detection> fuse(
+      const std::vector<DetectionList>& per_branch,
+      const std::vector<AffineTransform2d>& transforms = {}) const;
+
+  [[nodiscard]] const FusionBlockConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FusionBlockConfig config_;
+};
+
+}  // namespace eco::fusion

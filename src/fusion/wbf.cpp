@@ -1,0 +1,141 @@
+#include "fusion/wbf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eco::fusion {
+
+namespace {
+
+/// A growing cluster of overlapping same-class boxes.
+struct Cluster {
+  detect::Detection fused;          // running weighted average
+  std::vector<detect::Detection> members;
+
+  /// Recomputes the fused box/score from members (score-weighted average).
+  void refresh(std::size_t max_members) {
+    double total_w = 0.0, x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+    double score_sum = 0.0;
+    std::vector<double> class_acc;
+    const std::size_t limit =
+        max_members == 0 ? members.size()
+                         : std::min(members.size(), max_members);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const detect::Detection& m = members[i];
+      const double w = m.score;
+      total_w += w;
+      x1 += w * m.box.x1;
+      y1 += w * m.box.y1;
+      x2 += w * m.box.x2;
+      y2 += w * m.box.y2;
+      score_sum += m.score;
+      if (!m.class_scores.empty()) {
+        if (class_acc.size() < m.class_scores.size()) {
+          class_acc.resize(m.class_scores.size(), 0.0);
+        }
+        for (std::size_t c = 0; c < m.class_scores.size(); ++c) {
+          class_acc[c] += w * m.class_scores[c];
+        }
+      }
+    }
+    if (total_w <= 0.0) return;
+    fused.box.x1 = static_cast<float>(x1 / total_w);
+    fused.box.y1 = static_cast<float>(y1 / total_w);
+    fused.box.x2 = static_cast<float>(x2 / total_w);
+    fused.box.y2 = static_cast<float>(y2 / total_w);
+    fused.score =
+        static_cast<float>(score_sum / static_cast<double>(limit));
+    if (!class_acc.empty()) {
+      fused.class_scores.resize(class_acc.size());
+      double norm = 0.0;
+      for (double v : class_acc) norm += v;
+      for (std::size_t c = 0; c < class_acc.size(); ++c) {
+        fused.class_scores[c] =
+            norm > 0.0 ? static_cast<float>(class_acc[c] / norm) : 0.0f;
+      }
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < fused.class_scores.size(); ++c) {
+        if (fused.class_scores[c] > fused.class_scores[best]) best = c;
+      }
+      fused.cls = static_cast<detect::ObjectClass>(best);
+    } else {
+      fused.cls = members.front().cls;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<detect::Detection> weighted_boxes_fusion(
+    const std::vector<DetectionList>& per_model_detections,
+    const WbfConfig& config, const std::vector<float>& model_weights) {
+  if (!model_weights.empty() &&
+      model_weights.size() != per_model_detections.size()) {
+    throw std::invalid_argument(
+        "weighted_boxes_fusion: model_weights arity mismatch");
+  }
+
+  // Flatten, applying model weights and the skip threshold.
+  std::vector<detect::Detection> all;
+  for (std::size_t m = 0; m < per_model_detections.size(); ++m) {
+    const float w = model_weights.empty() ? 1.0f : model_weights[m];
+    for (detect::Detection d : per_model_detections[m]) {
+      d.score *= w;
+      if (d.score >= config.skip_box_threshold) all.push_back(std::move(d));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const detect::Detection& a, const detect::Detection& b) {
+                     return a.score > b.score;
+                   });
+
+  std::vector<Cluster> clusters;
+  for (detect::Detection& d : all) {
+    Cluster* target = nullptr;
+    float best_iou = config.iou_threshold;
+    for (Cluster& cluster : clusters) {
+      if (cluster.fused.cls != d.cls) continue;
+      const float overlap = detect::iou(cluster.fused.box, d.box);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        target = &cluster;
+      }
+    }
+    if (target == nullptr) {
+      Cluster cluster;
+      cluster.fused = d;
+      cluster.members.push_back(std::move(d));
+      clusters.push_back(std::move(cluster));
+    } else {
+      target->members.push_back(std::move(d));
+      target->refresh(config.max_cluster_size);
+    }
+  }
+
+  const auto model_count =
+      static_cast<float>(std::max<std::size_t>(1, per_model_detections.size()));
+  std::vector<detect::Detection> fused;
+  fused.reserve(clusters.size());
+  for (Cluster& cluster : clusters) {
+    cluster.refresh(config.max_cluster_size);
+    detect::Detection out = cluster.fused;
+    if (config.rescale_by_model_count && model_count > 1.0f) {
+      // Boxes confirmed by several models keep their score; lone boxes are
+      // attenuated (Solovyev et al., Eq. 5-6). Uncorrelated per-sensor
+      // clutter is suppressed hard; real objects seen by several branches
+      // survive — this is what makes late fusion robust.
+      const float agreement =
+          std::min(1.0f, static_cast<float>(cluster.members.size()) /
+                             model_count);
+      out.score *= std::max(0.28f, agreement);
+    }
+    fused.push_back(std::move(out));
+  }
+  std::stable_sort(fused.begin(), fused.end(),
+                   [](const detect::Detection& a, const detect::Detection& b) {
+                     return a.score > b.score;
+                   });
+  return fused;
+}
+
+}  // namespace eco::fusion

@@ -1,0 +1,38 @@
+// Weighted Boxes Fusion (Solovyev, Wang & Gabruseva, 2021 — reference [23]
+// of the paper). Unlike NMS, which discards overlapping boxes, WBF *merges*
+// them: overlapping predictions from different models form a cluster whose
+// fused box is the confidence-weighted average, and whose score is boosted
+// when several models agree. This is the fusion block's core (§4.4):
+// "reinforcing predictions with high confidence and overlap".
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace eco::fusion {
+
+/// WBF configuration.
+struct WbfConfig {
+  /// IoU above which two boxes of the same class join a cluster.
+  float iou_threshold = 0.50f;
+  /// Detections below this score are ignored entirely.
+  float skip_box_threshold = 0.05f;
+  /// Score rescaling: fused score *= min(1, cluster_size / expected_models)
+  /// when `rescale_by_model_count` is set (penalises one-model-only boxes).
+  bool rescale_by_model_count = true;
+  /// Cap on per-cluster member count used in averaging (0 = unlimited).
+  std::size_t max_cluster_size = 0;
+};
+
+/// One model's detection list (one branch = one "model" in WBF terms).
+using DetectionList = std::vector<detect::Detection>;
+
+/// Fuses detection lists from multiple models.
+/// `model_weights` (optional) scales each model's scores; empty = all 1.
+[[nodiscard]] std::vector<detect::Detection> weighted_boxes_fusion(
+    const std::vector<DetectionList>& per_model_detections,
+    const WbfConfig& config = {},
+    const std::vector<float>& model_weights = {});
+
+}  // namespace eco::fusion

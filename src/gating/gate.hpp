@@ -1,0 +1,54 @@
+// Context-aware gating model interface (§4.2).
+//
+// A gate (i) identifies the context from the stem features F, (ii) estimates
+// the fusion loss L_f(φ) of every configuration φ ∈ Φ for the current input,
+// and (iii) hands those estimates to the joint optimization, which selects
+// φ*. Four strategies are implemented, matching the paper:
+//   KnowledgeGate  — static per-context rules (external context source);
+//   DeepGate       — 3 conv + MLP loss regressor on F;
+//   AttentionGate  — DeepGate + spatial self-attention;
+//   LossBasedGate  — a-posteriori oracle (theoretical upper bound).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/scene.hpp"
+#include "energy/px2_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::gating {
+
+/// Everything a gate may consult. Learned gates use `features`; the
+/// knowledge gate uses `scene` (assumed to come from an external source such
+/// as weather + GPS, §4.2.1); the oracle uses `oracle_losses`.
+struct GateInput {
+  const tensor::Tensor* features = nullptr;           // F, (C,H,W)
+  dataset::SceneType scene = dataset::SceneType::kCity;
+  const std::vector<float>* oracle_losses = nullptr;  // ground-truth L_f(Φ)
+};
+
+/// Abstract gate.
+class Gate {
+ public:
+  virtual ~Gate() = default;
+
+  /// Predicted fusion loss per configuration (size = |Φ|).
+  [[nodiscard]] virtual std::vector<float> predict_losses(
+      const GateInput& input) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Complexity class for the PX2 latency/energy accounting.
+  [[nodiscard]] virtual energy::GateComplexity complexity() const = 0;
+
+  /// Whether the joint optimization is meaningful for this gate
+  /// (the knowledge gate pins one configuration; λ_E has no effect, §5.1).
+  [[nodiscard]] virtual bool tunable() const { return true; }
+
+  /// Whether predict_losses() requires GateInput::oracle_losses
+  /// (only the Loss-Based oracle does).
+  [[nodiscard]] virtual bool needs_oracle() const { return false; }
+};
+
+}  // namespace eco::gating

@@ -1,0 +1,25 @@
+#include "gating/knowledge_gate.hpp"
+
+#include <stdexcept>
+
+namespace eco::gating {
+
+KnowledgeGate::KnowledgeGate(KnowledgeTable table, std::size_t num_configs)
+    : table_(table), num_configs_(num_configs) {
+  for (std::size_t choice : table_) {
+    if (choice >= num_configs_) {
+      throw std::invalid_argument("KnowledgeGate: choice out of range");
+    }
+  }
+}
+
+std::vector<float> KnowledgeGate::predict_losses(const GateInput& input) {
+  // The statically chosen configuration gets loss 0; everything else a large
+  // pseudo-loss, so the joint optimization always selects the table entry
+  // regardless of λ_E (the gate is deliberately not tunable).
+  std::vector<float> losses(num_configs_, 1e6f);
+  losses[choice_for(input.scene)] = 0.0f;
+  return losses;
+}
+
+}  // namespace eco::gating

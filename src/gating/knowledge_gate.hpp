@@ -1,0 +1,38 @@
+// Knowledge Gating (§4.2.1): domain knowledge statically maps each driving
+// context to the best sensor configuration. Context is assumed to come from
+// an external source (weather service, GPS, clock); the set of contexts is
+// finite. Not tunable by λ_E — the encoded table must be edited by hand.
+#pragma once
+
+#include <array>
+
+#include "gating/gate.hpp"
+
+namespace eco::gating {
+
+/// Per-scene configuration choice (index into Φ).
+using KnowledgeTable =
+    std::array<std::size_t, dataset::kNumSceneTypes>;
+
+class KnowledgeGate final : public Gate {
+ public:
+  /// `table[scene]` = configuration index chosen for that context.
+  KnowledgeGate(KnowledgeTable table, std::size_t num_configs);
+
+  std::vector<float> predict_losses(const GateInput& input) override;
+  [[nodiscard]] std::string name() const override { return "Knowledge"; }
+  [[nodiscard]] energy::GateComplexity complexity() const override {
+    return energy::GateComplexity::kKnowledge;
+  }
+  [[nodiscard]] bool tunable() const override { return false; }
+
+  [[nodiscard]] std::size_t choice_for(dataset::SceneType scene) const {
+    return table_[static_cast<std::size_t>(scene)];
+  }
+
+ private:
+  KnowledgeTable table_{};
+  std::size_t num_configs_;
+};
+
+}  // namespace eco::gating

@@ -1,0 +1,83 @@
+#include "gating/learned_gate.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace eco::gating {
+
+LearnedGate::LearnedGate(LearnedGateConfig config) : config_(config) {
+  util::Rng rng(config_.seed);
+  network_ = std::make_unique<tensor::Sequential>();
+
+  auto conv = [&](std::size_t cin, std::size_t cout, std::size_t stride) {
+    tensor::Conv2dSpec spec;
+    spec.in_channels = cin;
+    spec.out_channels = cout;
+    spec.kernel = 3;
+    spec.stride = stride;
+    spec.padding = 1;
+    network_->emplace<tensor::Conv2d>(spec, rng);
+    network_->emplace<tensor::ReLU>();
+  };
+
+  // Three CNN layers (stride-2 each): 24x24 -> 12 -> 6 -> 3.
+  conv(config_.in_channels, config_.hidden_channels, 2);
+  conv(config_.hidden_channels, config_.hidden_channels, 2);
+  if (config_.use_attention) {
+    // Self-attention at 6x6 resolution (36 tokens) — the one architectural
+    // difference between Attention and Deep gating.
+    network_->emplace<tensor::SelfAttention2d>(config_.hidden_channels,
+                                               config_.attn_dim, rng);
+  }
+  conv(config_.hidden_channels, config_.hidden_channels, 2);
+
+  // Global average pooling: context identification depends on channel
+  // statistics (noise floors, edge densities per sensor), not on where in
+  // the frame they occur; GAP removes the spatial nuisance dimension.
+  network_->emplace<tensor::GlobalAvgPool>();
+  network_->emplace<tensor::Linear>(config_.hidden_channels,
+                                    config_.mlp_hidden, rng);
+  network_->emplace<tensor::ReLU>();
+  network_->emplace<tensor::Linear>(config_.mlp_hidden, config_.num_configs,
+                                    rng);
+}
+
+tensor::Tensor LearnedGate::forward(const tensor::Tensor& features) {
+  if (features.dim() != 3 || features.size(0) != config_.in_channels) {
+    throw std::invalid_argument("LearnedGate: unexpected feature shape " +
+                                tensor::shape_to_string(features.shape()));
+  }
+  return network_->forward(features);
+}
+
+std::vector<float> LearnedGate::predict_losses(const GateInput& input) {
+  if (input.features == nullptr) {
+    throw std::invalid_argument("LearnedGate: features required");
+  }
+  const tensor::Tensor out = forward(*input.features);
+  return out.vec();
+}
+
+float LearnedGate::training_step(const tensor::Tensor& features,
+                                 const std::vector<float>& target_losses) {
+  if (target_losses.size() != config_.num_configs) {
+    throw std::invalid_argument("LearnedGate: target arity mismatch");
+  }
+  const tensor::Tensor prediction = forward(features);
+  const tensor::Tensor target =
+      tensor::Tensor::from_vector(std::vector<float>(target_losses));
+  tensor::Tensor grad;
+  const float loss = tensor::smooth_l1(prediction, target, &grad);
+  (void)network_->backward(grad);
+  return loss;
+}
+
+std::vector<tensor::Param*> LearnedGate::parameters() {
+  std::vector<tensor::Param*> params;
+  network_->collect_params(params);
+  return params;
+}
+
+}  // namespace eco::gating

@@ -1,0 +1,66 @@
+// Deep Gating and Attention Gating (§4.2.2-4.2.3).
+//
+// Deep: three CNN layers + one MLP layer regressing the per-configuration
+// fusion losses from the concatenated stem features F.
+// Attention: identical, plus a spatial self-attention layer so the gate can
+// weight important regions of the feature map.
+#pragma once
+
+#include <memory>
+
+#include "gating/gate.hpp"
+#include "tensor/nn.hpp"
+#include "tensor/optim.hpp"
+
+namespace eco::gating {
+
+/// Architecture parameters of the learned gates.
+struct LearnedGateConfig {
+  std::size_t in_channels = 32;   // channels of F
+  std::size_t in_height = 24;
+  std::size_t in_width = 24;
+  std::size_t hidden_channels = 24;
+  std::size_t attn_dim = 12;       // Q/K/V width of the attention layer
+  std::size_t mlp_hidden = 96;
+  std::size_t num_configs = 15;   // |Φ|
+  bool use_attention = false;
+  std::uint64_t seed = 0x6A7Eull;
+};
+
+/// A trainable loss-predicting gate (Deep or Attention flavour).
+class LearnedGate final : public Gate {
+ public:
+  explicit LearnedGate(LearnedGateConfig config);
+
+  std::vector<float> predict_losses(const GateInput& input) override;
+  [[nodiscard]] std::string name() const override {
+    return config_.use_attention ? "Attention" : "Deep";
+  }
+  [[nodiscard]] energy::GateComplexity complexity() const override {
+    return config_.use_attention ? energy::GateComplexity::kAttention
+                                 : energy::GateComplexity::kDeep;
+  }
+
+  /// Forward pass returning the raw prediction tensor (num_configs).
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& features);
+
+  /// One supervised step against target losses; returns the training loss.
+  /// (Smooth-L1 regression; gradients accumulate into the gate parameters —
+  /// callers drive the optimiser.)
+  [[nodiscard]] float
+  training_step(const tensor::Tensor& features,
+                const std::vector<float>& target_losses);
+
+  /// Parameters for optimisers / checkpointing.
+  [[nodiscard]] std::vector<tensor::Param*> parameters();
+
+  [[nodiscard]] const LearnedGateConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  LearnedGateConfig config_;
+  std::unique_ptr<tensor::Sequential> network_;
+};
+
+}  // namespace eco::gating

@@ -1,0 +1,17 @@
+#include "gating/loss_gate.hpp"
+
+#include <stdexcept>
+
+namespace eco::gating {
+
+std::vector<float> LossBasedGate::predict_losses(const GateInput& input) {
+  if (input.oracle_losses == nullptr) {
+    throw std::invalid_argument("LossBasedGate: oracle losses required");
+  }
+  if (input.oracle_losses->size() != num_configs_) {
+    throw std::invalid_argument("LossBasedGate: oracle arity mismatch");
+  }
+  return *input.oracle_losses;
+}
+
+}  // namespace eco::gating

@@ -1,0 +1,28 @@
+// Loss-Based Gating (§4.2.4): the a-posteriori oracle. It "predicts" each
+// configuration's loss perfectly by reading the ground-truth losses computed
+// after the fact. Not deployable — it exists as the theoretical best case a
+// learned gate could reach.
+#pragma once
+
+#include "gating/gate.hpp"
+
+namespace eco::gating {
+
+class LossBasedGate final : public Gate {
+ public:
+  explicit LossBasedGate(std::size_t num_configs) : num_configs_(num_configs) {}
+
+  std::vector<float> predict_losses(const GateInput& input) override;
+  [[nodiscard]] std::string name() const override { return "Loss-Based"; }
+  [[nodiscard]] energy::GateComplexity complexity() const override {
+    // Costed like the deep gate; its real-world cost is undefined since it
+    // cannot exist outside of evaluation.
+    return energy::GateComplexity::kDeep;
+  }
+  [[nodiscard]] bool needs_oracle() const override { return true; }
+
+ private:
+  std::size_t num_configs_;
+};
+
+}  // namespace eco::gating

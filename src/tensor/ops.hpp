@@ -1,0 +1,84 @@
+// Neural-network primitive operations on CHW tensors (single sample; the
+// training loops in this project are stochastic with batch size 1, which is
+// sufficient for the small gate networks and keeps the substrate simple).
+//
+// Every forward op has a matching backward that maps the gradient of the loss
+// w.r.t. the output back to gradients w.r.t. inputs and parameters; the nn
+// layer classes in nn.hpp wire these together.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace eco::tensor {
+
+/// Parameters of a 2-D convolution.
+struct Conv2dSpec {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+
+  [[nodiscard]] std::size_t out_extent(std::size_t in_extent) const noexcept {
+    return (in_extent + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// conv2d forward. input: (C_in, H, W); weight: (C_out, C_in, K, K);
+/// bias: (C_out). Returns (C_out, H_out, W_out).
+[[nodiscard]] Tensor conv2d(const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, const Conv2dSpec& spec);
+
+/// conv2d backward. Given d(loss)/d(output), fills gradients (accumulating
+/// into grad_weight / grad_bias) and returns d(loss)/d(input).
+[[nodiscard]] Tensor conv2d_backward(const Tensor& input, const Tensor& weight,
+                                     const Tensor& grad_output,
+                                     const Conv2dSpec& spec,
+                                     Tensor& grad_weight, Tensor& grad_bias);
+
+/// ReLU forward.
+[[nodiscard]] Tensor relu(const Tensor& input);
+/// ReLU backward: passes gradient where the *input* was positive.
+[[nodiscard]] Tensor relu_backward(const Tensor& input,
+                                   const Tensor& grad_output);
+
+/// 2x2 max pooling with stride 2 (floor semantics). input: CHW.
+[[nodiscard]] Tensor maxpool2x2(const Tensor& input);
+[[nodiscard]] Tensor maxpool2x2_backward(const Tensor& input,
+                                         const Tensor& grad_output);
+
+/// Global average pooling: (C,H,W) -> (C).
+[[nodiscard]] Tensor global_avg_pool(const Tensor& input);
+[[nodiscard]] Tensor global_avg_pool_backward(const Shape& input_shape,
+                                              const Tensor& grad_output);
+
+/// Numerically stable softmax over a 1-D tensor.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Sigmoid, elementwise.
+[[nodiscard]] Tensor sigmoid(const Tensor& input);
+
+/// Cross-entropy loss of 1-D logits against an integer target class.
+/// Returns loss; if grad is non-null, writes d(loss)/d(logits) into it.
+[[nodiscard]] float cross_entropy(const Tensor& logits, std::size_t target,
+                                  Tensor* grad = nullptr);
+
+/// Smooth-L1 (Huber, beta = 1) between prediction and target 1-D tensors,
+/// averaged over elements; optionally writes d(loss)/d(pred).
+[[nodiscard]] float smooth_l1(const Tensor& pred, const Tensor& target,
+                              Tensor* grad = nullptr);
+
+/// Mean squared error, averaged over elements; optional gradient.
+[[nodiscard]] float mse(const Tensor& pred, const Tensor& target,
+                        Tensor* grad = nullptr);
+
+/// Linear layer forward: y = W·x + b. x: (in), W: (out, in), b: (out).
+[[nodiscard]] Tensor linear(const Tensor& input, const Tensor& weight,
+                            const Tensor& bias);
+
+/// Linear backward; accumulates into grad_weight / grad_bias, returns dx.
+[[nodiscard]] Tensor linear_backward(const Tensor& input, const Tensor& weight,
+                                     const Tensor& grad_output,
+                                     Tensor& grad_weight, Tensor& grad_bias);
+
+}  // namespace eco::tensor

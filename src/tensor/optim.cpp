@@ -1,0 +1,68 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+
+namespace eco::tensor {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void Optimizer::clip_grad_norm(float max_norm) {
+  double total = 0.0;
+  for (const Param* p : params_) total += p->grad.sum_squares();
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Param* p : params_) p->grad *= scale;
+}
+
+Sgd::Sgd(std::vector<Param*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j] + options_.weight_decay * p.value[j];
+      if (options_.momentum != 0.0f) {
+        vel[j] = options_.momentum * vel[j] + g;
+        g = vel[j];
+      }
+      p.value[j] -= options_.lr * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + options_.weight_decay * p.value[j];
+      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * g;
+      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m_[i][j] / bc1;
+      const float v_hat = v_[i][j] / bc2;
+      p.value[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace eco::tensor

@@ -1,0 +1,23 @@
+// Binary weight (de)serialisation so trained gates can be checkpointed and
+// reloaded by the examples without retraining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/nn.hpp"
+
+namespace eco::tensor {
+
+/// Writes all parameters (shape + data) to a binary file.
+/// Format: magic "ECOW", u32 version, u64 count, then per-parameter:
+/// u64 name_len, name bytes, u64 ndim, dims..., float32 data.
+[[nodiscard]] bool save_params(const std::vector<Param*>& params,
+                               const std::string& path);
+
+/// Loads parameters into an existing module structure; shapes must match.
+/// Returns false on I/O error, magic/version mismatch, or shape mismatch.
+[[nodiscard]] bool load_params(const std::vector<Param*>& params,
+                               const std::string& path);
+
+}  // namespace eco::tensor

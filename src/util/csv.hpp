@@ -1,0 +1,34 @@
+// Minimal CSV writer: experiment harnesses dump per-frame and per-config
+// results to CSV so downstream plotting (outside this repo) can consume them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eco::util {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serialises header + rows.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace eco::util

@@ -1,0 +1,52 @@
+// Lightweight leveled logging. The library itself logs nothing by default;
+// examples and benches raise the level to INFO for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eco::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[LEVEL] message" if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return detail::LogLine(LogLevel::kInfo);
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return detail::LogLine(LogLevel::kWarn);
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::kError);
+}
+
+}  // namespace eco::util

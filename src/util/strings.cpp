@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace eco::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace eco::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace eco::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size() && "row arity must match header");
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule() << line(header_) << rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << rule();
+    } else {
+      out << line(row);
+    }
+  }
+  out << rule();
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace eco::util

@@ -1,0 +1,43 @@
+// Console table renderer used by the benchmark harnesses to print rows in the
+// same layout as the paper's tables (Table 1, Table 2, Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eco::util {
+
+/// A simple left-aligned text table with a header row and box-drawing rules.
+///
+/// Usage:
+///   Table t({"Fusion", "mAP (%)", "Energy (J)"});
+///   t.add_row({"Early", "80.26", "1.379"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one body row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Renders the table as a multi-line string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Formats a value as a percentage string, e.g. 0.8432 -> "84.32%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace eco::util

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "detect/anchors.hpp"
+#include "detect/nms.hpp"
+
+namespace eco::detect {
+namespace {
+
+TEST(AnchorsTest, CoversGridAtStride) {
+  AnchorConfig config;
+  config.stride = 4;
+  config.shapes = {{2.0f, 2.0f}};
+  const auto anchors = generate_anchors(16, 16, config);
+  EXPECT_EQ(anchors.size(), 16u);  // 4x4 centres, 1 shape
+  for (const Box& a : anchors) {
+    EXPECT_TRUE(a.valid());
+    EXPECT_GE(a.x1, 0.0f);
+    EXPECT_LE(a.x2, 16.0f);
+  }
+}
+
+TEST(AnchorsTest, MultipleShapesPerCentre) {
+  AnchorConfig config;
+  config.stride = 8;
+  config.shapes = {{2.0f, 2.0f}, {4.0f, 3.0f}, {6.0f, 4.0f}};
+  const auto anchors = generate_anchors(16, 16, config);
+  EXPECT_EQ(anchors.size(), 4u * 3u);
+}
+
+TEST(AnchorsTest, ClipsOversizedShapes) {
+  AnchorConfig config;
+  config.stride = 8;
+  config.shapes = {{100.0f, 100.0f}};
+  const auto anchors = generate_anchors(16, 16, config);
+  for (const Box& a : anchors) {
+    EXPECT_GE(a.x1, 0.0f);
+    EXPECT_LE(a.x2, 16.0f);
+    EXPECT_GE(a.y1, 0.0f);
+    EXPECT_LE(a.y2, 16.0f);
+  }
+}
+
+TEST(AnchorsTest, DefaultShapesCoverClassExtents) {
+  const auto shapes = AnchorConfig::default_shapes();
+  EXPECT_GE(shapes.size(), 7u);
+  // Smallest anchor is pedestrian-sized, largest is bus-sized.
+  float min_area = 1e9f, max_area = 0.0f;
+  for (const auto& s : shapes) {
+    min_area = std::min(min_area, s.width * s.height);
+    max_area = std::max(max_area, s.width * s.height);
+  }
+  EXPECT_LT(min_area, 8.0f);
+  EXPECT_GT(max_area, 60.0f);
+}
+
+Detection make_det(Box box, float score,
+                   ObjectClass cls = ObjectClass::kCar) {
+  Detection d;
+  d.box = box;
+  d.score = score;
+  d.cls = cls;
+  return d;
+}
+
+TEST(NmsTest, KeepsHighestScoringOfOverlappingPair) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, 0.9f),
+      make_det({0.5f, 0.5f, 4.5f, 4.5f}, 0.8f),
+  };
+  const auto kept = nms(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+}
+
+TEST(NmsTest, KeepsDisjointDetections) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, 0.9f),
+      make_det({10, 10, 14, 14}, 0.5f),
+  };
+  EXPECT_EQ(nms(dets, 0.5f).size(), 2u);
+}
+
+TEST(NmsTest, ClassAwareKeepsDifferentClasses) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, 0.9f, ObjectClass::kCar),
+      make_det({0, 0, 4, 4}, 0.8f, ObjectClass::kVan),
+  };
+  EXPECT_EQ(nms(dets, 0.5f, /*class_aware=*/true).size(), 2u);
+  EXPECT_EQ(nms(dets, 0.5f, /*class_aware=*/false).size(), 1u);
+}
+
+TEST(NmsTest, ThresholdControlsSuppression) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, 0.9f),
+      make_det({1, 0, 5, 4}, 0.8f),  // IoU = 12/20 = 0.6
+  };
+  EXPECT_EQ(nms(dets, 0.5f).size(), 1u);   // 0.6 > 0.5 -> suppressed
+  EXPECT_EQ(nms(dets, 0.7f).size(), 2u);   // 0.6 < 0.7 -> kept
+}
+
+TEST(NmsTest, OutputSortedByScore) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 2, 2}, 0.3f),
+      make_det({10, 0, 12, 2}, 0.9f),
+      make_det({20, 0, 22, 2}, 0.6f),
+  };
+  const auto kept = nms(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].score, kept[1].score);
+  EXPECT_GE(kept[1].score, kept[2].score);
+}
+
+TEST(FilterTest, DropsBelowThreshold) {
+  std::vector<Detection> dets = {make_det({0, 0, 1, 1}, 0.2f),
+                                 make_det({0, 0, 1, 1}, 0.6f)};
+  const auto kept = filter_by_score(dets, 0.5f);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.6f);
+}
+
+TEST(TopKTest, KeepsHighestK) {
+  std::vector<Detection> dets = {
+      make_det({0, 0, 1, 1}, 0.1f), make_det({0, 0, 1, 1}, 0.9f),
+      make_det({0, 0, 1, 1}, 0.5f), make_det({0, 0, 1, 1}, 0.7f)};
+  const auto kept = keep_top_k(dets, 2);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].score, 0.7f);
+}
+
+TEST(TopKTest, NoOpWhenFewer) {
+  std::vector<Detection> dets = {make_det({0, 0, 1, 1}, 0.1f)};
+  EXPECT_EQ(keep_top_k(dets, 5).size(), 1u);
+}
+
+}  // namespace
+}  // namespace eco::detect

@@ -1,0 +1,91 @@
+#include "detect/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eco::detect {
+namespace {
+
+TEST(BoxTest, GeometryAccessors) {
+  const Box b{1.0f, 2.0f, 4.0f, 6.0f};
+  EXPECT_FLOAT_EQ(b.width(), 3.0f);
+  EXPECT_FLOAT_EQ(b.height(), 4.0f);
+  EXPECT_FLOAT_EQ(b.area(), 12.0f);
+  EXPECT_FLOAT_EQ(b.cx(), 2.5f);
+  EXPECT_FLOAT_EQ(b.cy(), 4.0f);
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(BoxTest, DegenerateBoxHasZeroArea) {
+  const Box b{3.0f, 3.0f, 3.0f, 5.0f};
+  EXPECT_FLOAT_EQ(b.area(), 0.0f);
+  EXPECT_FALSE(b.valid());
+  const Box inverted{5.0f, 5.0f, 1.0f, 1.0f};
+  EXPECT_FLOAT_EQ(inverted.area(), 0.0f);
+}
+
+TEST(BoxTest, ClippedRespectsBounds) {
+  const Box b{-2.0f, -3.0f, 10.0f, 12.0f};
+  const Box c = b.clipped(8.0f, 9.0f);
+  EXPECT_FLOAT_EQ(c.x1, 0.0f);
+  EXPECT_FLOAT_EQ(c.y1, 0.0f);
+  EXPECT_FLOAT_EQ(c.x2, 8.0f);
+  EXPECT_FLOAT_EQ(c.y2, 9.0f);
+}
+
+TEST(IouTest, IdenticalBoxesHaveIouOne) {
+  const Box b{1, 1, 5, 4};
+  EXPECT_FLOAT_EQ(iou(b, b), 1.0f);
+}
+
+TEST(IouTest, DisjointBoxesHaveIouZero) {
+  EXPECT_FLOAT_EQ(iou(Box{0, 0, 2, 2}, Box{3, 3, 5, 5}), 0.0f);
+  // Touching edges count as zero intersection.
+  EXPECT_FLOAT_EQ(iou(Box{0, 0, 2, 2}, Box{2, 0, 4, 2}), 0.0f);
+}
+
+TEST(IouTest, KnownOverlap) {
+  // 2x2 and 2x2 overlapping in a 1x1 region: IoU = 1 / (4+4-1).
+  EXPECT_NEAR(iou(Box{0, 0, 2, 2}, Box{1, 1, 3, 3}), 1.0f / 7.0f, 1e-6f);
+}
+
+TEST(IouTest, ContainedBox) {
+  // 1x1 inside 4x4: IoU = 1/16.
+  EXPECT_NEAR(iou(Box{0, 0, 4, 4}, Box{1, 1, 2, 2}), 1.0f / 16.0f, 1e-6f);
+}
+
+TEST(IntersectionAreaTest, MatchesManual) {
+  EXPECT_FLOAT_EQ(intersection_area(Box{0, 0, 4, 4}, Box{2, 1, 6, 3}), 4.0f);
+  EXPECT_FLOAT_EQ(intersection_area(Box{0, 0, 1, 1}, Box{5, 5, 6, 6}), 0.0f);
+}
+
+// Property tests over random boxes.
+class IouPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IouPropertySweep, SymmetricBoundedAndConsistent) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    auto random_box = [&] {
+      Box b;
+      b.x1 = rng.uniform_f(0.0f, 40.0f);
+      b.y1 = rng.uniform_f(0.0f, 40.0f);
+      b.x2 = b.x1 + rng.uniform_f(0.5f, 12.0f);
+      b.y2 = b.y1 + rng.uniform_f(0.5f, 12.0f);
+      return b;
+    };
+    const Box a = random_box(), b = random_box();
+    const float ab = iou(a, b);
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_LE(ab, 1.0f);
+    EXPECT_FLOAT_EQ(ab, iou(b, a));                       // symmetry
+    EXPECT_FLOAT_EQ(iou(a, a), 1.0f);                     // reflexivity
+    EXPECT_LE(intersection_area(a, b), std::min(a.area(), b.area()) + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouPropertySweep,
+                         ::testing::Values(3ull, 31ull, 314ull));
+
+}  // namespace
+}  // namespace eco::detect

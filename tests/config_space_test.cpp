@@ -1,0 +1,133 @@
+#include "core/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eco::core {
+namespace {
+
+TEST(BranchTest, InputsMatchArchitecture) {
+  EXPECT_EQ(branch_inputs(BranchId::kCameraLeft).size(), 1u);
+  EXPECT_EQ(branch_inputs(BranchId::kEarlyCameras).size(), 2u);
+  EXPECT_EQ(branch_inputs(BranchId::kEarlyCamerasLidar).size(), 3u);
+  EXPECT_EQ(branch_inputs(BranchId::kEarlyLidarRadar).size(), 2u);
+  EXPECT_STREQ(branch_name(BranchId::kEarlyCamerasLidar), "E(CL+CR+L)");
+}
+
+TEST(ConfigSpaceTest, FifteenConfigurationsWithUniqueNames) {
+  const auto space = build_config_space();
+  EXPECT_EQ(space.size(), 15u);
+  std::set<std::string> names;
+  for (const auto& config : space) {
+    EXPECT_FALSE(config.branches.empty());
+    names.insert(config.name);
+    EXPECT_EQ(config.index, static_cast<std::size_t>(&config - space.data()));
+  }
+  EXPECT_EQ(names.size(), space.size());
+}
+
+TEST(ConfigSpaceTest, BaselineIndicesResolve) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  EXPECT_EQ(space[idx.camera_left].name, "CL");
+  EXPECT_EQ(space[idx.camera_right].name, "CR");
+  EXPECT_EQ(space[idx.lidar].name, "L");
+  EXPECT_EQ(space[idx.radar].name, "R");
+  EXPECT_EQ(space[idx.early].name, "E(CL+CR+L)");
+  EXPECT_EQ(space[idx.late].name, "CL+CR+L+R");
+  EXPECT_EQ(space[idx.late].branches.size(), 4u);
+}
+
+TEST(ConfigSpaceTest, SensorsUsedDeduplicates) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  // Late fusion uses all four logical sensors.
+  EXPECT_EQ(space[idx.late].sensors_used().size(), 4u);
+  // E(CL+CR+L)+R hybrid also covers all four, without duplication.
+  for (const auto& config : space) {
+    const auto sensors = config.sensors_used();
+    std::set<dataset::SensorKind> unique(sensors.begin(), sensors.end());
+    EXPECT_EQ(unique.size(), sensors.size()) << config.name;
+  }
+}
+
+TEST(ConfigSpaceTest, SensorUsageMapsToPhysicalSensors) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  const auto cam_usage = space[idx.camera_left].sensor_usage();
+  EXPECT_TRUE(cam_usage.zed_camera);
+  EXPECT_FALSE(cam_usage.lidar);
+  EXPECT_FALSE(cam_usage.radar);
+  const auto late_usage = space[idx.late].sensor_usage();
+  EXPECT_TRUE(late_usage.zed_camera);
+  EXPECT_TRUE(late_usage.lidar);
+  EXPECT_TRUE(late_usage.radar);
+}
+
+TEST(ExecutionProfileTest, StaticAccountingCountsUsedStems) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  const auto profile = space[idx.camera_left].execution_profile(
+      /*adaptive=*/false, energy::GateComplexity::kNone);
+  EXPECT_EQ(profile.stems_run, 1u);
+  EXPECT_EQ(profile.stem_projections, 0u);
+  EXPECT_EQ(profile.branches.size(), 1u);
+}
+
+TEST(ExecutionProfileTest, AdaptiveAccountingRunsAllStems) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  const auto profile = space[idx.camera_left].execution_profile(
+      /*adaptive=*/true, energy::GateComplexity::kAttention);
+  EXPECT_EQ(profile.stems_run, dataset::kNumSensors);
+  EXPECT_EQ(profile.stem_projections, 2u);  // lidar + radar always projected
+  EXPECT_EQ(profile.gate, energy::GateComplexity::kAttention);
+}
+
+TEST(ExecutionProfileTest, ProjectionsCountNonCameraInputs) {
+  const auto space = build_config_space();
+  const BaselineIndices idx = baseline_indices(space);
+  const auto profile = space[idx.late].execution_profile(
+      /*adaptive=*/false, energy::GateComplexity::kNone);
+  EXPECT_EQ(profile.stems_run, 4u);
+  EXPECT_EQ(profile.stem_projections, 2u);
+  ASSERT_EQ(profile.branches.size(), 4u);
+  // Lidar and radar single-sensor branch runs carry a projected input.
+  std::size_t projected = 0;
+  for (const auto& run : profile.branches) projected += run.projected_inputs;
+  EXPECT_EQ(projected, 2u);
+}
+
+TEST(ConfigSpaceTest, FullEnsembleIsLargest) {
+  const auto space = build_config_space();
+  std::size_t max_branches = 0;
+  for (const auto& config : space) {
+    max_branches = std::max(max_branches, config.branches.size());
+  }
+  EXPECT_EQ(max_branches, 5u);  // E(CL+CR+L)+CL+CR+L+R
+}
+
+TEST(ConfigSpaceTest, SpansNoneEarlyLateHybrid) {
+  const auto space = build_config_space();
+  bool has_single = false, has_early_only = false, has_late = false,
+       has_hybrid = false;
+  for (const auto& config : space) {
+    const bool any_early =
+        std::any_of(config.branches.begin(), config.branches.end(),
+                    [](BranchId b) {
+                      return branch_inputs(b).size() > 1;
+                    });
+    if (config.branches.size() == 1 && !any_early) has_single = true;
+    if (config.branches.size() == 1 && any_early) has_early_only = true;
+    if (config.branches.size() > 1 && !any_early) has_late = true;
+    if (config.branches.size() > 1 && any_early) has_hybrid = true;
+  }
+  EXPECT_TRUE(has_single);
+  EXPECT_TRUE(has_early_only);
+  EXPECT_TRUE(has_late);
+  EXPECT_TRUE(has_hybrid);
+}
+
+}  // namespace
+}  // namespace eco::core

@@ -1,0 +1,157 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gating/loss_gate.hpp"
+
+namespace eco::core {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static const EcoFusionEngine& engine() {
+    static EcoFusionEngine instance;
+    return instance;
+  }
+  static const dataset::Frame& frame() {
+    static dataset::Frame f = [] {
+      dataset::DatasetConfig config;
+      return dataset::generate_frame(dataset::SceneType::kCity, config, 21);
+    }();
+    return f;
+  }
+};
+
+TEST_F(EngineTest, ConfigSpaceAndBaselines) {
+  EXPECT_EQ(engine().config_space().size(), 15u);
+  EXPECT_EQ(engine().config_space()[engine().baselines().late].name,
+            "CL+CR+L+R");
+}
+
+TEST_F(EngineTest, AdaptiveEnergyTableMonotoneInGateComplexity) {
+  const auto& deep = engine().adaptive_energy_table(
+      energy::GateComplexity::kDeep);
+  const auto& attention = engine().adaptive_energy_table(
+      energy::GateComplexity::kAttention);
+  ASSERT_EQ(deep.size(), 15u);
+  for (std::size_t i = 0; i < deep.size(); ++i) {
+    EXPECT_GT(deep[i], 0.0f);
+    EXPECT_GE(attention[i], deep[i]);  // attention gate costs slightly more
+  }
+}
+
+TEST_F(EngineTest, StaticEnergyOrderingNoneEarlyLate) {
+  const auto& b = engine().baselines();
+  EXPECT_LT(engine().static_energy_j(b.camera_left),
+            engine().static_energy_j(b.early));
+  EXPECT_LT(engine().static_energy_j(b.early),
+            engine().static_energy_j(b.late));
+  // Late fusion is roughly 3x early (paper Figure 1 / Table 1).
+  EXPECT_GT(engine().static_energy_j(b.late),
+            2.0 * engine().static_energy_j(b.early));
+}
+
+TEST_F(EngineTest, RunStaticProducesConsistentResult) {
+  const RunResult result =
+      engine().run_static(frame(), engine().baselines().late);
+  EXPECT_EQ(result.config_index, engine().baselines().late);
+  EXPECT_GT(result.latency_ms, 0.0);
+  EXPECT_NEAR(result.energy_j, 45.4 * result.latency_ms * 1e-3, 1e-6);
+  EXPECT_FALSE(result.detections.empty());  // city frame has objects
+  EXPECT_GE(result.loss.total(), 0.0f);
+}
+
+TEST_F(EngineTest, RunStaticIsDeterministic) {
+  const RunResult a = engine().run_static(frame(), 5);
+  const RunResult b = engine().run_static(frame(), 5);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].score, b.detections[i].score);
+  }
+  EXPECT_EQ(a.loss.total(), b.loss.total());
+}
+
+TEST_F(EngineTest, ConfigLossesMatchRunStatic) {
+  const auto losses = engine().config_losses(frame());
+  ASSERT_EQ(losses.size(), engine().config_space().size());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    EXPECT_NEAR(losses[i], engine().run_static(frame(), i).loss.total(),
+                1e-4f);
+  }
+}
+
+TEST_F(EngineTest, GateFeaturesShape) {
+  const auto features = engine().gate_features(frame());
+  EXPECT_EQ(features.shape(),
+            (tensor::Shape{engine().stems().gate_channels(), 24, 24}));
+}
+
+TEST_F(EngineTest, AdaptiveWithOracleSelectsMinJoint) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  JointOptParams params;
+  params.gamma = 0.0f;  // pin the true best configuration
+  params.lambda_energy = 0.0f;
+  const AdaptiveResult result =
+      engine().run_adaptive(frame(), oracle, params);
+  const auto losses = engine().config_losses(frame());
+  const std::size_t best = best_loss_index(losses);
+  EXPECT_EQ(result.run.config_index, best);
+  EXPECT_EQ(result.predicted_losses.size(), losses.size());
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_EQ(result.candidates.front(), best);
+}
+
+TEST_F(EngineTest, AdaptiveLambdaOnePrefersCheaperConfig) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  JointOptParams expensive;
+  expensive.gamma = 100.0f;  // all candidates admitted
+  expensive.lambda_energy = 1.0f;
+  const AdaptiveResult cheap =
+      engine().run_adaptive(frame(), oracle, expensive);
+  // With λ=1 and every config admitted, the cheapest config wins.
+  const auto& table =
+      engine().adaptive_energy_table(energy::GateComplexity::kDeep);
+  float min_energy = table[0];
+  for (float e : table) min_energy = std::min(min_energy, e);
+  EXPECT_NEAR(cheap.run.energy_j, min_energy, 1e-5);
+}
+
+TEST_F(EngineTest, AdaptiveUsesPrecomputedOracle) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  std::vector<float> fake(engine().config_space().size(), 10.0f);
+  fake[3] = 0.1f;  // force config 3
+  JointOptParams params;
+  params.gamma = 0.0f;
+  const AdaptiveResult result =
+      engine().run_adaptive(frame(), oracle, params, &fake);
+  EXPECT_EQ(result.run.config_index, 3u);
+}
+
+TEST_F(EngineTest, KnowledgeTableIsValid) {
+  const gating::KnowledgeTable table = engine().default_knowledge_table();
+  for (std::size_t choice : table) {
+    EXPECT_LT(choice, engine().config_space().size());
+  }
+  // Fog/snow choose the most robust (largest) ensemble.
+  const auto& space = engine().config_space();
+  const std::size_t fog =
+      table[static_cast<std::size_t>(dataset::SceneType::kFog)];
+  EXPECT_GE(space[fog].branches.size(), 4u);
+  // Motorway chooses a camera-only configuration (cheap, clear daylight).
+  const std::size_t mwy =
+      table[static_cast<std::size_t>(dataset::SceneType::kMotorway)];
+  const auto usage = space[mwy].sensor_usage();
+  EXPECT_TRUE(usage.zed_camera);
+  EXPECT_FALSE(usage.radar);
+}
+
+TEST_F(EngineTest, RunBranchRespectsInputArity) {
+  // All seven branches execute on a frame without throwing.
+  for (std::size_t b = 0; b < kNumBranches; ++b) {
+    EXPECT_NO_THROW(
+        (void)engine().run_branch(static_cast<BranchId>(b), frame()));
+  }
+}
+
+}  // namespace
+}  // namespace eco::core

@@ -1,0 +1,82 @@
+// Failure injection: a dead sensor must degrade configurations that depend
+// on it, and the adaptive engine (with an oracle gate) must route around it.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "gating/loss_gate.hpp"
+
+namespace eco {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  static const core::EcoFusionEngine& engine() {
+    static core::EcoFusionEngine instance;
+    return instance;
+  }
+  static dataset::Frame healthy_frame() {
+    dataset::DatasetConfig config;
+    return dataset::generate_frame(dataset::SceneType::kCity, config, 33);
+  }
+};
+
+TEST_F(FailureInjectionTest, InjectionZeroesTheGrid) {
+  dataset::Frame frame = healthy_frame();
+  ASSERT_GT(frame.grid(dataset::SensorKind::kCameraRight).max(), 0.0f);
+  dataset::inject_sensor_failure(frame, dataset::SensorKind::kCameraRight);
+  EXPECT_EQ(frame.grid(dataset::SensorKind::kCameraRight).max(), 0.0f);
+  // Other sensors untouched.
+  EXPECT_GT(frame.grid(dataset::SensorKind::kLidar).max(), 0.0f);
+}
+
+TEST_F(FailureInjectionTest, DeadSensorDegradesItsOwnConfig) {
+  dataset::Frame frame = healthy_frame();
+  const std::size_t cr = engine().baselines().camera_right;
+  const float healthy_loss = engine().run_static(frame, cr).loss.total();
+  dataset::inject_sensor_failure(frame, dataset::SensorKind::kCameraRight);
+  const float dead_loss = engine().run_static(frame, cr).loss.total();
+  EXPECT_GT(dead_loss, healthy_loss);
+  // With no signal at all, every object is missed.
+  EXPECT_TRUE(engine().run_static(frame, cr).detections.empty());
+}
+
+TEST_F(FailureInjectionTest, OtherModalitiesUnaffected) {
+  dataset::Frame frame = healthy_frame();
+  const std::size_t lidar = engine().baselines().lidar;
+  const float before = engine().run_static(frame, lidar).loss.total();
+  dataset::inject_sensor_failure(frame, dataset::SensorKind::kCameraRight);
+  const float after = engine().run_static(frame, lidar).loss.total();
+  EXPECT_FLOAT_EQ(before, after);
+}
+
+TEST_F(FailureInjectionTest, AdaptiveEngineRoutesAroundDeadSensor) {
+  dataset::Frame frame = healthy_frame();
+  dataset::inject_sensor_failure(frame, dataset::SensorKind::kCameraRight);
+
+  gating::LossBasedGate oracle(engine().config_space().size());
+  core::JointOptParams params;
+  params.gamma = 0.0f;  // pin the true best configuration
+  params.lambda_energy = 0.0f;
+  const auto result = engine().run_adaptive(frame, oracle, params);
+
+  // The chosen configuration must beat the dead sensor's own config...
+  const std::size_t cr = engine().baselines().camera_right;
+  EXPECT_LT(result.run.loss.total(),
+            engine().run_static(frame, cr).loss.total());
+  // ...and the frame still yields detections via the surviving sensors.
+  EXPECT_FALSE(result.run.detections.empty());
+}
+
+TEST_F(FailureInjectionTest, LateFusionSurvivesSingleFailure) {
+  // The robustness argument for late fusion: one dead sensor out of four
+  // still leaves a working ensemble.
+  dataset::Frame frame = healthy_frame();
+  dataset::inject_sensor_failure(frame, dataset::SensorKind::kRadar);
+  const auto result =
+      engine().run_static(frame, engine().baselines().late);
+  EXPECT_FALSE(result.detections.empty());
+}
+
+}  // namespace
+}  // namespace eco

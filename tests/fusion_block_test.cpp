@@ -1,0 +1,127 @@
+#include "fusion/fusion_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fusion/coordinate.hpp"
+
+namespace eco::fusion {
+namespace {
+
+detect::Detection make_det(detect::Box box, float score,
+                           detect::ObjectClass cls = detect::ObjectClass::kCar) {
+  detect::Detection d;
+  d.box = box;
+  d.score = score;
+  d.cls = cls;
+  return d;
+}
+
+TEST(AffineTest, ApplyAndInverseRoundTrip) {
+  AffineTransform2d t;
+  t.scale_x = 2.0f;
+  t.scale_y = 0.5f;
+  t.offset_x = 3.0f;
+  t.offset_y = -1.0f;
+  const detect::Box b{1, 2, 5, 6};
+  const detect::Box forward = t.apply(b);
+  EXPECT_FLOAT_EQ(forward.x1, 5.0f);
+  EXPECT_FLOAT_EQ(forward.y1, 0.0f);
+  const detect::Box back = t.inverse().apply(forward);
+  EXPECT_NEAR(back.x1, b.x1, 1e-5f);
+  EXPECT_NEAR(back.y2, b.y2, 1e-5f);
+}
+
+TEST(AffineTest, NegativeScaleKeepsCornersOrdered) {
+  AffineTransform2d t;
+  t.scale_x = -1.0f;
+  const detect::Box b{1, 1, 3, 3};
+  const detect::Box out = t.apply(b);
+  EXPECT_LT(out.x1, out.x2);
+}
+
+TEST(AffineTest, ComposeMatchesSequentialApplication) {
+  AffineTransform2d a, b;
+  a.scale_x = 2.0f;
+  a.offset_x = 1.0f;
+  b.scale_x = 3.0f;
+  b.offset_x = -2.0f;
+  const detect::Box box{1, 0, 2, 1};
+  const detect::Box sequential = a.apply(b.apply(box));
+  const detect::Box composed = compose(a, b).apply(box);
+  EXPECT_NEAR(sequential.x1, composed.x1, 1e-5f);
+  EXPECT_NEAR(sequential.x2, composed.x2, 1e-5f);
+}
+
+TEST(AffineTest, IdentityIsNoOp) {
+  const detect::Box b{1, 2, 3, 4};
+  const detect::Box out = AffineTransform2d::identity().apply(b);
+  EXPECT_FLOAT_EQ(out.x1, b.x1);
+  EXPECT_FLOAT_EQ(out.y2, b.y2);
+}
+
+TEST(FusionBlockTest, MergesAgreeingBranches) {
+  FusionBlock block;
+  const auto fused = block.fuse({{make_det({0, 0, 4, 4}, 0.8f)},
+                                 {make_det({0.4f, 0, 4.4f, 4}, 0.7f)}});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_GT(fused[0].score, 0.5f);
+}
+
+TEST(FusionBlockTest, AppliesCoordinateTransforms) {
+  FusionBlock block;
+  AffineTransform2d shift;
+  shift.offset_x = -10.0f;
+  // Branch 2's detections are in a shifted frame; after transform they
+  // coincide with branch 1's.
+  const auto fused = block.fuse(
+      {{make_det({0, 0, 4, 4}, 0.8f)}, {make_det({10, 0, 14, 4}, 0.8f)}},
+      {AffineTransform2d::identity(), shift});
+  EXPECT_EQ(fused.size(), 1u);
+}
+
+TEST(FusionBlockTest, TransformArityMismatchThrows) {
+  FusionBlock block;
+  EXPECT_THROW(
+      (void)block.fuse({{make_det({0, 0, 1, 1}, 0.5f)}},
+                       {AffineTransform2d{}, AffineTransform2d{}}),
+      std::invalid_argument);
+}
+
+TEST(FusionBlockTest, MinScoreFiltersOutput) {
+  FusionBlockConfig config;
+  config.min_score = 0.5f;
+  FusionBlock block(config);
+  const auto fused = block.fuse({{make_det({0, 0, 4, 4}, 0.3f)}});
+  EXPECT_TRUE(fused.empty());
+}
+
+TEST(FusionBlockTest, NmsMergeAlternativeKeepsBestBox) {
+  FusionBlockConfig config;
+  config.algorithm = FusionAlgorithm::kNmsMerge;
+  FusionBlock block(config);
+  const auto fused = block.fuse({{make_det({0, 0, 4, 4}, 0.9f)},
+                                 {make_det({0.2f, 0, 4.2f, 4}, 0.6f)}});
+  ASSERT_EQ(fused.size(), 1u);
+  // NMS keeps the original best box rather than averaging.
+  EXPECT_FLOAT_EQ(fused[0].box.x1, 0.0f);
+  EXPECT_FLOAT_EQ(fused[0].score, 0.9f);
+}
+
+TEST(FusionBlockTest, CrossClassDuplicatesRemoved) {
+  FusionBlock block;
+  // Two branches disagree on the label of the same object.
+  const auto fused =
+      block.fuse({{make_det({0, 0, 4, 4}, 0.8f, detect::ObjectClass::kCar)},
+                  {make_det({0, 0, 4, 4}, 0.7f, detect::ObjectClass::kVan)}});
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].cls, detect::ObjectClass::kCar);
+}
+
+TEST(FusionBlockTest, EmptyInputsSafe) {
+  FusionBlock block;
+  EXPECT_TRUE(block.fuse({}).empty());
+  EXPECT_TRUE(block.fuse({{}, {}, {}}).empty());
+}
+
+}  // namespace
+}  // namespace eco::fusion

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "gating/knowledge_gate.hpp"
+#include "gating/learned_gate.hpp"
+#include "gating/loss_gate.hpp"
+#include "util/rng.hpp"
+
+namespace eco::gating {
+namespace {
+
+TEST(KnowledgeGateTest, PinsTableEntryPerScene) {
+  KnowledgeTable table{};
+  table[static_cast<std::size_t>(dataset::SceneType::kFog)] = 3;
+  table[static_cast<std::size_t>(dataset::SceneType::kCity)] = 1;
+  KnowledgeGate gate(table, 5);
+
+  GateInput input;
+  input.scene = dataset::SceneType::kFog;
+  const auto fog_losses = gate.predict_losses(input);
+  EXPECT_EQ(fog_losses.size(), 5u);
+  EXPECT_FLOAT_EQ(fog_losses[3], 0.0f);
+  EXPECT_GT(fog_losses[0], 1e5f);
+
+  input.scene = dataset::SceneType::kCity;
+  EXPECT_FLOAT_EQ(gate.predict_losses(input)[1], 0.0f);
+  EXPECT_EQ(gate.choice_for(dataset::SceneType::kCity), 1u);
+}
+
+TEST(KnowledgeGateTest, PropertiesMatchPaper) {
+  KnowledgeGate gate(KnowledgeTable{}, 3);
+  EXPECT_FALSE(gate.tunable());       // §5.1: not tunable by λ_E
+  EXPECT_FALSE(gate.needs_oracle());
+  EXPECT_EQ(gate.name(), "Knowledge");
+  EXPECT_EQ(gate.complexity(), energy::GateComplexity::kKnowledge);
+}
+
+TEST(KnowledgeGateTest, RejectsOutOfRangeChoices) {
+  KnowledgeTable table{};
+  table[0] = 7;
+  EXPECT_THROW(KnowledgeGate(table, 5), std::invalid_argument);
+}
+
+TEST(LossBasedGateTest, ReturnsOracleLossesVerbatim) {
+  LossBasedGate gate(3);
+  const std::vector<float> oracle = {0.5f, 0.2f, 0.9f};
+  GateInput input;
+  input.oracle_losses = &oracle;
+  EXPECT_EQ(gate.predict_losses(input), oracle);
+  EXPECT_TRUE(gate.needs_oracle());
+  EXPECT_EQ(gate.name(), "Loss-Based");
+}
+
+TEST(LossBasedGateTest, MissingOracleThrows) {
+  LossBasedGate gate(3);
+  GateInput input;
+  EXPECT_THROW((void)gate.predict_losses(input), std::invalid_argument);
+  const std::vector<float> wrong_arity = {0.1f};
+  input.oracle_losses = &wrong_arity;
+  EXPECT_THROW((void)gate.predict_losses(input), std::invalid_argument);
+}
+
+LearnedGateConfig small_gate_config(bool attention) {
+  LearnedGateConfig config;
+  config.in_channels = 8;
+  config.in_height = 16;
+  config.in_width = 16;
+  config.hidden_channels = 8;
+  config.mlp_hidden = 16;
+  config.num_configs = 4;
+  config.use_attention = attention;
+  return config;
+}
+
+TEST(LearnedGateTest, OutputArityMatchesConfigSpace) {
+  LearnedGate gate(small_gate_config(false));
+  tensor::Tensor features({8, 16, 16});
+  const auto out = gate.forward(features);
+  EXPECT_EQ(out.numel(), 4u);
+  GateInput input;
+  input.features = &features;
+  EXPECT_EQ(gate.predict_losses(input).size(), 4u);
+}
+
+TEST(LearnedGateTest, NamesAndComplexityReflectVariant) {
+  LearnedGate deep(small_gate_config(false));
+  LearnedGate attention(small_gate_config(true));
+  EXPECT_EQ(deep.name(), "Deep");
+  EXPECT_EQ(attention.name(), "Attention");
+  EXPECT_EQ(deep.complexity(), energy::GateComplexity::kDeep);
+  EXPECT_EQ(attention.complexity(), energy::GateComplexity::kAttention);
+  // The attention variant has strictly more parameters.
+  EXPECT_GT(attention.parameters().size(), deep.parameters().size());
+}
+
+TEST(LearnedGateTest, MissingFeaturesThrows) {
+  LearnedGate gate(small_gate_config(false));
+  GateInput input;
+  EXPECT_THROW((void)gate.predict_losses(input), std::invalid_argument);
+}
+
+TEST(LearnedGateTest, WrongFeatureShapeThrows) {
+  LearnedGate gate(small_gate_config(false));
+  tensor::Tensor bad({4, 16, 16});
+  EXPECT_THROW((void)gate.forward(bad), std::invalid_argument);
+}
+
+TEST(LearnedGateTest, TrainingStepValidatesTargets) {
+  LearnedGate gate(small_gate_config(false));
+  tensor::Tensor features({8, 16, 16});
+  EXPECT_THROW((void)gate.training_step(features, {1.0f}),
+               std::invalid_argument);
+}
+
+TEST(LearnedGateTest, DeterministicForSameSeed) {
+  LearnedGate a(small_gate_config(true)), b(small_gate_config(true));
+  util::Rng rng(3);
+  tensor::Tensor features({8, 16, 16});
+  for (auto& v : features.vec()) v = rng.uniform_f(0.0f, 1.0f);
+  EXPECT_TRUE(a.forward(features).allclose(b.forward(features)));
+}
+
+}  // namespace
+}  // namespace eco::gating

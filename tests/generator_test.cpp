@@ -1,0 +1,152 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace eco::dataset {
+namespace {
+
+DatasetConfig small_config(std::uint64_t seed = 2022) {
+  DatasetConfig config;
+  config.frames_per_scene = 10;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, ObjectsAreCellAlignedAndInBounds) {
+  const DatasetConfig config = small_config();
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    const Frame frame = generate_frame(SceneType::kCity, config, id);
+    for (const auto& gt : frame.objects) {
+      EXPECT_EQ(gt.box.x1, std::floor(gt.box.x1));
+      EXPECT_EQ(gt.box.y1, std::floor(gt.box.y1));
+      EXPECT_EQ(gt.box.width(), std::floor(gt.box.width()));
+      EXPECT_GE(gt.box.x1, 0.0f);
+      EXPECT_LE(gt.box.x2, static_cast<float>(config.grid.width));
+      EXPECT_LE(gt.box.y2, static_cast<float>(config.grid.height));
+      EXPECT_TRUE(gt.box.valid());
+    }
+  }
+}
+
+TEST(GeneratorTest, ObjectsDoNotTouch) {
+  const DatasetConfig config = small_config();
+  for (std::uint64_t id = 0; id < 30; ++id) {
+    const Frame frame = generate_frame(SceneType::kJunction, config, id);
+    for (std::size_t i = 0; i < frame.objects.size(); ++i) {
+      for (std::size_t j = i + 1; j < frame.objects.size(); ++j) {
+        detect::Box guard = frame.objects[i].box;
+        guard.x1 -= 0.5f;
+        guard.y1 -= 0.5f;
+        guard.x2 += 0.5f;
+        guard.y2 += 0.5f;
+        EXPECT_EQ(detect::intersection_area(guard, frame.objects[j].box), 0.0f)
+            << "objects " << i << " and " << j << " touch in frame " << id;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, FrameGenerationIsDeterministic) {
+  const DatasetConfig config = small_config();
+  const Frame a = generate_frame(SceneType::kRain, config, 5);
+  const Frame b = generate_frame(SceneType::kRain, config, 5);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].cls, b.objects[i].cls);
+    EXPECT_EQ(detect::iou(a.objects[i].box, b.objects[i].box), 1.0f);
+  }
+  for (SensorKind kind : all_sensor_kinds()) {
+    EXPECT_TRUE(a.grid(kind).equals(b.grid(kind)));
+  }
+}
+
+TEST(GeneratorTest, DifferentFrameIdsDiffer) {
+  const DatasetConfig config = small_config();
+  const Frame a = generate_frame(SceneType::kCity, config, 1);
+  const Frame b = generate_frame(SceneType::kCity, config, 2);
+  EXPECT_FALSE(a.grid(SensorKind::kCameraLeft)
+                   .equals(b.grid(SensorKind::kCameraLeft)));
+}
+
+TEST(GeneratorTest, SeedChangesData) {
+  const Frame a = generate_frame(SceneType::kCity, small_config(1), 0);
+  const Frame b = generate_frame(SceneType::kCity, small_config(2), 0);
+  EXPECT_FALSE(a.grid(SensorKind::kLidar).equals(b.grid(SensorKind::kLidar)));
+}
+
+TEST(DatasetTest, SizeAndSceneBlocks) {
+  const Dataset data(small_config());
+  EXPECT_EQ(data.size(), kNumSceneTypes * 10);
+  // Frames are laid out in scene blocks.
+  EXPECT_EQ(data.frame(0).scene, SceneType::kCity);
+  EXPECT_EQ(data.frame(10).scene, SceneType::kFog);
+  EXPECT_EQ(data.frame(79).scene, SceneType::kSnow);
+}
+
+TEST(DatasetTest, SplitIs70To30AndDisjoint) {
+  const Dataset data(small_config());
+  EXPECT_EQ(data.train_indices().size(), 56u);  // 7 per scene x 8
+  EXPECT_EQ(data.test_indices().size(), 24u);   // 3 per scene x 8
+  std::set<std::size_t> all;
+  for (std::size_t i : data.train_indices()) all.insert(i);
+  for (std::size_t i : data.test_indices()) {
+    EXPECT_EQ(all.count(i), 0u) << "index " << i << " in both splits";
+    all.insert(i);
+  }
+  EXPECT_EQ(all.size(), data.size());
+}
+
+TEST(DatasetTest, SplitIsStratifiedPerScene) {
+  const Dataset data(small_config());
+  for (SceneType scene : all_scene_types()) {
+    const auto test = data.test_indices_for_scene(scene);
+    EXPECT_EQ(test.size(), 3u) << scene_type_name(scene);
+    for (std::size_t index : test) {
+      EXPECT_EQ(data.frame(index).scene, scene);
+    }
+  }
+}
+
+TEST(DatasetTest, ReconstructionIsDeterministic) {
+  const Dataset a(small_config()), b(small_config());
+  EXPECT_EQ(a.train_indices(), b.train_indices());
+  EXPECT_EQ(a.test_indices(), b.test_indices());
+  EXPECT_TRUE(a.frame(17)
+                  .grid(SensorKind::kRadar)
+                  .equals(b.frame(17).grid(SensorKind::kRadar)));
+}
+
+TEST(DatasetTest, CustomTrainFraction) {
+  DatasetConfig config = small_config();
+  config.train_fraction = 0.5;
+  const Dataset data(config);
+  EXPECT_EQ(data.train_indices().size(), 40u);
+  EXPECT_EQ(data.test_indices().size(), 40u);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, EveryFrameHasObjectsWithinEnvBounds) {
+  DatasetConfig config = small_config(GetParam());
+  config.frames_per_scene = 4;
+  const Dataset data(config);
+  for (const Frame& frame : data.frames()) {
+    const SceneEnvironment env = scene_environment(frame.scene);
+    EXPECT_GE(static_cast<int>(frame.objects.size()), 1);
+    EXPECT_LE(static_cast<int>(frame.objects.size()), env.max_objects);
+    for (SensorKind kind : all_sensor_kinds()) {
+      EXPECT_EQ(frame.grid(kind).numel(),
+                config.grid.width * config.grid.height);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1ull, 7ull, 123ull, 2022ull));
+
+}  // namespace
+}  // namespace eco::dataset

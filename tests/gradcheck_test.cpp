@@ -1,0 +1,189 @@
+// Numerical gradient checks: every trainable module's backward pass is
+// verified against central finite differences on a scalar loss. This is the
+// strongest correctness property the NN substrate has — if these hold, gate
+// training optimises what it claims to.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/nn.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace eco::tensor {
+namespace {
+
+/// Scalar loss used for checks: sum of 0.5*y^2 (grad = y).
+float loss_of(const Tensor& y) { return 0.5f * y.sum_squares(); }
+Tensor loss_grad(const Tensor& y) { return y; }
+
+/// Checks d(loss)/d(input) of a module against finite differences.
+void check_input_gradient(Module& module, Tensor input, float tolerance) {
+  Tensor y = module.forward(input);
+  module.zero_grad();
+  const Tensor analytic = module.backward(loss_grad(y));
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < input.numel(); i += std::max<std::size_t>(1, input.numel() / 24)) {
+    Tensor plus = input, minus = input;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const float f_plus = loss_of(module.forward(plus));
+    const float f_minus = loss_of(module.forward(minus));
+    const float numeric = (f_plus - f_minus) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << "input grad mismatch at flat index " << i;
+  }
+}
+
+/// Checks d(loss)/d(params) of a module against finite differences.
+void check_param_gradients(Module& module, const Tensor& input,
+                           float tolerance) {
+  module.zero_grad();
+  Tensor y = module.forward(input);
+  (void)module.backward(loss_grad(y));
+  std::vector<Param*> params;
+  module.collect_params(params);
+  for (Param* p : params) {
+    const float epsilon = 1e-3f;
+    for (std::size_t i = 0; i < p->value.numel();
+         i += std::max<std::size_t>(1, p->value.numel() / 16)) {
+      const float saved = p->value[i];
+      p->value[i] = saved + epsilon;
+      const float f_plus = loss_of(module.forward(input));
+      p->value[i] = saved - epsilon;
+      const float f_minus = loss_of(module.forward(input));
+      p->value[i] = saved;
+      const float numeric = (f_plus - f_minus) / (2.0f * epsilon);
+      EXPECT_NEAR(p->grad[i], numeric, tolerance)
+          << "param " << p->name << " grad mismatch at " << i;
+    }
+  }
+}
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (float& v : t.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  return t;
+}
+
+TEST(GradCheck, Conv2dInputAndParams) {
+  util::Rng rng(101);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  Conv2d conv(spec, rng);
+  const Tensor input = random_tensor({2, 5, 5}, 7);
+  check_input_gradient(conv, input, 2e-2f);
+  check_param_gradients(conv, input, 2e-2f);
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  util::Rng rng(102);
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  Conv2d conv(spec, rng);
+  const Tensor input = random_tensor({1, 6, 6}, 8);
+  check_input_gradient(conv, input, 2e-2f);
+  check_param_gradients(conv, input, 2e-2f);
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(103);
+  Linear layer(6, 4, rng);
+  const Tensor input = random_tensor({6}, 9);
+  check_input_gradient(layer, input, 1e-2f);
+  check_param_gradients(layer, input, 1e-2f);
+}
+
+TEST(GradCheck, SelfAttention2d) {
+  util::Rng rng(104);
+  SelfAttention2d attn(4, 3, rng);
+  const Tensor input = random_tensor({4, 3, 3}, 10);
+  check_input_gradient(attn, input, 3e-2f);
+  check_param_gradients(attn, input, 3e-2f);
+}
+
+TEST(GradCheck, SequentialConvReluPoolLinear) {
+  util::Rng rng(105);
+  Sequential net;
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  net.emplace<Conv2d>(spec, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(2 * 2 * 2, 3, rng);
+  const Tensor input = random_tensor({1, 4, 4}, 11);
+  check_input_gradient(net, input, 2e-2f);
+  check_param_gradients(net, input, 2e-2f);
+}
+
+TEST(GradCheck, GlobalAvgPoolHead) {
+  util::Rng rng(106);
+  Sequential net;
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(3, 2, rng);
+  const Tensor input = random_tensor({3, 4, 4}, 12);
+  check_input_gradient(net, input, 1e-2f);
+}
+
+TEST(GradCheck, SmoothL1MatchesFiniteDifference) {
+  const Tensor target({3}, {0.1f, -0.4f, 2.0f});
+  Tensor pred = random_tensor({3}, 13);
+  Tensor analytic;
+  (void)smooth_l1(pred, target, &analytic);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    Tensor plus = pred, minus = pred;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const float numeric =
+        (smooth_l1(plus, target) - smooth_l1(minus, target)) / (2 * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, 1e-3f);
+  }
+}
+
+TEST(GradCheck, CrossEntropyMatchesFiniteDifference) {
+  Tensor logits = random_tensor({4}, 14);
+  Tensor analytic;
+  (void)cross_entropy(logits, 2, &analytic);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const float numeric =
+        (cross_entropy(plus, 2) - cross_entropy(minus, 2)) / (2 * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, 1e-3f);
+  }
+}
+
+// Parameterized: gradient checks hold across seeds (weight initialisations).
+class GradCheckSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GradCheckSeeds, LinearAcrossInitialisations) {
+  util::Rng rng(GetParam());
+  Linear layer(5, 3, rng);
+  const Tensor input = random_tensor({5}, GetParam() ^ 0xABCDull);
+  check_input_gradient(layer, input, 1e-2f);
+  check_param_gradients(layer, input, 1e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradCheckSeeds,
+                         ::testing::Values(1ull, 2ull, 3ull, 17ull, 99ull));
+
+}  // namespace
+}  // namespace eco::tensor

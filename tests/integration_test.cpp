@@ -1,0 +1,167 @@
+// End-to-end integration tests: dataset -> engine -> gates -> joint
+// optimization, checking the qualitative properties the paper's evaluation
+// rests on (on a reduced dataset so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "eval/map_metric.hpp"
+#include "eval/metrics.hpp"
+#include "gating/gate_trainer.hpp"
+#include "gating/knowledge_gate.hpp"
+#include "gating/learned_gate.hpp"
+#include "gating/loss_gate.hpp"
+
+namespace eco {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static dataset::Dataset& data() {
+    static dataset::Dataset instance = [] {
+      dataset::DatasetConfig config;
+      config.frames_per_scene = 12;
+      return dataset::Dataset(config);
+    }();
+    return instance;
+  }
+  static const core::EcoFusionEngine& engine() {
+    static core::EcoFusionEngine instance;
+    return instance;
+  }
+
+  static double mean_static_loss(std::size_t config_index,
+                                 const std::vector<std::size_t>& frames) {
+    eval::RunningStats stats;
+    for (std::size_t i : frames) {
+      stats.add(engine().run_static(data().frame(i), config_index).loss.total());
+    }
+    return stats.mean();
+  }
+};
+
+TEST_F(IntegrationTest, EarlyFusionCollapsesInFogButNotInCity) {
+  const std::size_t early = engine().baselines().early;
+  const double city_loss =
+      mean_static_loss(early, data().test_indices_for_scene(
+                                  dataset::SceneType::kCity));
+  const double fog_loss = mean_static_loss(
+      early, data().test_indices_for_scene(dataset::SceneType::kFog));
+  // Figure 5's headline: early fusion's loss spikes in difficult weather.
+  EXPECT_GT(fog_loss, 1.3 * city_loss);
+}
+
+TEST_F(IntegrationTest, LateFusionIsRobustAcrossScenes) {
+  const std::size_t late = engine().baselines().late;
+  const std::size_t early = engine().baselines().early;
+  for (dataset::SceneType scene :
+       {dataset::SceneType::kFog, dataset::SceneType::kSnow}) {
+    const auto frames = data().test_indices_for_scene(scene);
+    EXPECT_LT(mean_static_loss(late, frames), mean_static_loss(early, frames))
+        << dataset::scene_type_name(scene);
+  }
+}
+
+TEST_F(IntegrationTest, OracleEcoFusionBeatsLateFusionLossAtLowerEnergy) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  core::JointOptParams params;
+  params.gamma = 0.5f;
+  params.lambda_energy = 0.01f;
+  eval::RunningStats eco_loss, eco_energy, late_loss;
+  const std::size_t late = engine().baselines().late;
+  for (std::size_t i : data().test_indices()) {
+    const auto& frame = data().frame(i);
+    const auto adaptive = engine().run_adaptive(frame, oracle, params);
+    eco_loss.add(adaptive.run.loss.total());
+    eco_energy.add(adaptive.run.energy_j);
+    late_loss.add(engine().run_static(frame, late).loss.total());
+  }
+  EXPECT_LT(eco_loss.mean(), late_loss.mean());
+  EXPECT_LT(eco_energy.mean(),
+            0.75 * engine().static_energy_j(late));
+}
+
+TEST_F(IntegrationTest, LambdaSweepTradesEnergyForLoss) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  const auto frames = data().test_indices();
+  double energy_low_lambda = 0.0, energy_high_lambda = 0.0;
+  for (float lambda : {0.0f, 1.0f}) {
+    core::JointOptParams params;
+    params.gamma = 2.0f;
+    params.lambda_energy = lambda;
+    eval::RunningStats energy;
+    for (std::size_t i : frames) {
+      energy.add(
+          engine().run_adaptive(data().frame(i), oracle, params).run.energy_j);
+    }
+    (lambda == 0.0f ? energy_low_lambda : energy_high_lambda) = energy.mean();
+  }
+  // Raising λ_E must not increase energy.
+  EXPECT_LE(energy_high_lambda, energy_low_lambda + 1e-6);
+}
+
+TEST_F(IntegrationTest, TrainedGateBeatsUntrainedOnSelection) {
+  // Build a small training set from the train split.
+  std::vector<gating::GateExample> examples;
+  for (std::size_t i : data().train_indices()) {
+    if (examples.size() >= 48) break;
+    gating::GateExample example;
+    example.features = engine().gate_features(data().frame(i));
+    example.config_losses = engine().config_losses(data().frame(i));
+    examples.push_back(std::move(example));
+  }
+  gating::LearnedGateConfig config;
+  config.in_channels = engine().stems().gate_channels();
+  config.num_configs = engine().config_space().size();
+  gating::LearnedGate gate(config);
+  const float before = gating::gate_selection_accuracy(gate, examples);
+  gating::GateTrainConfig train_config;
+  train_config.epochs = 20;
+  (void)gating::train_gate(gate, examples, train_config);
+  const float after = gating::gate_selection_accuracy(gate, examples);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 1.5f / 15.0f);  // well above uniform chance
+}
+
+TEST_F(IntegrationTest, KnowledgeGateSelectsItsTableEntryEndToEnd) {
+  gating::KnowledgeGate gate(engine().default_knowledge_table(),
+                             engine().config_space().size());
+  for (dataset::SceneType scene :
+       {dataset::SceneType::kCity, dataset::SceneType::kFog}) {
+    const auto frames = data().test_indices_for_scene(scene);
+    ASSERT_FALSE(frames.empty());
+    const auto result =
+        engine().run_adaptive(data().frame(frames[0]), gate);
+    EXPECT_EQ(result.run.config_index, gate.choice_for(scene));
+  }
+}
+
+TEST_F(IntegrationTest, SingleSensorMapOrderingCamerasLeadRadarTrails) {
+  const auto& b = engine().baselines();
+  auto map_of = [&](std::size_t config_index) {
+    std::vector<eval::FrameResult> results;
+    for (std::size_t i : data().test_indices()) {
+      auto run = engine().run_static(data().frame(i), config_index);
+      results.push_back({std::move(run.detections), data().frame(i).objects});
+    }
+    return eval::mean_average_precision(results);
+  };
+  const float cr = map_of(b.camera_right);
+  const float cl = map_of(b.camera_left);
+  const float radar = map_of(b.radar);
+  EXPECT_GT(cr, cl);     // right camera leads (paper Table 1)
+  EXPECT_GT(cl, radar);  // radar trails every other single sensor
+}
+
+TEST_F(IntegrationTest, EndToEndDeterminism) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  const auto& frame = data().frame(data().test_indices()[0]);
+  const auto a = engine().run_adaptive(frame, oracle);
+  const auto b = engine().run_adaptive(frame, oracle);
+  EXPECT_EQ(a.run.config_index, b.run.config_index);
+  EXPECT_EQ(a.run.detections.size(), b.run.detections.size());
+  EXPECT_EQ(a.predicted_losses, b.predicted_losses);
+}
+
+}  // namespace
+}  // namespace eco

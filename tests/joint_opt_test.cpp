@@ -1,0 +1,129 @@
+#include "core/joint_opt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::core {
+namespace {
+
+TEST(BestLossTest, FindsMinimumAndBreaksTiesLow) {
+  EXPECT_EQ(best_loss_index({3.0f, 1.0f, 2.0f}), 1u);
+  EXPECT_EQ(best_loss_index({1.0f, 1.0f}), 0u);
+  EXPECT_EQ(best_loss_index({5.0f}), 0u);
+  EXPECT_THROW((void)best_loss_index({}), std::invalid_argument);
+}
+
+TEST(CandidateSetTest, GammaZeroKeepsOnlyBest) {
+  // §3.3: "if maximum performance is desired, then γ can be set to 0, so
+  // only φ' is in Φ*".
+  const auto candidates = candidate_set({1.0f, 0.5f, 2.0f}, 0.0f);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 1u);
+}
+
+TEST(CandidateSetTest, GammaZeroKeepsExactTies) {
+  const auto candidates = candidate_set({0.5f, 0.5f, 2.0f}, 0.0f);
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(CandidateSetTest, GammaBandAdmitsCloseConfigs) {
+  const auto candidates = candidate_set({1.0f, 0.5f, 0.9f, 2.0f}, 0.5f);
+  ASSERT_EQ(candidates.size(), 3u);  // 0.5, 0.9, 1.0 within 0.5 of best
+  EXPECT_EQ(candidates[0], 0u);
+  EXPECT_EQ(candidates[1], 1u);
+  EXPECT_EQ(candidates[2], 2u);
+}
+
+TEST(CandidateSetTest, LargeGammaAdmitsEverything) {
+  const auto candidates = candidate_set({1.0f, 5.0f, 9.0f}, 100.0f);
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+TEST(CandidateSetTest, NegativePredictionsHandled) {
+  // Regret-trained gates can emit negative estimates; Φ* must stay sane.
+  const auto candidates = candidate_set({-1.0f, -0.8f, 0.4f}, 0.5f);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0], 0u);
+}
+
+TEST(JointLossTest, Equation8Blend) {
+  // L_joint = (1-λ)L + λE.
+  EXPECT_FLOAT_EQ(joint_loss(2.0f, 4.0f, 0.0f), 2.0f);
+  EXPECT_FLOAT_EQ(joint_loss(2.0f, 4.0f, 1.0f), 4.0f);
+  EXPECT_FLOAT_EQ(joint_loss(2.0f, 4.0f, 0.5f), 3.0f);
+  EXPECT_FLOAT_EQ(joint_loss(1.0f, 3.0f, 0.01f), 0.99f + 0.03f);
+}
+
+TEST(SelectTest, LambdaZeroPicksLowestLoss) {
+  JointOptParams params;
+  params.gamma = 10.0f;  // everything is a candidate
+  params.lambda_energy = 0.0f;
+  EXPECT_EQ(select_configuration({3.0f, 1.0f, 2.0f}, {1.0f, 9.0f, 0.1f},
+                                 params),
+            1u);
+}
+
+TEST(SelectTest, LambdaOnePicksLowestEnergyCandidate) {
+  JointOptParams params;
+  params.gamma = 10.0f;
+  params.lambda_energy = 1.0f;
+  EXPECT_EQ(select_configuration({3.0f, 1.0f, 2.0f}, {1.0f, 9.0f, 0.1f},
+                                 params),
+            2u);
+}
+
+TEST(SelectTest, GammaRestrictsEnergyShopping) {
+  JointOptParams params;
+  params.gamma = 0.1f;  // only the best-loss config is a candidate
+  params.lambda_energy = 1.0f;
+  // Cheapest config (index 2) is outside the band; must pick index 1.
+  EXPECT_EQ(select_configuration({3.0f, 1.0f, 2.0f}, {1.0f, 9.0f, 0.1f},
+                                 params),
+            1u);
+}
+
+TEST(SelectTest, IntermediateLambdaTradesOff) {
+  JointOptParams params;
+  params.gamma = 1.0f;
+  params.lambda_energy = 0.5f;
+  // Candidates: losses {1.0, 1.5}; energies {4.0, 1.0}.
+  // Joint: 0.5*1.0+0.5*4.0 = 2.5 vs 0.5*1.5+0.5*1.0 = 1.25 -> pick 1.
+  EXPECT_EQ(select_configuration({1.0f, 1.5f, 9.0f}, {4.0f, 1.0f, 0.0f},
+                                 params),
+            1u);
+}
+
+TEST(SelectTest, ArityMismatchThrows) {
+  JointOptParams params;
+  EXPECT_THROW(
+      (void)select_configuration({1.0f, 2.0f}, {1.0f}, params),
+      std::invalid_argument);
+}
+
+// Property: the selected configuration is always inside the candidate set,
+// and at λ=0 it is always the argmin loss.
+class SelectSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(SelectSweep, SelectionAlwaysWithinCandidates) {
+  const float gamma = GetParam();
+  const std::vector<float> losses = {2.0f, 0.8f, 1.1f, 3.5f, 0.9f};
+  const std::vector<float> energies = {1.0f, 3.9f, 1.4f, 0.9f, 2.0f};
+  for (float lambda : {0.0f, 0.01f, 0.1f, 0.5f, 1.0f}) {
+    JointOptParams params;
+    params.gamma = gamma;
+    params.lambda_energy = lambda;
+    const std::size_t chosen = select_configuration(losses, energies, params);
+    const auto candidates = candidate_set(losses, gamma);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), chosen),
+              candidates.end());
+    if (lambda == 0.0f) {
+      EXPECT_EQ(chosen, best_loss_index(losses));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, SelectSweep,
+                         ::testing::Values(0.0f, 0.1f, 0.3f, 0.5f, 1.0f,
+                                           5.0f));
+
+}  // namespace
+}  // namespace eco::core

@@ -1,0 +1,143 @@
+#include "detect/losses.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::detect {
+namespace {
+
+Detection make_det(Box box, ObjectClass cls, float score,
+                   std::size_t num_classes = kNumObjectClasses) {
+  Detection d;
+  d.box = box;
+  d.cls = cls;
+  d.score = score;
+  d.class_scores.assign(num_classes, 0.02f);
+  d.class_scores[static_cast<std::size_t>(cls)] = 0.86f;
+  return d;
+}
+
+GroundTruth make_gt(Box box, ObjectClass cls) {
+  GroundTruth gt;
+  gt.box = box;
+  gt.cls = cls;
+  return gt;
+}
+
+TEST(MatchTest, GreedyHighScoreFirst) {
+  const std::vector<GroundTruth> gts = {make_gt({0, 0, 4, 4},
+                                                ObjectClass::kCar)};
+  const std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, ObjectClass::kCar, 0.5f),
+      make_det({0.2f, 0, 4.2f, 4}, ObjectClass::kCar, 0.9f),
+  };
+  const auto matches = match_detections(dets, gts, 0.5f);
+  EXPECT_EQ(matches[0], -1);  // lower score loses the only GT
+  EXPECT_EQ(matches[1], 0);
+}
+
+TEST(MatchTest, IouThresholdGatesMatching) {
+  const std::vector<GroundTruth> gts = {make_gt({0, 0, 4, 4},
+                                                ObjectClass::kCar)};
+  const std::vector<Detection> dets = {
+      make_det({3, 3, 7, 7}, ObjectClass::kCar, 0.9f)};  // IoU = 1/31
+  EXPECT_EQ(match_detections(dets, gts, 0.5f)[0], -1);
+  EXPECT_EQ(match_detections(dets, gts, 0.01f)[0], 0);
+}
+
+TEST(MatchTest, EachGroundTruthClaimedOnce) {
+  const std::vector<GroundTruth> gts = {make_gt({0, 0, 4, 4},
+                                                ObjectClass::kCar)};
+  const std::vector<Detection> dets = {
+      make_det({0, 0, 4, 4}, ObjectClass::kCar, 0.9f),
+      make_det({0, 0, 4, 4}, ObjectClass::kCar, 0.8f),
+  };
+  const auto matches = match_detections(dets, gts, 0.5f);
+  EXPECT_EQ(matches[0], 0);
+  EXPECT_EQ(matches[1], -1);
+}
+
+TEST(DetectionLossTest, PerfectDetectionLowLoss) {
+  const std::vector<GroundTruth> gts = {make_gt({2, 2, 8, 6},
+                                                ObjectClass::kCar)};
+  const std::vector<Detection> dets = {
+      make_det({2, 2, 8, 6}, ObjectClass::kCar, 0.9f)};
+  const DetectionLoss loss = detection_loss(dets, gts);
+  EXPECT_EQ(loss.miss_penalty, 0.0f);
+  EXPECT_EQ(loss.false_positive, 0.0f);
+  EXPECT_NEAR(loss.regression, 0.0f, 1e-5f);
+  EXPECT_LT(loss.classification, 0.2f);  // -log(0.86)
+  EXPECT_LT(loss.total(), 0.25f);
+}
+
+TEST(DetectionLossTest, MissedObjectsCostPerMiss) {
+  const std::vector<GroundTruth> gts = {
+      make_gt({2, 2, 8, 6}, ObjectClass::kCar),
+      make_gt({20, 20, 26, 24}, ObjectClass::kVan)};
+  LossConfig config;
+  config.normalize_by_gt = false;
+  const DetectionLoss loss = detection_loss({}, gts, config);
+  EXPECT_FLOAT_EQ(loss.miss_penalty, 2.0f * config.miss_cost);
+  EXPECT_FLOAT_EQ(loss.total(), loss.miss_penalty);
+}
+
+TEST(DetectionLossTest, FalsePositivesScaledByScore) {
+  LossConfig config;
+  config.normalize_by_gt = false;
+  const std::vector<Detection> dets = {
+      make_det({0, 0, 3, 3}, ObjectClass::kCar, 0.5f)};
+  const DetectionLoss loss = detection_loss(dets, {}, config);
+  EXPECT_FLOAT_EQ(loss.false_positive, config.false_positive_cost * 0.5f);
+}
+
+TEST(DetectionLossTest, WrongClassRaisesClassificationLoss) {
+  const std::vector<GroundTruth> gts = {make_gt({2, 2, 8, 6},
+                                                ObjectClass::kCar)};
+  const auto right = detection_loss(
+      {make_det({2, 2, 8, 6}, ObjectClass::kCar, 0.9f)}, gts);
+  const auto wrong = detection_loss(
+      {make_det({2, 2, 8, 6}, ObjectClass::kVan, 0.9f)}, gts);
+  EXPECT_GT(wrong.classification, right.classification + 1.0f);
+}
+
+TEST(DetectionLossTest, RegressionGrowsWithBoxError) {
+  const std::vector<GroundTruth> gts = {make_gt({10, 10, 16, 14},
+                                                ObjectClass::kCar)};
+  LossConfig config;
+  config.match_iou = 0.1f;
+  const auto tight = detection_loss(
+      {make_det({10, 10, 16, 14}, ObjectClass::kCar, 0.9f)}, gts, config);
+  const auto loose = detection_loss(
+      {make_det({9, 9, 17, 15}, ObjectClass::kCar, 0.9f)}, gts, config);
+  EXPECT_GT(loose.regression, tight.regression);
+}
+
+TEST(DetectionLossTest, NormalizationDividesByGtCount) {
+  const std::vector<GroundTruth> gts = {
+      make_gt({2, 2, 8, 6}, ObjectClass::kCar),
+      make_gt({20, 20, 26, 24}, ObjectClass::kVan)};
+  LossConfig norm;
+  LossConfig raw = norm;
+  raw.normalize_by_gt = false;
+  const auto ln = detection_loss({}, gts, norm);
+  const auto lr = detection_loss({}, gts, raw);
+  EXPECT_NEAR(ln.total() * 2.0f, lr.total(), 1e-5f);
+}
+
+TEST(DetectionLossTest, EmptySceneEmptyDetectionsZeroLoss) {
+  EXPECT_FLOAT_EQ(detection_loss({}, {}).total(), 0.0f);
+}
+
+TEST(DetectionLossTest, TotalIsSumOfComponents) {
+  const std::vector<GroundTruth> gts = {make_gt({2, 2, 8, 6},
+                                                ObjectClass::kCar)};
+  const std::vector<Detection> dets = {
+      make_det({2.5f, 2, 8.5f, 6}, ObjectClass::kVan, 0.8f),
+      make_det({30, 30, 33, 33}, ObjectClass::kCar, 0.4f)};
+  const DetectionLoss loss = detection_loss(dets, gts);
+  EXPECT_FLOAT_EQ(loss.total(), loss.regression + loss.classification +
+                                    loss.miss_penalty + loss.false_positive);
+  EXPECT_GT(loss.false_positive, 0.0f);
+}
+
+}  // namespace
+}  // namespace eco::detect

@@ -1,0 +1,161 @@
+#include "eval/map_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace eco::eval {
+namespace {
+
+detect::Detection make_det(detect::Box box, detect::ObjectClass cls,
+                           float score) {
+  detect::Detection d;
+  d.box = box;
+  d.cls = cls;
+  d.score = score;
+  return d;
+}
+
+detect::GroundTruth make_gt(detect::Box box, detect::ObjectClass cls) {
+  detect::GroundTruth gt;
+  gt.box = box;
+  gt.cls = cls;
+  return gt;
+}
+
+TEST(MapTest, PerfectDetectionsScoreOne) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar),
+                        make_gt({10, 10, 14, 14}, detect::ObjectClass::kVan)};
+  frame.detections = {
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f),
+      make_det({10, 10, 14, 14}, detect::ObjectClass::kVan, 0.8f)};
+  EXPECT_NEAR(mean_average_precision({frame}), 1.0f, 1e-5f);
+}
+
+TEST(MapTest, NoDetectionsScoreZero) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  EXPECT_FLOAT_EQ(mean_average_precision({frame}), 0.0f);
+}
+
+TEST(MapTest, NoGroundTruthNoScore) {
+  FrameResult frame;
+  frame.detections = {make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f)};
+  EXPECT_FLOAT_EQ(mean_average_precision({frame}), 0.0f);
+}
+
+TEST(MapTest, WrongClassDoesNotMatch) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  frame.detections = {make_det({0, 0, 4, 4}, detect::ObjectClass::kVan, 0.9f)};
+  EXPECT_FLOAT_EQ(mean_average_precision({frame}), 0.0f);
+}
+
+TEST(MapTest, IouThresholdGates) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  frame.detections = {
+      make_det({2, 2, 6, 6}, detect::ObjectClass::kCar, 0.9f)};  // IoU 4/28
+  MapConfig strict;
+  EXPECT_FLOAT_EQ(mean_average_precision({frame}, strict), 0.0f);
+  MapConfig loose;
+  loose.iou_threshold = 0.1f;
+  EXPECT_NEAR(mean_average_precision({frame}, loose), 1.0f, 1e-5f);
+}
+
+TEST(MapTest, FalsePositiveRankedAboveTruePositiveHurtsAp) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  frame.detections = {
+      make_det({20, 20, 24, 24}, detect::ObjectClass::kCar, 0.95f),  // FP first
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.60f)};
+  // PR: (r=0, p=0) then (r=1, p=0.5) -> AP = 0.5 (all-point).
+  EXPECT_NEAR(mean_average_precision({frame}), 0.5f, 1e-5f);
+}
+
+TEST(MapTest, FalsePositiveBelowTruePositiveIsFree) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  frame.detections = {
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.95f),
+      make_det({20, 20, 24, 24}, detect::ObjectClass::kCar, 0.10f)};
+  EXPECT_NEAR(mean_average_precision({frame}), 1.0f, 1e-5f);
+}
+
+TEST(MapTest, DuplicateDetectionsCountAsFalsePositives) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  frame.detections = {
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f),
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.8f)};  // dup
+  // Second detection cannot claim the same GT.
+  const auto aps = per_class_ap({frame});
+  const auto& car = aps[static_cast<std::size_t>(detect::ObjectClass::kCar)];
+  EXPECT_NEAR(car.ap, 1.0f, 1e-5f);  // recall reached at rank 1
+  ASSERT_EQ(car.curve.size(), 2u);
+  EXPECT_NEAR(car.curve[1].precision, 0.5f, 1e-5f);
+}
+
+TEST(MapTest, AveragesOverPresentClassesOnly) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar),
+                        make_gt({10, 10, 13, 13}, detect::ObjectClass::kBus)};
+  frame.detections = {make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f)};
+  // Car AP = 1, Bus AP = 0, other classes absent -> mAP = 0.5.
+  EXPECT_NEAR(mean_average_precision({frame}), 0.5f, 1e-5f);
+}
+
+TEST(MapTest, CrossFrameRankingPoolsDetections) {
+  FrameResult a, b;
+  a.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  a.detections = {make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f)};
+  b.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar)};
+  b.detections = {make_det({8, 8, 12, 12}, detect::ObjectClass::kCar, 0.95f)};
+  // Frame b's FP outranks frame a's TP: AP = 0.5 at full recall 0.5.
+  const float map = mean_average_precision({a, b});
+  EXPECT_NEAR(map, 0.25f, 1e-5f);
+}
+
+TEST(MapTest, ElevenPointInterpolationDiffers) {
+  FrameResult frame;
+  frame.ground_truth = {make_gt({0, 0, 4, 4}, detect::ObjectClass::kCar),
+                        make_gt({10, 10, 14, 14}, detect::ObjectClass::kCar)};
+  frame.detections = {
+      make_det({0, 0, 4, 4}, detect::ObjectClass::kCar, 0.9f),
+      make_det({30, 30, 34, 34}, detect::ObjectClass::kCar, 0.5f)};
+  MapConfig voc07;
+  voc07.eleven_point = true;
+  const float ap_all = mean_average_precision({frame});
+  const float ap_11 = mean_average_precision({frame}, voc07);
+  // recall 0.5 at precision 1: all-point AP = 0.5; 11-point = 6/11.
+  EXPECT_NEAR(ap_all, 0.5f, 1e-5f);
+  EXPECT_NEAR(ap_11, 6.0f / 11.0f, 1e-5f);
+}
+
+TEST(RunningStatsTest, WelfordMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(MeanOfTest, HandlesEmptyAndValues) {
+  EXPECT_EQ(mean_of(std::vector<double>{}), 0.0);
+  EXPECT_NEAR(mean_of(std::vector<double>{1.0, 2.0, 3.0}), 2.0, 1e-12);
+  EXPECT_NEAR(mean_of(std::vector<float>{1.0f, 3.0f}), 2.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace eco::eval

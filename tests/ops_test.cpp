@@ -1,0 +1,226 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eco::tensor {
+namespace {
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Tensor weight({1, 1, 3, 3});
+  weight.at(0, 0, 1, 1) = 1.0f;  // identity
+  const Tensor bias({1});
+  const Tensor input({1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8,
+                                 9, 10, 11, 12, 13, 14, 15, 16});
+  const Tensor out = conv2d(input, weight, bias, spec);
+  EXPECT_TRUE(out.equals(input));
+}
+
+TEST(Conv2dTest, SumKernelCountsNeighbourhood) {
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  spec.kernel = 3;
+  spec.padding = 1;
+  const Tensor weight = Tensor::ones({1, 1, 3, 3});
+  const Tensor bias({1});
+  const Tensor input = Tensor::ones({1, 3, 3});
+  const Tensor out = conv2d(input, weight, bias, spec);
+  // Centre sees 9 ones, corner sees 4 (padding zeros elsewhere).
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0f);
+}
+
+TEST(Conv2dTest, StrideHalvesOutput) {
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  EXPECT_EQ(spec.out_extent(8), 4u);
+  const Tensor weight({2, 1, 3, 3});
+  const Tensor bias({2});
+  const Tensor out = conv2d(Tensor({1, 8, 8}), weight, bias, spec);
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 4}));
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  spec.kernel = 1;
+  spec.padding = 0;
+  const Tensor weight({1, 1, 1, 1}, {2.0f});
+  const Tensor bias({1}, {0.5f});
+  const Tensor input({1, 1, 1}, {3.0f});
+  EXPECT_FLOAT_EQ(conv2d(input, weight, bias, spec)[0], 6.5f);
+}
+
+TEST(Conv2dTest, InputValidation) {
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 1;
+  const Tensor weight({1, 2, 3, 3});
+  const Tensor bias({1});
+  EXPECT_THROW(conv2d(Tensor({1, 4, 4}), weight, bias, spec),
+               std::invalid_argument);
+}
+
+TEST(ReluTest, ForwardAndBackward) {
+  const Tensor x({4}, {-2, -0.5f, 0, 3});
+  const Tensor y = relu(x);
+  EXPECT_TRUE(y.equals(Tensor({4}, {0, 0, 0, 3})));
+  const Tensor grad = relu_backward(x, Tensor({4}, {1, 1, 1, 1}));
+  EXPECT_TRUE(grad.equals(Tensor({4}, {0, 0, 0, 1})));
+}
+
+TEST(MaxPoolTest, SelectsWindowMaximum) {
+  const Tensor input({1, 4, 4}, {1, 2, 5, 6,
+                                 3, 4, 7, 8,
+                                 9, 10, 13, 14,
+                                 11, 12, 15, 16});
+  const Tensor out = maxpool2x2(input);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 16.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  const Tensor input({1, 2, 2}, {1, 4, 2, 3});
+  const Tensor grad_out({1, 1, 1}, {5.0f});
+  const Tensor grad = maxpool2x2_backward(input, grad_out);
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 1), 5.0f);  // 4 was the max
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 0), 0.0f);
+}
+
+TEST(GlobalAvgPoolTest, ComputesChannelMeans) {
+  const Tensor input({2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor out = global_avg_pool(input);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 10.0f);
+  const Tensor grad = global_avg_pool_backward({2, 2, 2}, Tensor({2}, {4, 8}));
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 1, 1), 2.0f);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  const Tensor logits({3}, {1.0f, 2.0f, 3.0f});
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(probs.sum(), 1.0f, 1e-5f);
+  EXPECT_GT(probs[2], probs[1]);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  const Tensor probs = softmax(Tensor({2}, {1000.0f, 1000.0f}));
+  EXPECT_NEAR(probs[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(probs[1], 0.5f, 1e-5f);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  const Tensor out = sigmoid(Tensor({3}, {0.0f, 100.0f, -100.0f}));
+  EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(out[2], 0.0f, 1e-6f);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionNearZeroLoss) {
+  const Tensor logits({3}, {20.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(cross_entropy(logits, 0), 0.0f, 1e-3f);
+  EXPECT_GT(cross_entropy(logits, 1), 5.0f);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHot) {
+  const Tensor logits({3}, {1.0f, 2.0f, 0.5f});
+  Tensor grad;
+  (void)cross_entropy(logits, 1, &grad);
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(grad[0], probs[0], 1e-6f);
+  EXPECT_NEAR(grad[1], probs[1] - 1.0f, 1e-6f);
+  EXPECT_NEAR(grad[2], probs[2], 1e-6f);
+}
+
+TEST(SmoothL1Test, QuadraticInsideLinearOutside) {
+  const Tensor zero({1}, {0.0f});
+  // |diff| = 0.5 -> 0.5 * 0.25 = 0.125
+  EXPECT_NEAR(smooth_l1(Tensor({1}, {0.5f}), zero), 0.125f, 1e-6f);
+  // |diff| = 2 -> 2 - 0.5 = 1.5
+  EXPECT_NEAR(smooth_l1(Tensor({1}, {2.0f}), zero), 1.5f, 1e-6f);
+}
+
+TEST(SmoothL1Test, GradientSignAndMagnitude) {
+  Tensor grad;
+  (void)smooth_l1(Tensor({2}, {0.5f, -3.0f}), Tensor({2}), &grad);
+  EXPECT_NEAR(grad[0], 0.25f, 1e-6f);   // diff/n = 0.5/2
+  EXPECT_NEAR(grad[1], -0.5f, 1e-6f);   // sign/n = -1/2
+}
+
+TEST(MseTest, ValueAndGradient) {
+  Tensor grad;
+  const float loss = mse(Tensor({2}, {1.0f, 3.0f}), Tensor({2}, {0.0f, 1.0f}),
+                         &grad);
+  EXPECT_NEAR(loss, (1.0f + 4.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad[0], 1.0f, 1e-6f);   // 2*1/2
+  EXPECT_NEAR(grad[1], 2.0f, 1e-6f);   // 2*2/2
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  const Tensor weight({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor bias({2}, {0.5f, -0.5f});
+  const Tensor x({3}, {1, 1, 1});
+  const Tensor y = linear(x, weight, bias);
+  EXPECT_FLOAT_EQ(y[0], 6.5f);
+  EXPECT_FLOAT_EQ(y[1], 14.5f);
+}
+
+TEST(LinearTest, BackwardAccumulatesGradients) {
+  const Tensor weight({1, 2}, {2.0f, 3.0f});
+  const Tensor x({2}, {5.0f, 7.0f});
+  Tensor gw({1, 2}), gb({1});
+  const Tensor gx = linear_backward(x, weight, Tensor({1}, {1.0f}), gw, gb);
+  EXPECT_FLOAT_EQ(gx[0], 2.0f);
+  EXPECT_FLOAT_EQ(gx[1], 3.0f);
+  EXPECT_FLOAT_EQ(gw.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(gw.at(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(gb[0], 1.0f);
+}
+
+// Parameterized sweep: conv output extents across kernel/stride/padding.
+struct ConvCase {
+  std::size_t kernel, stride, padding, in_extent, expected;
+};
+class ConvExtentSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvExtentSweep, OutExtentFormula) {
+  const ConvCase c = GetParam();
+  Conv2dSpec spec;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  EXPECT_EQ(spec.out_extent(c.in_extent), c.expected);
+  // And the actual convolution agrees.
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  const Tensor out = conv2d(Tensor({1, c.in_extent, c.in_extent}),
+                            Tensor({1, 1, c.kernel, c.kernel}), Tensor({1}),
+                            spec);
+  EXPECT_EQ(out.size(1), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvExtentSweep,
+    ::testing::Values(ConvCase{3, 1, 1, 8, 8}, ConvCase{3, 2, 1, 8, 4},
+                      ConvCase{1, 1, 0, 5, 5}, ConvCase{5, 1, 2, 9, 9},
+                      ConvCase{3, 2, 1, 24, 12}, ConvCase{7, 2, 3, 224, 112}));
+
+}  // namespace
+}  // namespace eco::tensor

@@ -1,0 +1,115 @@
+#include "tensor/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eco::tensor {
+namespace {
+
+Param make_param(std::vector<float> values) {
+  Param p;
+  p.name = "p";
+  p.value = Tensor::from_vector(std::move(values));
+  p.zero_grad();
+  return p;
+}
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Param p = make_param({1.0f, -2.0f});
+  p.grad = Tensor::from_vector({0.5f, -0.5f});
+  Sgd opt({&p}, {.lr = 0.1f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.95f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Param p = make_param({0.0f});
+  Sgd opt({&p}, {.lr = 1.0f, .momentum = 0.9f});
+  p.grad = Tensor::from_vector({1.0f});
+  opt.step();  // v = 1, x = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad = Tensor::from_vector({1.0f});
+  opt.step();  // v = 1.9, x = -2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Param p = make_param({10.0f});
+  Sgd opt({&p}, {.lr = 0.1f, .weight_decay = 0.5f});
+  p.grad.zero();
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // minimize f(x) = (x - 3)^2; grad = 2(x - 3)
+  Param p = make_param({0.0f});
+  Sgd opt({&p}, {.lr = 0.1f});
+  for (int i = 0; i < 200; ++i) {
+    p.zero_grad();
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Param p = make_param({-5.0f});
+  Adam opt({&p}, {.lr = 0.1f});
+  for (int i = 0; i < 500; ++i) {
+    p.zero_grad();
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // With bias correction, the first Adam step magnitude ~= lr.
+  Param p = make_param({0.0f});
+  Adam opt({&p}, {.lr = 0.01f});
+  p.grad[0] = 42.0f;  // any positive gradient
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, SetLearningRateTakesEffect) {
+  Param p = make_param({0.0f});
+  Adam opt({&p}, {.lr = 0.01f});
+  opt.set_learning_rate(0.0f);
+  p.grad[0] = 1.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Param a = make_param({1.0f}), b = make_param({2.0f});
+  a.grad[0] = 5.0f;
+  b.grad[0] = 7.0f;
+  Sgd opt({&a, &b}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad[0], 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Param p = make_param({0.0f, 0.0f});
+  p.grad = Tensor::from_vector({3.0f, 4.0f});  // norm 5
+  Sgd opt({&p}, {});
+  opt.clip_grad_norm(1.0f);
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad[1], 0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenUnder) {
+  Param p = make_param({0.0f});
+  p.grad[0] = 0.5f;
+  Sgd opt({&p}, {});
+  opt.clip_grad_norm(1.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace eco::tensor

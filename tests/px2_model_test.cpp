@@ -1,0 +1,139 @@
+#include "energy/px2_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::energy {
+namespace {
+
+TEST(ResNet18MacsTest, StemBranchSplitAndTotals) {
+  const ResNet18Macs macs = resnet18_macs();
+  EXPECT_GT(macs.stem_end, 0u);
+  EXPECT_LT(macs.stem_end, macs.layers.size());
+  EXPECT_GT(macs.stem_macs(), 0.0);
+  EXPECT_GT(macs.branch_macs(), macs.stem_macs());
+  EXPECT_NEAR(macs.total_macs(), macs.stem_macs() + macs.branch_macs(), 1.0);
+  // ResNet-18 at 224x224 is ~1.8 GMACs; heads add a little.
+  EXPECT_GT(macs.total_macs(), 1.5e9);
+  EXPECT_LT(macs.total_macs(), 2.5e9);
+}
+
+TEST(ResNet18MacsTest, Conv1LayerMacsFormula) {
+  const ResNet18Macs macs = resnet18_macs();
+  const ConvLayerSpec& conv1 = macs.layers.front();
+  EXPECT_EQ(conv1.name, "conv1");
+  // 3*64*7*7*112*112
+  EXPECT_NEAR(conv1.macs(), 3.0 * 64 * 49 * 112 * 112, 1.0);
+}
+
+TEST(Px2ModelTest, SingleCameraLatencyMatchesPaper) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 1;
+  profile.branches = {BranchRun{1, 0}};
+  // Paper Table 1: 21.57 ms for a camera-only configuration.
+  EXPECT_NEAR(px2.latency_ms(profile), 21.57, 0.05);
+}
+
+TEST(Px2ModelTest, LidarRadarProjectionAddsLatency) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 1;
+  profile.stem_projections = 1;
+  profile.branches = {BranchRun{1, 1}};
+  // Paper Table 1: 21.85 ms for lidar/radar-only configurations.
+  EXPECT_NEAR(px2.latency_ms(profile), 21.85, 0.05);
+}
+
+TEST(Px2ModelTest, EarlyFusionLatencyNearPaper) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 3;
+  profile.stem_projections = 1;  // lidar input
+  profile.branches = {BranchRun{3, 1}};
+  // Paper: 31.36 ms; the model is calibrated within ~2%.
+  EXPECT_NEAR(px2.latency_ms(profile), 31.36, 0.8);
+}
+
+TEST(Px2ModelTest, LateFusionLatencyNearPaper) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 4;
+  profile.stem_projections = 2;
+  profile.branches = {BranchRun{1, 0}, BranchRun{1, 0}, BranchRun{1, 1},
+                      BranchRun{1, 1}};
+  // Paper: 84.32 ms.
+  EXPECT_NEAR(px2.latency_ms(profile), 84.32, 1.5);
+}
+
+TEST(Px2ModelTest, EnergyIsPowerTimesLatency) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 2;
+  profile.branches = {BranchRun{2, 0}};
+  EXPECT_NEAR(px2.energy_j(profile),
+              px2.load_power_w() * px2.latency_ms(profile) * 1e-3, 1e-9);
+  EXPECT_NEAR(px2.load_power_w(), 45.4, 1e-9);
+}
+
+TEST(Px2ModelTest, GateCostsAreNegligible) {
+  const Px2Model px2;
+  // Paper §5: gate energy < 0.005 J after TensorRT compilation.
+  for (GateComplexity gate : {GateComplexity::kKnowledge,
+                              GateComplexity::kDeep,
+                              GateComplexity::kAttention}) {
+    const double joules = px2.load_power_w() * px2.gate_latency_ms(gate) * 1e-3;
+    EXPECT_LT(joules, 0.005);
+  }
+  EXPECT_EQ(px2.gate_latency_ms(GateComplexity::kNone), 0.0);
+  EXPECT_GT(px2.gate_latency_ms(GateComplexity::kAttention),
+            px2.gate_latency_ms(GateComplexity::kDeep));
+}
+
+TEST(Px2ModelTest, LatencyMonotoneInBranchCount) {
+  const Px2Model px2;
+  ExecutionProfile one, two;
+  one.stems_run = 4;
+  one.branches = {BranchRun{1, 0}};
+  two.stems_run = 4;
+  two.branches = {BranchRun{1, 0}, BranchRun{1, 0}};
+  EXPECT_GT(px2.latency_ms(two), px2.latency_ms(one));
+}
+
+TEST(Px2ModelTest, EmptyProfileCostsOnlyStems) {
+  const Px2Model px2;
+  ExecutionProfile profile;
+  profile.stems_run = 1;
+  profile.branches = {};
+  EXPECT_NEAR(px2.latency_ms(profile), px2.stem_latency_ms(), 1e-9);
+}
+
+TEST(Px2ModelTest, EffectiveThroughputIsPlausible) {
+  const Px2Model px2;
+  // Effective GMAC/s implied by calibration should be within the PX2's
+  // physical envelope (single-digit TOPS, fraction utilised).
+  EXPECT_GT(px2.effective_gmacs_stem(), 20.0);
+  EXPECT_LT(px2.effective_gmacs_stem(), 1000.0);
+  EXPECT_GT(px2.effective_gmacs_branch(), 20.0);
+  EXPECT_LT(px2.effective_gmacs_branch(), 1000.0);
+}
+
+TEST(Px2ModelTest, EveryConfigurationMeetsRealTimeBound) {
+  // ASPLOS'18 constraint cited in the paper: < 100 ms per frame.
+  const Px2Model px2;
+  ExecutionProfile heaviest;
+  heaviest.stems_run = 4;
+  heaviest.stem_projections = 2;
+  heaviest.gate = GateComplexity::kAttention;
+  heaviest.branches = {BranchRun{3, 1}, BranchRun{1, 0}, BranchRun{1, 0},
+                       BranchRun{1, 1}, BranchRun{1, 1}};
+  EXPECT_LT(px2.latency_ms(heaviest), 125.0);  // full ensemble, documented
+  ExecutionProfile late;
+  late.stems_run = 4;
+  late.stem_projections = 2;
+  late.branches = {BranchRun{1, 0}, BranchRun{1, 0}, BranchRun{1, 1},
+                   BranchRun{1, 1}};
+  EXPECT_LT(px2.latency_ms(late), 100.0);
+}
+
+}  // namespace
+}  // namespace eco::energy

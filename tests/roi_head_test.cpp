@@ -1,0 +1,152 @@
+#include "detect/roi_head.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/rpn.hpp"
+
+namespace eco::detect {
+namespace {
+
+tensor::Tensor grid_with_rect(std::size_t size, Box rect, float amplitude) {
+  tensor::Tensor grid({1, size, size});
+  for (std::size_t y = static_cast<std::size_t>(rect.y1);
+       y < static_cast<std::size_t>(rect.y2); ++y) {
+    for (std::size_t x = static_cast<std::size_t>(rect.x1);
+         x < static_cast<std::size_t>(rect.x2); ++x) {
+      grid.at(0, y, x) = amplitude;
+    }
+  }
+  return grid;
+}
+
+std::vector<ClassPrototype> two_prototypes() {
+  return {
+      {ObjectClass::kCar, 0.60f, 6.0f, 4.0f},
+      {ObjectClass::kPedestrian, 0.55f, 2.0f, 3.0f},
+  };
+}
+
+TEST(ExtractRegionsTest, FindsSeparateComponents) {
+  tensor::Tensor grid({1, 20, 20});
+  for (std::size_t y = 2; y < 6; ++y)
+    for (std::size_t x = 2; x < 8; ++x) grid.at(0, y, x) = 0.5f;
+  for (std::size_t y = 12; y < 15; ++y)
+    for (std::size_t x = 12; x < 14; ++x) grid.at(0, y, x) = 0.7f;
+  const auto regions = extract_regions(grid, 0.25f, 3);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_FLOAT_EQ(regions[0].box.x1, 2.0f);
+  EXPECT_FLOAT_EQ(regions[0].box.x2, 8.0f);
+  EXPECT_EQ(regions[0].area, 24u);
+  EXPECT_NEAR(regions[0].mean_amplitude, 0.5f, 1e-5f);
+  EXPECT_NEAR(regions[1].peak_amplitude, 0.7f, 1e-5f);
+}
+
+TEST(ExtractRegionsTest, MinAreaFiltersSpeckle) {
+  tensor::Tensor grid({1, 10, 10});
+  grid.at(0, 5, 5) = 1.0f;  // single cell
+  EXPECT_TRUE(extract_regions(grid, 0.5f, 3).empty());
+  EXPECT_EQ(extract_regions(grid, 0.5f, 1).size(), 1u);
+}
+
+TEST(ExtractRegionsTest, DiagonalCellsConnect) {
+  tensor::Tensor grid({1, 10, 10});
+  grid.at(0, 2, 2) = 1.0f;
+  grid.at(0, 3, 3) = 1.0f;
+  grid.at(0, 4, 4) = 1.0f;
+  const auto regions = extract_regions(grid, 0.5f, 3);
+  ASSERT_EQ(regions.size(), 1u);  // 8-connectivity joins the diagonal
+  EXPECT_EQ(regions[0].area, 3u);
+}
+
+TEST(ExtractRegionsTest, ThresholdSplitsWeakFromStrong) {
+  tensor::Tensor grid({1, 10, 10});
+  for (std::size_t x = 1; x < 4; ++x) grid.at(0, 1, x) = 0.9f;
+  for (std::size_t x = 6; x < 9; ++x) grid.at(0, 1, x) = 0.2f;
+  EXPECT_EQ(extract_regions(grid, 0.5f, 2).size(), 1u);
+  EXPECT_EQ(extract_regions(grid, 0.1f, 2).size(), 2u);
+}
+
+TEST(RoiHeadTest, DetectsAndClassifiesCleanRect) {
+  const Box rect{10, 10, 16, 14};  // car-sized, amplitude 0.6
+  const tensor::Tensor grid = grid_with_rect(32, rect, 0.6f);
+  const Rpn rpn;
+  const RoiHead head(RoiHeadConfig{}, two_prototypes());
+  const auto detections = head.run(grid, rpn.propose(grid));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].cls, ObjectClass::kCar);
+  EXPECT_GT(iou(detections[0].box, rect), 0.8f);
+  EXPECT_GT(detections[0].score, 0.5f);
+  ASSERT_EQ(detections[0].class_scores.size(), 2u);
+  EXPECT_GT(detections[0].class_scores[0], detections[0].class_scores[1]);
+}
+
+TEST(RoiHeadTest, ClassifiesByGeometryWhenAmplitudesTie) {
+  const Box ped{10, 10, 12, 13};  // 2x3 pedestrian extent
+  const tensor::Tensor grid = grid_with_rect(32, ped, 0.57f);
+  const Rpn rpn;
+  const RoiHead head(RoiHeadConfig{}, two_prototypes());
+  const auto detections = head.run(grid, rpn.propose(grid));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].cls, ObjectClass::kPedestrian);
+}
+
+TEST(RoiHeadTest, RegionWithoutProposalIsRejected) {
+  const Box rect{10, 10, 16, 14};
+  const tensor::Tensor grid = grid_with_rect(32, rect, 0.6f);
+  const RoiHead head(RoiHeadConfig{}, two_prototypes());
+  EXPECT_TRUE(head.run(grid, /*proposals=*/{}).empty());
+}
+
+TEST(RoiHeadTest, EmptyGridProducesNoDetections) {
+  const Rpn rpn;
+  const RoiHead head(RoiHeadConfig{}, two_prototypes());
+  const tensor::Tensor grid({1, 32, 32});
+  EXPECT_TRUE(head.run(grid, rpn.propose(grid)).empty());
+}
+
+TEST(RoiHeadTest, BoxDeflateShrinksOutput) {
+  const Box rect{8, 8, 18, 16};
+  const tensor::Tensor grid = grid_with_rect(32, rect, 0.6f);
+  const Rpn rpn;
+  RoiHeadConfig deflated;
+  deflated.box_deflate = 0.5f;
+  const RoiHead head_full(RoiHeadConfig{}, two_prototypes());
+  const RoiHead head_half(deflated, two_prototypes());
+  const auto full = head_full.run(grid, rpn.propose(grid));
+  const auto half = head_half.run(grid, rpn.propose(grid));
+  ASSERT_FALSE(full.empty());
+  ASSERT_FALSE(half.empty());
+  EXPECT_NEAR(half[0].box.width(), 0.5f * full[0].box.width(), 0.6f);
+  EXPECT_NEAR(half[0].box.cx(), full[0].box.cx(), 0.5f);
+}
+
+TEST(RoiHeadTest, MinScoreFiltersWeakRegions) {
+  const Box rect{10, 10, 16, 14};
+  const tensor::Tensor grid = grid_with_rect(32, rect, 0.08f);
+  const Rpn rpn;
+  RoiHeadConfig strict;
+  strict.min_score = 0.99f;
+  const RoiHead head(strict, two_prototypes());
+  EXPECT_TRUE(head.run(grid, rpn.propose(grid)).empty());
+}
+
+TEST(RoiHeadTest, TwoObjectsTwoDetections) {
+  tensor::Tensor grid({1, 32, 32});
+  const Box a{4, 4, 10, 8}, b{20, 20, 26, 24};
+  for (const Box& rect : {a, b}) {
+    for (std::size_t y = static_cast<std::size_t>(rect.y1);
+         y < static_cast<std::size_t>(rect.y2); ++y) {
+      for (std::size_t x = static_cast<std::size_t>(rect.x1);
+           x < static_cast<std::size_t>(rect.x2); ++x) {
+        grid.at(0, y, x) = 0.6f;
+      }
+    }
+  }
+  const Rpn rpn;
+  const RoiHead head(RoiHeadConfig{}, two_prototypes());
+  const auto detections = head.run(grid, rpn.propose(grid));
+  EXPECT_EQ(detections.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eco::detect

@@ -1,0 +1,137 @@
+#include "detect/rpn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eco::detect {
+namespace {
+
+tensor::Tensor grid_with_rect(std::size_t size, Box rect, float amplitude) {
+  tensor::Tensor grid({1, size, size});
+  for (std::size_t y = static_cast<std::size_t>(rect.y1);
+       y < static_cast<std::size_t>(rect.y2); ++y) {
+    for (std::size_t x = static_cast<std::size_t>(rect.x1);
+         x < static_cast<std::size_t>(rect.x2); ++x) {
+      grid.at(0, y, x) = amplitude;
+    }
+  }
+  return grid;
+}
+
+TEST(IntegralImageTest, BoxSumMatchesBruteForce) {
+  util::Rng rng(5);
+  tensor::Tensor grid({1, 16, 20});
+  for (auto& v : grid.vec()) v = rng.uniform_f(0.0f, 1.0f);
+  const IntegralImage integral(grid);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box b;
+    b.x1 = rng.uniform_f(0.0f, 18.0f);
+    b.y1 = rng.uniform_f(0.0f, 14.0f);
+    b.x2 = b.x1 + rng.uniform_f(0.5f, 6.0f);
+    b.y2 = b.y1 + rng.uniform_f(0.5f, 6.0f);
+    double brute = 0.0;
+    const auto x0 = static_cast<std::size_t>(std::max(0.0f, b.x1));
+    const auto y0 = static_cast<std::size_t>(std::max(0.0f, b.y1));
+    const auto x1 = static_cast<std::size_t>(std::clamp(b.x2, 0.0f, 20.0f));
+    const auto y1 = static_cast<std::size_t>(std::clamp(b.y2, 0.0f, 16.0f));
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) brute += grid.at(0, y, x);
+    }
+    EXPECT_NEAR(integral.box_sum(b), brute, 1e-3)
+        << "box " << b.to_string();
+  }
+}
+
+TEST(IntegralImageTest, EmptyBoxIsZero) {
+  const IntegralImage integral(tensor::Tensor({1, 4, 4}));
+  EXPECT_EQ(integral.box_sum(Box{2, 2, 2, 3}), 0.0);
+  EXPECT_EQ(integral.box_mean(Box{5, 5, 9, 9}), 0.0);  // outside
+}
+
+TEST(IntegralImageTest, AcceptsTwoDimensionalInput) {
+  tensor::Tensor grid({3, 4});
+  grid.fill(2.0f);
+  const IntegralImage integral(grid);
+  EXPECT_NEAR(integral.box_sum(Box{0, 0, 4, 3}), 24.0, 1e-6);
+  EXPECT_EQ(integral.height(), 3u);
+  EXPECT_EQ(integral.width(), 4u);
+}
+
+TEST(BoxBlurTest, PreservesConstantField) {
+  tensor::Tensor grid({1, 6, 6});
+  grid.fill(0.7f);
+  const tensor::Tensor blurred = box_blur3(grid);
+  for (std::size_t i = 0; i < blurred.numel(); ++i) {
+    EXPECT_NEAR(blurred[i], 0.7f, 1e-5f);
+  }
+}
+
+TEST(BoxBlurTest, SpreadsImpulse) {
+  tensor::Tensor grid({1, 5, 5});
+  grid.at(0, 2, 2) = 9.0f;
+  const tensor::Tensor blurred = box_blur3(grid);
+  EXPECT_NEAR(blurred.at(0, 2, 2), 1.0f, 1e-5f);
+  EXPECT_NEAR(blurred.at(0, 1, 1), 1.0f, 1e-5f);
+  EXPECT_NEAR(blurred.at(0, 0, 0), 0.0f, 1e-5f);
+}
+
+TEST(RpnTest, ProposesOnBrightObject) {
+  const Box rect{10, 10, 16, 14};
+  const tensor::Tensor grid = grid_with_rect(32, rect, 0.6f);
+  const Rpn rpn;
+  const auto proposals = rpn.propose(grid);
+  ASSERT_FALSE(proposals.empty());
+  float best = 0.0f;
+  for (const Proposal& p : proposals) best = std::max(best, iou(p.box, rect));
+  EXPECT_GT(best, 0.45f);
+  for (const Proposal& p : proposals) {
+    EXPECT_GE(p.objectness, 0.0f);
+    EXPECT_LE(p.objectness, 1.0f);
+  }
+}
+
+TEST(RpnTest, SilentOnEmptyGrid) {
+  const Rpn rpn;
+  EXPECT_TRUE(rpn.propose(tensor::Tensor({1, 32, 32})).empty());
+}
+
+TEST(RpnTest, RespectsTopK) {
+  RpnConfig config;
+  config.top_k = 3;
+  const Rpn rpn(config);
+  tensor::Tensor grid({1, 32, 32});
+  // Many bright objects.
+  for (int i = 0; i < 5; ++i) {
+    const float x = 2.0f + 6.0f * static_cast<float>(i);
+    for (std::size_t y = 4; y < 8; ++y) {
+      for (std::size_t xx = static_cast<std::size_t>(x);
+           xx < static_cast<std::size_t>(x) + 4; ++xx) {
+        grid.at(0, y, xx) = 0.8f;
+      }
+    }
+  }
+  EXPECT_LE(rpn.propose(grid).size(), 3u);
+}
+
+TEST(RpnTest, RejectsNonGridInput) {
+  const Rpn rpn;
+  EXPECT_THROW((void)rpn.propose(tensor::Tensor({2, 8, 8})),
+               std::invalid_argument);
+  EXPECT_THROW((void)rpn.propose(tensor::Tensor({8})), std::invalid_argument);
+}
+
+TEST(RpnTest, HigherContrastYieldsHigherObjectness) {
+  const Box rect{10, 10, 16, 14};
+  const Rpn rpn;
+  const auto strong = rpn.propose(grid_with_rect(32, rect, 0.8f));
+  const auto weak = rpn.propose(grid_with_rect(32, rect, 0.15f));
+  ASSERT_FALSE(strong.empty());
+  float strong_best = 0.0f, weak_best = 0.0f;
+  for (const auto& p : strong) strong_best = std::max(strong_best, p.objectness);
+  for (const auto& p : weak) weak_best = std::max(weak_best, p.objectness);
+  EXPECT_GT(strong_best, weak_best);
+}
+
+}  // namespace
+}  // namespace eco::detect

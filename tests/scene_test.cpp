@@ -1,0 +1,112 @@
+#include "dataset/scene.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::dataset {
+namespace {
+
+TEST(SceneTest, AllSceneTypesEnumerated) {
+  const auto types = all_scene_types();
+  EXPECT_EQ(types.size(), kNumSceneTypes);
+  EXPECT_EQ(types.front(), SceneType::kCity);
+  EXPECT_EQ(types.back(), SceneType::kSnow);
+}
+
+TEST(SceneTest, NamesRoundTripThroughParse) {
+  for (SceneType type : all_scene_types()) {
+    SceneType parsed;
+    ASSERT_TRUE(parse_scene_type(scene_type_name(type), parsed));
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+TEST(SceneTest, ParseRejectsUnknownNames) {
+  SceneType out;
+  EXPECT_FALSE(parse_scene_type("desert", out));
+  EXPECT_FALSE(parse_scene_type("", out));
+  EXPECT_FALSE(parse_scene_type("City", out));  // case sensitive
+}
+
+TEST(SceneTest, ClassPriorsHavePositiveExtents) {
+  for (detect::ObjectClass cls : detect::all_object_classes()) {
+    const ClassPriors& p = class_priors(cls);
+    EXPECT_GT(p.width, 0.0f);
+    EXPECT_GT(p.height, 0.0f);
+    EXPECT_GT(p.camera_intensity, 0.0f);
+    EXPECT_LE(p.camera_intensity, 1.0f);
+    EXPECT_GT(p.lidar_reflectivity, 0.0f);
+    EXPECT_GT(p.radar_rcs, 0.0f);
+  }
+}
+
+TEST(SceneTest, VehicleRcsExceedsPedestrianRcs) {
+  // Radar cross-section ordering: metal bulk > soft targets.
+  EXPECT_GT(class_priors(detect::ObjectClass::kBus).radar_rcs,
+            class_priors(detect::ObjectClass::kPedestrian).radar_rcs);
+  EXPECT_GT(class_priors(detect::ObjectClass::kTruck).radar_rcs,
+            class_priors(detect::ObjectClass::kBicycle).radar_rcs);
+  EXPECT_GT(class_priors(detect::ObjectClass::kCar).radar_rcs,
+            class_priors(detect::ObjectClass::kBicycle).radar_rcs);
+}
+
+TEST(SceneTest, BusIsLargestClass) {
+  const float bus_area = class_priors(detect::ObjectClass::kBus).width *
+                         class_priors(detect::ObjectClass::kBus).height;
+  for (detect::ObjectClass cls : detect::all_object_classes()) {
+    if (cls == detect::ObjectClass::kBus) continue;
+    const ClassPriors& p = class_priors(cls);
+    EXPECT_LT(p.width * p.height, bus_area)
+        << detect::object_class_name(cls);
+  }
+}
+
+TEST(SceneTest, EnvironmentClassWeightsArePositiveSum) {
+  for (SceneType type : all_scene_types()) {
+    const SceneEnvironment env = scene_environment(type);
+    double sum = 0.0;
+    for (double w : env.class_weights) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 0.05) << scene_type_name(type);
+    EXPECT_LE(env.min_objects, env.max_objects);
+    EXPECT_GT(env.min_objects, 0);
+  }
+}
+
+TEST(SceneTest, FogAndSnowAreMostAttenuating) {
+  const float fog = scene_environment(SceneType::kFog).attenuation;
+  const float snow = scene_environment(SceneType::kSnow).attenuation;
+  for (SceneType type : {SceneType::kCity, SceneType::kJunction,
+                         SceneType::kMotorway, SceneType::kRural,
+                         SceneType::kNight}) {
+    EXPECT_LT(scene_environment(type).attenuation, fog);
+    EXPECT_LT(scene_environment(type).attenuation, snow);
+  }
+}
+
+TEST(SceneTest, NightHasLowestIllumination) {
+  const float night = scene_environment(SceneType::kNight).illumination;
+  for (SceneType type : all_scene_types()) {
+    if (type == SceneType::kNight) continue;
+    EXPECT_GT(scene_environment(type).illumination, night);
+  }
+}
+
+TEST(SceneTest, PrecipitationOnlyInWetScenes) {
+  EXPECT_GT(scene_environment(SceneType::kRain).precipitation, 0.5f);
+  EXPECT_GT(scene_environment(SceneType::kSnow).precipitation, 0.5f);
+  EXPECT_EQ(scene_environment(SceneType::kMotorway).precipitation, 0.0f);
+  EXPECT_EQ(scene_environment(SceneType::kJunction).precipitation, 0.0f);
+}
+
+TEST(SceneTest, ObjectClassNamesMatchRadiateTaxonomy) {
+  EXPECT_STREQ(detect::object_class_name(detect::ObjectClass::kCar), "car");
+  EXPECT_STREQ(
+      detect::object_class_name(detect::ObjectClass::kPedestrianGroup),
+      "group_of_pedestrians");
+  EXPECT_EQ(detect::all_object_classes().size(), detect::kNumObjectClasses);
+}
+
+}  // namespace
+}  // namespace eco::dataset

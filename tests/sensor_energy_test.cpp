@@ -1,0 +1,111 @@
+#include "energy/sensor_energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::energy {
+namespace {
+
+TEST(SensorSpecTest, DatasheetValues) {
+  const SensorPowerSpec radar = sensor_power_spec(PhysicalSensor::kRadar);
+  EXPECT_DOUBLE_EQ(radar.total_power_w, 24.0);
+  EXPECT_DOUBLE_EQ(radar.motor_power_w, 2.4);
+  // Paper: Navtech CTS350-X P_meas = 21.6 W.
+  EXPECT_DOUBLE_EQ(radar.measurement_power_w(), 21.6);
+
+  const SensorPowerSpec lidar = sensor_power_spec(PhysicalSensor::kLidar);
+  EXPECT_DOUBLE_EQ(lidar.total_power_w, 12.0);
+  // Paper: HDL-32E P_meas estimated at 9.6 W.
+  EXPECT_DOUBLE_EQ(lidar.measurement_power_w(), 9.6);
+
+  const SensorPowerSpec zed = sensor_power_spec(PhysicalSensor::kZedCamera);
+  EXPECT_DOUBLE_EQ(zed.total_power_w, 1.9);
+  EXPECT_DOUBLE_EQ(zed.motor_power_w, 0.0);
+}
+
+TEST(SensorSpecTest, PerMeasurementEnergyEquation10) {
+  // E_s = (P_meas + P_motor) / f = P_total / f.
+  for (std::size_t i = 0; i < kNumPhysicalSensors; ++i) {
+    const SensorPowerSpec spec =
+        sensor_power_spec(static_cast<PhysicalSensor>(i));
+    EXPECT_NEAR(spec.active_energy_j(),
+                spec.total_power_w / spec.frequency_hz, 1e-12);
+    EXPECT_NEAR(spec.gated_energy_j(),
+                spec.motor_power_w / spec.frequency_hz, 1e-12);
+    EXPECT_LE(spec.gated_energy_j(), spec.active_energy_j());
+  }
+}
+
+TEST(SensorEnergyTest, AllActiveWithoutGating) {
+  SensorUsage none;  // no sensor used
+  const double without_gating = sensor_energy_j(none, /*clock_gating=*/false);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < kNumPhysicalSensors; ++i) {
+    expected +=
+        sensor_power_spec(static_cast<PhysicalSensor>(i)).active_energy_j();
+  }
+  EXPECT_NEAR(without_gating, expected, 1e-9);
+}
+
+TEST(SensorEnergyTest, GatingDropsToMotorShareForUnused) {
+  SensorUsage cameras_only;
+  cameras_only.zed_camera = true;
+  const double gated = sensor_energy_j(cameras_only, /*clock_gating=*/true);
+  const double expected =
+      sensor_power_spec(PhysicalSensor::kZedCamera).active_energy_j() +
+      sensor_power_spec(PhysicalSensor::kLidar).gated_energy_j() +
+      sensor_power_spec(PhysicalSensor::kRadar).gated_energy_j();
+  EXPECT_NEAR(gated, expected, 1e-9);
+}
+
+TEST(SensorEnergyTest, GatingNeverIncreasesEnergy) {
+  for (int mask = 0; mask < 8; ++mask) {
+    SensorUsage usage;
+    usage.zed_camera = (mask & 1) != 0;
+    usage.lidar = (mask & 2) != 0;
+    usage.radar = (mask & 4) != 0;
+    EXPECT_LE(sensor_energy_j(usage, true), sensor_energy_j(usage, false));
+  }
+}
+
+TEST(SensorEnergyTest, AllSensorsUsedGatingIsNoOp) {
+  SensorUsage all;
+  all.zed_camera = all.lidar = all.radar = true;
+  EXPECT_NEAR(sensor_energy_j(all, true), sensor_energy_j(all, false), 1e-12);
+}
+
+TEST(SensorEnergyTest, RadarDominatesSensorBudget) {
+  // The Navtech is by far the hungriest sensor per measurement.
+  EXPECT_GT(sensor_power_spec(PhysicalSensor::kRadar).active_energy_j(),
+            sensor_power_spec(PhysicalSensor::kLidar).active_energy_j() * 3);
+  EXPECT_GT(sensor_power_spec(PhysicalSensor::kRadar).active_energy_j(),
+            sensor_power_spec(PhysicalSensor::kZedCamera).active_energy_j() * 10);
+}
+
+TEST(TotalEnergyTest, Equation11Composition) {
+  SensorUsage usage;
+  usage.lidar = true;
+  const double platform = 2.5;
+  EXPECT_NEAR(total_energy_j(platform, usage, true),
+              platform + sensor_energy_j(usage, true), 1e-12);
+}
+
+TEST(TotalEnergyTest, LateFusionBudgetNearPaperTable3) {
+  // Paper Table 3: late fusion total (platform 3.798 J + all sensors)
+  // = 13.27 J per frame. Our calibrated model should land within ~5%.
+  SensorUsage all;
+  all.zed_camera = all.lidar = all.radar = true;
+  const double total = total_energy_j(3.798, all, false);
+  EXPECT_NEAR(total, 13.27, 0.7);
+}
+
+TEST(PhysicalSensorTest, Names) {
+  EXPECT_STREQ(physical_sensor_name(PhysicalSensor::kZedCamera),
+               "zed_stereo_camera");
+  EXPECT_STREQ(physical_sensor_name(PhysicalSensor::kLidar),
+               "velodyne_hdl32e");
+  EXPECT_STREQ(physical_sensor_name(PhysicalSensor::kRadar),
+               "navtech_cts350x");
+}
+
+}  // namespace
+}  // namespace eco::energy

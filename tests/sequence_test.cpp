@@ -1,0 +1,132 @@
+#include "dataset/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eco::dataset {
+namespace {
+
+SequenceConfig test_config() {
+  SequenceConfig config;
+  config.length = 10;
+  config.seed = 5;
+  return config;
+}
+
+TEST(SequenceTest, ProducesRequestedLength) {
+  const Sequence seq = generate_sequence(SceneType::kCity, test_config(), 0);
+  EXPECT_EQ(seq.frames.size(), 10u);
+  EXPECT_EQ(seq.tracks.size(), 10u);
+  EXPECT_EQ(seq.scene, SceneType::kCity);
+}
+
+TEST(SequenceTest, Deterministic) {
+  const Sequence a = generate_sequence(SceneType::kRain, test_config(), 3);
+  const Sequence b = generate_sequence(SceneType::kRain, test_config(), 3);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t t = 0; t < a.frames.size(); ++t) {
+    EXPECT_TRUE(a.frames[t]
+                    .grid(SensorKind::kLidar)
+                    .equals(b.frames[t].grid(SensorKind::kLidar)));
+  }
+}
+
+TEST(SequenceTest, ObjectCountIsStable) {
+  const Sequence seq = generate_sequence(SceneType::kMotorway, test_config(), 1);
+  const std::size_t initial = seq.frames.front().objects.size();
+  for (const Frame& frame : seq.frames) {
+    EXPECT_EQ(frame.objects.size(), initial);
+  }
+}
+
+TEST(SequenceTest, ObjectsActuallyMove) {
+  const Sequence seq = generate_sequence(SceneType::kMotorway, test_config(), 2);
+  ASSERT_GE(seq.frames.size(), 2u);
+  double total_displacement = 0.0;
+  const auto& first = seq.tracks.front();
+  const auto& last = seq.tracks.back();
+  ASSERT_EQ(first.size(), last.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    total_displacement += std::abs(last[i].x - first[i].x) +
+                          std::abs(last[i].y - first[i].y);
+  }
+  EXPECT_GT(total_displacement, 1.0);
+}
+
+TEST(SequenceTest, BoxesStayCellAlignedAndInBounds) {
+  const SequenceConfig config = test_config();
+  const Sequence seq = generate_sequence(SceneType::kJunction, config, 4);
+  for (const Frame& frame : seq.frames) {
+    for (const auto& gt : frame.objects) {
+      EXPECT_EQ(gt.box.x1, std::floor(gt.box.x1));
+      EXPECT_EQ(gt.box.y1, std::floor(gt.box.y1));
+      EXPECT_GE(gt.box.x1, 0.0f);
+      EXPECT_LE(gt.box.x2, static_cast<float>(config.grid.width));
+      EXPECT_LE(gt.box.y2, static_cast<float>(config.grid.height));
+      EXPECT_TRUE(gt.box.valid());
+    }
+  }
+}
+
+TEST(SequenceTest, ObjectsNeverTouch) {
+  const Sequence seq = generate_sequence(SceneType::kCity, test_config(), 6);
+  for (const Frame& frame : seq.frames) {
+    for (std::size_t i = 0; i < frame.objects.size(); ++i) {
+      for (std::size_t j = i + 1; j < frame.objects.size(); ++j) {
+        EXPECT_EQ(detect::intersection_area(frame.objects[i].box,
+                                            frame.objects[j].box),
+                  0.0f);
+      }
+    }
+  }
+}
+
+TEST(SequenceTest, MotionIsSmooth) {
+  // Frame-to-frame displacement is bounded by the configured speed (+1 for
+  // cell rounding).
+  const SequenceConfig config = test_config();
+  const Sequence seq = generate_sequence(SceneType::kMotorway, config, 7);
+  for (std::size_t t = 1; t < seq.tracks.size(); ++t) {
+    ASSERT_EQ(seq.tracks[t].size(), seq.tracks[t - 1].size());
+    for (std::size_t i = 0; i < seq.tracks[t].size(); ++i) {
+      const float dx = seq.tracks[t][i].x - seq.tracks[t - 1][i].x;
+      const float dy = seq.tracks[t][i].y - seq.tracks[t - 1][i].y;
+      EXPECT_LE(std::hypot(dx, dy), config.vehicle_speed + 1.0f);
+    }
+  }
+}
+
+TEST(SequenceTest, ClassesArePersistent) {
+  const Sequence seq = generate_sequence(SceneType::kRural, test_config(), 8);
+  const auto& first = seq.frames.front().objects;
+  for (const Frame& frame : seq.frames) {
+    ASSERT_EQ(frame.objects.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(frame.objects[i].cls, first[i].cls);
+    }
+  }
+}
+
+class SequenceSceneSweep : public ::testing::TestWithParam<SceneType> {};
+
+TEST_P(SequenceSceneSweep, RendersAllSensorsEveryFrame) {
+  SequenceConfig config = test_config();
+  config.length = 4;
+  const Sequence seq = generate_sequence(GetParam(), config, 9);
+  for (const Frame& frame : seq.frames) {
+    for (SensorKind kind : all_sensor_kinds()) {
+      EXPECT_EQ(frame.grid(kind).shape(),
+                (tensor::Shape{1, config.grid.height, config.grid.width}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SequenceSceneSweep,
+                         ::testing::ValuesIn(all_scene_types()),
+                         [](const auto& info) {
+                           return scene_type_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace eco::dataset

@@ -1,0 +1,80 @@
+#include "core/stems.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+
+namespace eco::core {
+namespace {
+
+dataset::Frame test_frame(dataset::SceneType scene = dataset::SceneType::kCity) {
+  dataset::DatasetConfig config;
+  return dataset::generate_frame(scene, config, 3);
+}
+
+TEST(StemBankTest, FeatureShapeHalvesSpatialDims) {
+  const StemBank stems;
+  const dataset::Frame frame = test_frame();
+  const auto features =
+      stems.features(dataset::SensorKind::kCameraLeft,
+                     frame.grid(dataset::SensorKind::kCameraLeft));
+  EXPECT_EQ(features.shape(),
+            (tensor::Shape{stems.out_channels(), 24, 24}));
+}
+
+TEST(StemBankTest, GateFeaturesConcatenateAllSensors) {
+  const StemBank stems;
+  const dataset::Frame frame = test_frame();
+  const auto features = stems.gate_features(frame);
+  EXPECT_EQ(features.shape(), (tensor::Shape{stems.gate_channels(), 24, 24}));
+  EXPECT_EQ(stems.gate_channels(), stems.out_channels() * 4);
+}
+
+TEST(StemBankTest, DeterministicAcrossInstances) {
+  const StemBank a, b;
+  const dataset::Frame frame = test_frame();
+  EXPECT_TRUE(a.gate_features(frame).equals(b.gate_features(frame)));
+}
+
+TEST(StemBankTest, FeaturesAreNonNegative) {
+  // Stems end in ReLU + max-pool.
+  const StemBank stems;
+  const dataset::Frame frame = test_frame(dataset::SceneType::kSnow);
+  const auto features = stems.gate_features(frame);
+  EXPECT_GE(features.min(), 0.0f);
+}
+
+TEST(StemBankTest, FeaturesCarryContextSignal) {
+  // A fog frame and a city frame must produce distinguishable feature
+  // statistics — otherwise the gate has nothing to learn from.
+  const StemBank stems;
+  dataset::DatasetConfig config;
+  const auto city = dataset::generate_frame(dataset::SceneType::kCity, config, 10);
+  const auto fog = dataset::generate_frame(dataset::SceneType::kFog, config, 11);
+  const auto f_city = stems.gate_features(city);
+  const auto f_fog = stems.gate_features(fog);
+  EXPECT_GT(std::abs(f_city.mean() - f_fog.mean()) /
+                std::max(1e-6f, f_city.mean()),
+            0.02f);
+}
+
+TEST(StemBankTest, IdentityChannelTracksInput) {
+  // Channel 0 of each stem is the identity kernel (after ReLU+pool), so a
+  // brighter grid yields larger channel-0 features.
+  const StemBank stems;
+  tensor::Tensor dim({1, 48, 48});
+  dim.fill(0.1f);
+  tensor::Tensor bright({1, 48, 48});
+  bright.fill(0.9f);
+  const auto f_dim = stems.features(dataset::SensorKind::kLidar, dim);
+  const auto f_bright = stems.features(dataset::SensorKind::kLidar, bright);
+  double dim_sum = 0.0, bright_sum = 0.0;
+  for (std::size_t i = 0; i < 24 * 24; ++i) {
+    dim_sum += f_dim[i];
+    bright_sum += f_bright[i];
+  }
+  EXPECT_GT(bright_sum, dim_sum * 2);
+}
+
+}  // namespace
+}  // namespace eco::core

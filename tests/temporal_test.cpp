@@ -1,0 +1,174 @@
+#include "core/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gating/loss_gate.hpp"
+
+namespace eco::core {
+namespace {
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  static const EcoFusionEngine& engine() {
+    static EcoFusionEngine instance;
+    return instance;
+  }
+  static const dataset::Sequence& sequence() {
+    static dataset::Sequence seq = [] {
+      dataset::SequenceConfig config;
+      config.length = 8;
+      return dataset::generate_sequence(dataset::SceneType::kCity, config, 1);
+    }();
+    return seq;
+  }
+};
+
+TEST_F(TemporalTest, RunnerHoldsConfigurationUnderHysteresis) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  TemporalConfig config;
+  config.min_hold_frames = 100;  // effectively never switch
+  config.switch_margin = 1e9f;
+  TemporalRunner runner(engine(), oracle, config);
+  std::size_t switches = 0;
+  std::optional<std::size_t> first;
+  for (const auto& frame : sequence().frames) {
+    const auto step = runner.step(frame);
+    if (!first.has_value()) first = step.run.config_index;
+    EXPECT_EQ(step.run.config_index, *first);  // held throughout
+    if (step.switched) ++switches;
+  }
+  EXPECT_EQ(switches, 1u);  // only the initial selection
+  EXPECT_EQ(runner.switch_count(), 0u);
+}
+
+TEST_F(TemporalTest, ZeroHysteresisTracksPerFrameSelection) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  TemporalConfig config;
+  config.ema_alpha = 1.0f;  // no smoothing
+  config.switch_margin = 0.0f;
+  config.min_hold_frames = 0;
+  TemporalRunner runner(engine(), oracle, config);
+  for (const auto& frame : sequence().frames) {
+    const auto step = runner.step(frame);
+    // With α=1 and no hysteresis, the choice equals the frame-wise argmin
+    // of the joint objective.
+    const auto losses = engine().config_losses(frame);
+    const auto& energies =
+        engine().adaptive_energy_table(oracle.complexity());
+    EXPECT_EQ(step.run.config_index,
+              select_configuration(losses, energies, config.joint));
+  }
+}
+
+TEST_F(TemporalTest, SmoothingReducesSwitchRate) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  TemporalConfig jittery;
+  jittery.ema_alpha = 1.0f;
+  jittery.switch_margin = 0.0f;
+  jittery.min_hold_frames = 0;
+  TemporalConfig smooth;
+  smooth.ema_alpha = 0.3f;
+  smooth.switch_margin = 0.05f;
+  smooth.min_hold_frames = 3;
+
+  TemporalRunner jittery_runner(engine(), oracle, jittery);
+  TemporalRunner smooth_runner(engine(), oracle, smooth);
+  for (const auto& frame : sequence().frames) {
+    (void)jittery_runner.step(frame);
+    (void)smooth_runner.step(frame);
+  }
+  EXPECT_LE(smooth_runner.switch_count(), jittery_runner.switch_count());
+}
+
+TEST_F(TemporalTest, ResetClearsState) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  TemporalRunner runner(engine(), oracle);
+  (void)runner.step(sequence().frames.front());
+  EXPECT_TRUE(runner.current_config().has_value());
+  runner.reset();
+  EXPECT_FALSE(runner.current_config().has_value());
+  EXPECT_EQ(runner.switch_count(), 0u);
+}
+
+TEST(DutyCyclerTest, UnusedSensorGatesAfterDelay) {
+  DutyCycleConfig config;
+  config.off_delay_frames = 2;
+  SensorDutyCycler cycler(config);
+  energy::SensorUsage cameras_only;
+  cameras_only.zed_camera = true;
+
+  const auto radar_active =
+      energy::sensor_power_spec(energy::PhysicalSensor::kRadar)
+          .active_energy_j();
+  const auto radar_gated =
+      energy::sensor_power_spec(energy::PhysicalSensor::kRadar)
+          .gated_energy_j();
+
+  // Radar never used: starts gated and stays gated.
+  const double e0 = cycler.step(cameras_only);
+  EXPECT_LT(e0, radar_active);
+
+  // Use radar once: it must be active this frame and during the spin-down.
+  energy::SensorUsage with_radar = cameras_only;
+  with_radar.radar = true;
+  const double e1 = cycler.step(with_radar);
+  EXPECT_GE(e1, radar_active);
+  const double e2 = cycler.step(cameras_only);  // idle 1 <= delay 2
+  EXPECT_GE(e2, radar_active);
+  (void)cycler.step(cameras_only);              // idle 2 <= delay 2
+  const double e4 = cycler.step(cameras_only);  // idle 3 > delay -> gated
+  EXPECT_LT(e4 - (e1 - radar_active), radar_active);
+  EXPECT_NEAR(e4, e0 + 0.0, radar_active);  // back to the gated level
+  (void)radar_gated;
+}
+
+TEST(DutyCyclerTest, DutyCycleFractionTracksUsage) {
+  SensorDutyCycler cycler(DutyCycleConfig{0});
+  energy::SensorUsage all;
+  all.zed_camera = all.lidar = all.radar = true;
+  energy::SensorUsage none;
+  for (int i = 0; i < 5; ++i) (void)cycler.step(all);
+  for (int i = 0; i < 5; ++i) (void)cycler.step(none);
+  EXPECT_EQ(cycler.frames(), 10u);
+  EXPECT_NEAR(cycler.duty_cycle(energy::PhysicalSensor::kRadar), 0.5, 1e-9);
+}
+
+TEST(DutyCyclerTest, TotalAccumulates) {
+  SensorDutyCycler cycler;
+  energy::SensorUsage none;
+  const double a = cycler.step(none);
+  const double b = cycler.step(none);
+  EXPECT_NEAR(cycler.total_energy_j(), a + b, 1e-12);
+}
+
+TEST_F(TemporalTest, RunSequenceSummarises) {
+  gating::LossBasedGate oracle(engine().config_space().size());
+  const SequenceSummary summary =
+      run_sequence(engine(), oracle, sequence());
+  EXPECT_EQ(summary.frames, sequence().frames.size());
+  EXPECT_GT(summary.mean_loss, 0.0);
+  EXPECT_GT(summary.mean_platform_energy_j, 0.0);
+  EXPECT_GT(summary.mean_sensor_energy_j, 0.0);
+  EXPECT_NEAR(summary.mean_total_energy_j(),
+              summary.mean_platform_energy_j + summary.mean_sensor_energy_j,
+              1e-12);
+}
+
+TEST_F(TemporalTest, CitySequenceGatesRadarMostOfTheTime) {
+  // In a clear city sequence the selected configurations rarely need radar,
+  // so the duty cycler should keep it gated for a large fraction of frames.
+  gating::LossBasedGate oracle(engine().config_space().size());
+  TemporalConfig config;
+  config.joint.lambda_energy = 0.1f;  // lean on energy
+  TemporalRunner runner(engine(), oracle, config);
+  SensorDutyCycler cycler(DutyCycleConfig{1});
+  for (const auto& frame : sequence().frames) {
+    const auto step = runner.step(frame);
+    (void)cycler.step(
+        engine().config_space()[step.run.config_index].sensor_usage());
+  }
+  EXPECT_LT(cycler.duty_cycle(energy::PhysicalSensor::kRadar), 0.9);
+}
+
+}  // namespace
+}  // namespace eco::core

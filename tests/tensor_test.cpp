@@ -1,0 +1,140 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(TensorTest, ShapeConstructorZeroFills) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.dim(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  EXPECT_EQ(Tensor::scalar(3.5f)[0], 3.5f);
+  EXPECT_EQ(Tensor::ones({4}).sum(), 4.0f);
+  EXPECT_EQ(Tensor::full({2, 2}, 2.5f).sum(), 10.0f);
+  const Tensor v = Tensor::from_vector({1, 2, 3});
+  EXPECT_EQ(v.dim(), 1u);
+  EXPECT_EQ(v.numel(), 3u);
+}
+
+TEST(TensorTest, MultiDimAccessRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  Tensor t3({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t3.at(1, 0, 1), 5.0f);
+  Tensor t4({1, 2, 1, 2}, {0, 1, 2, 3});
+  EXPECT_EQ(t4.at(0, 1, 0, 1), 3.0f);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndValidatesNumel) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {10, 20});
+  EXPECT_TRUE((a + b).equals(Tensor({2}, {11, 22})));
+  EXPECT_TRUE((b - a).equals(Tensor({2}, {9, 18})));
+  EXPECT_TRUE((a * b).equals(Tensor({2}, {10, 40})));
+  EXPECT_TRUE((a * 3.0f).equals(Tensor({2}, {3, 6})));
+  EXPECT_TRUE((2.0f * a).equals(Tensor({2}, {2, 4})));
+}
+
+TEST(TensorTest, ArithmeticShapeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+  const Tensor t({4}, {-1, 3, 0, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_FLOAT_EQ(t.min(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 1u);
+  EXPECT_FLOAT_EQ(t.sum_squares(), 1 + 9 + 0 + 4);
+}
+
+TEST(TensorTest, AllClose) {
+  const Tensor a({2}, {1.0f, 2.0f});
+  const Tensor b({2}, {1.0f + 1e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor({2}, {1.1f, 2.0f})));
+  EXPECT_FALSE(a.allclose(Tensor({1, 2}, {1.0f, 2.0f})));
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t({3});
+  t.fill(7.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 21.0f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(MatmulTest, KnownProduct) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(c.equals(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(MatmulTest, IdentityIsNoOp) {
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor eye({2, 2}, {1, 0, 0, 1});
+  EXPECT_TRUE(matmul(a, eye).equals(a));
+  EXPECT_TRUE(matmul(eye, a).equals(a));
+}
+
+TEST(MatmulTest, ShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor({4}), Tensor({4, 1})), std::invalid_argument);
+}
+
+TEST(ConcatChannelsTest, StacksAlongChannelAxis) {
+  const Tensor a({1, 2, 2}, {1, 2, 3, 4});
+  const Tensor b({2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+  const Tensor c = concat_channels({a, b});
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 2}));
+  EXPECT_EQ(c.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(c.at(1, 0, 0), 5.0f);
+  EXPECT_EQ(c.at(2, 1, 1), 12.0f);
+}
+
+TEST(ConcatChannelsTest, RejectsMismatchedSpatialDims) {
+  EXPECT_THROW(concat_channels({Tensor({1, 2, 2}), Tensor({1, 3, 2})}),
+               std::invalid_argument);
+  EXPECT_THROW(concat_channels({}), std::invalid_argument);
+  EXPECT_THROW(concat_channels({Tensor({4})}), std::invalid_argument);
+}
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace eco::tensor

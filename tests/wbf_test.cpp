@@ -1,0 +1,140 @@
+#include "fusion/wbf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco::fusion {
+namespace {
+
+detect::Detection make_det(detect::Box box, float score,
+                           detect::ObjectClass cls = detect::ObjectClass::kCar) {
+  detect::Detection d;
+  d.box = box;
+  d.score = score;
+  d.cls = cls;
+  return d;
+}
+
+TEST(WbfTest, SingleModelPassesThrough) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused =
+      weighted_boxes_fusion({{make_det({0, 0, 4, 4}, 0.8f)}}, config);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_FLOAT_EQ(fused[0].score, 0.8f);
+}
+
+TEST(WbfTest, OverlappingBoxesMergeToWeightedAverage) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  // Two models agree on one object, slightly offset boxes.
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.6f)}, {make_det({1, 0, 5, 4}, 0.6f)}},
+      config);
+  ASSERT_EQ(fused.size(), 1u);
+  // Equal scores -> plain average of coordinates.
+  EXPECT_NEAR(fused[0].box.x1, 0.5f, 1e-5f);
+  EXPECT_NEAR(fused[0].box.x2, 4.5f, 1e-5f);
+}
+
+TEST(WbfTest, HigherScoreDominatesAverage) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.9f)}, {make_det({1, 0, 5, 4}, 0.1f)}},
+      config);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_LT(fused[0].box.x1, 0.25f);  // pulled toward the confident box
+}
+
+TEST(WbfTest, DifferentClassesDoNotCluster) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.8f, detect::ObjectClass::kCar)},
+       {make_det({0, 0, 4, 4}, 0.7f, detect::ObjectClass::kVan)}},
+      config);
+  EXPECT_EQ(fused.size(), 2u);
+}
+
+TEST(WbfTest, DisjointBoxesStaySeparate) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.8f)}, {make_det({20, 20, 24, 24}, 0.7f)}},
+      config);
+  EXPECT_EQ(fused.size(), 2u);
+}
+
+TEST(WbfTest, SkipThresholdDropsWeakBoxes) {
+  WbfConfig config;
+  config.skip_box_threshold = 0.5f;
+  const auto fused =
+      weighted_boxes_fusion({{make_det({0, 0, 4, 4}, 0.3f)}}, config);
+  EXPECT_TRUE(fused.empty());
+}
+
+TEST(WbfTest, AgreementRescalingSuppressesLoneBoxes) {
+  WbfConfig config;
+  config.rescale_by_model_count = true;
+  // 3 models: one object seen by all, one clutter box seen by one.
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.7f), make_det({20, 20, 24, 24}, 0.7f)},
+       {make_det({0, 0, 4, 4}, 0.7f)},
+       {make_det({0, 0, 4, 4}, 0.7f)}},
+      config);
+  ASSERT_EQ(fused.size(), 2u);
+  // Output is score-sorted: confirmed object first.
+  EXPECT_GT(fused[0].score, fused[1].score);
+  EXPECT_NEAR(fused[0].score, 0.7f, 1e-4f);  // full agreement keeps score
+  EXPECT_LT(fused[1].score, 0.4f);           // lone box attenuated
+}
+
+TEST(WbfTest, ClassScoresAveragedAcrossCluster) {
+  detect::Detection a = make_det({0, 0, 4, 4}, 0.6f);
+  a.class_scores = {0.9f, 0.1f};
+  detect::Detection b = make_det({0, 0, 4, 4}, 0.6f);
+  b.class_scores = {0.4f, 0.6f};
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion({{a}, {b}}, config);
+  ASSERT_EQ(fused.size(), 1u);
+  ASSERT_EQ(fused[0].class_scores.size(), 2u);
+  EXPECT_GT(fused[0].class_scores[0], fused[0].class_scores[1]);
+  EXPECT_NEAR(fused[0].class_scores[0] + fused[0].class_scores[1], 1.0f,
+              1e-5f);
+  EXPECT_EQ(fused[0].cls, detect::ObjectClass::kCar);
+}
+
+TEST(WbfTest, ModelWeightsScaleScores) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 4, 4}, 0.8f)}}, config, {0.5f});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_FLOAT_EQ(fused[0].score, 0.4f);
+}
+
+TEST(WbfTest, ModelWeightArityMismatchThrows) {
+  EXPECT_THROW(
+      (void)weighted_boxes_fusion({{make_det({0, 0, 1, 1}, 0.5f)}}, {},
+                                  {0.5f, 0.5f}),
+      std::invalid_argument);
+}
+
+TEST(WbfTest, OutputSortedByScore) {
+  WbfConfig config;
+  config.rescale_by_model_count = false;
+  const auto fused = weighted_boxes_fusion(
+      {{make_det({0, 0, 2, 2}, 0.3f), make_det({10, 10, 12, 12}, 0.9f)}},
+      config);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_GE(fused[0].score, fused[1].score);
+}
+
+TEST(WbfTest, EmptyInputProducesEmptyOutput) {
+  EXPECT_TRUE(weighted_boxes_fusion({}).empty());
+  EXPECT_TRUE(weighted_boxes_fusion({{}, {}}).empty());
+}
+
+}  // namespace
+}  // namespace eco::fusion
