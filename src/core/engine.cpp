@@ -96,15 +96,17 @@ EcoFusionEngine::EcoFusionEngine(EngineConfig config)
 
 const std::vector<float>& EcoFusionEngine::adaptive_energy_table(
     energy::GateComplexity gate) const {
-  auto& table = energy_tables_[static_cast<std::size_t>(gate)];
-  if (table.empty()) {
+  const auto slot = static_cast<std::size_t>(gate);
+  std::call_once(energy_table_once_[slot], [&] {
+    std::vector<float> table;
     table.reserve(space_.size());
     for (const ModelConfig& config : space_) {
       table.push_back(static_cast<float>(
           px2_.energy_j(config.execution_profile(/*adaptive=*/true, gate))));
     }
-  }
-  return table;
+    energy_tables_[slot] = std::move(table);
+  });
+  return energy_tables_[slot];
 }
 
 double EcoFusionEngine::static_latency_ms(std::size_t config_index) const {

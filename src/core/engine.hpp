@@ -13,6 +13,7 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -128,7 +129,10 @@ class EcoFusionEngine {
   energy::Px2Model px2_;
   fusion::FusionBlock fusion_block_;
   std::vector<std::unique_ptr<detect::BranchDetector>> branches_;
-  // E(Φ) tables per gate complexity (lazily built, cached).
+  // E(Φ) tables per gate complexity (lazily built, cached). Each table is
+  // built exactly once under its flag so concurrent read-only callers
+  // (the runtime worker pool) never observe a partially filled table.
+  mutable std::array<std::once_flag, 4> energy_table_once_;
   mutable std::array<std::vector<float>, 4> energy_tables_;
 };
 

@@ -1,0 +1,22 @@
+#include "runtime/budget.hpp"
+
+#include <algorithm>
+
+namespace eco::runtime {
+
+BudgetController::BudgetController(BudgetConfig config)
+    : config_(config),
+      lambda_(std::clamp(config.initial_lambda, config.lambda_min,
+                         config.lambda_max)) {}
+
+void BudgetController::observe(double mean_j_per_frame) {
+  if (config_.target_j_per_frame <= 0.0) return;
+  error_ = (mean_j_per_frame - config_.target_j_per_frame) /
+           config_.target_j_per_frame;
+  // Over budget (error > 0) → raise λ_E → cheaper configurations.
+  const float step = std::clamp(config_.gain * static_cast<float>(error_),
+                                -config_.max_step, config_.max_step);
+  lambda_ = std::clamp(lambda_ + step, config_.lambda_min, config_.lambda_max);
+}
+
+}  // namespace eco::runtime

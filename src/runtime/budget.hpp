@@ -1,0 +1,55 @@
+// Closed-loop energy budgeting.
+//
+// The paper selects configurations with a *fixed* energy weight λ_E (Eq. 8).
+// On a vehicle the interesting contract is inverted: hold a joules-per-frame
+// budget while the scene mix drifts, and let λ_E float. BudgetController
+// closes that loop: after each control window it compares the window's mean
+// energy against the target and nudges λ_E proportionally (higher λ_E →
+// greener configurations → less energy). Because the plant is a step
+// function over a discrete Φ, the controller bounds its step size and the
+// pipeline reports the trace so convergence is observable.
+//
+// The controller is deliberately free of wall-clock state: its output is a
+// pure fold over the sequence of window means, so a stream replayed with a
+// different worker count reproduces the same λ_E trajectory exactly.
+#pragma once
+
+namespace eco::runtime {
+
+/// Budget-tracking parameters.
+struct BudgetConfig {
+  /// The energy budget to hold, in joules per frame.
+  double target_j_per_frame = 2.0;
+  /// λ_E actuator range.
+  float lambda_min = 0.0f;
+  float lambda_max = 1.0f;
+  float initial_lambda = 0.05f;
+  /// Proportional gain: λ step per unit of relative energy error.
+  float gain = 0.10f;
+  /// Clamp on a single window's λ step (the plant is discrete; unbounded
+  /// steps would slam between the cheapest and dearest configuration).
+  float max_step = 0.15f;
+};
+
+class BudgetController {
+ public:
+  explicit BudgetController(BudgetConfig config);
+
+  [[nodiscard]] const BudgetConfig& config() const noexcept { return config_; }
+
+  /// λ_E to use for the next control window.
+  [[nodiscard]] float lambda() const noexcept { return lambda_; }
+
+  /// Feeds one window's measured mean energy; updates λ_E.
+  void observe(double mean_j_per_frame);
+
+  /// Relative error of the most recent window: (measured − target) / target.
+  [[nodiscard]] double last_relative_error() const noexcept { return error_; }
+
+ private:
+  BudgetConfig config_;
+  float lambda_;
+  double error_ = 0.0;
+};
+
+}  // namespace eco::runtime

@@ -1,0 +1,147 @@
+#include "runtime/pipeline.hpp"
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
+namespace eco::runtime {
+
+StreamingPipeline::StreamingPipeline(const core::EcoFusionEngine& engine,
+                                     PipelineConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.window == 0) {
+    throw std::invalid_argument("StreamingPipeline: window must be >= 1");
+  }
+}
+
+PipelineReport StreamingPipeline::run(FrameStream& stream,
+                                      const GateFactory& make_gate) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  ThreadPool pool(config_.workers);
+  std::vector<std::unique_ptr<gating::Gate>> gates;
+  gates.reserve(pool.size());
+  for (std::size_t w = 0; w < pool.size(); ++w) gates.push_back(make_gate());
+
+  BudgetController controller(config_.budget.value_or(BudgetConfig{}));
+  float lambda = config_.budget ? controller.lambda()
+                                : config_.joint.lambda_energy;
+
+  PipelineReport report;
+  std::vector<eval::FrameResult> frame_results;
+
+  // Window slots, reused across windows. Workers write disjoint slots; the
+  // main thread reduces them in stream order after the barrier.
+  std::vector<FrameStats> slot_stats(config_.window);
+  std::vector<eval::FrameResult> slot_results(config_.window);
+
+  for (;;) {
+    // Pull the next control window off the stream.
+    std::vector<StreamFrame> window;
+    window.reserve(config_.window);
+    while (window.size() < config_.window) {
+      std::optional<StreamFrame> frame = stream.next();
+      if (!frame) break;
+      window.push_back(std::move(*frame));
+    }
+    if (window.empty()) break;
+
+    core::JointOptParams params = config_.joint;
+    params.lambda_energy = lambda;
+
+    for (std::size_t slot = 0; slot < window.size(); ++slot) {
+      const StreamFrame& sf = window[slot];
+      pool.submit([this, &sf, slot, params, &gates, &slot_stats,
+                   &slot_results](std::size_t worker) {
+        const core::AdaptiveResult result =
+            engine_.run_adaptive(sf.frame, *gates[worker], params);
+        FrameStats stats;
+        stats.stream_index = sf.index;
+        stats.scene = sf.scene;
+        stats.config_index = result.run.config_index;
+        stats.loss = result.run.loss.total();
+        stats.energy_j = result.run.energy_j;
+        stats.latency_ms = result.run.latency_ms;
+        stats.lambda_energy = params.lambda_energy;
+        stats.detections = result.run.detections.size();
+        slot_stats[slot] = stats;
+        if (config_.keep_frame_results) {
+          slot_results[slot] = {result.run.detections, sf.frame.objects};
+        }
+      });
+    }
+    pool.wait_idle();
+
+    // Reduce the window in stream order (slot order == stream order).
+    double window_energy = 0.0;
+    for (std::size_t slot = 0; slot < window.size(); ++slot) {
+      window_energy += slot_stats[slot].energy_j;
+      report.frame_stats.push_back(slot_stats[slot]);
+      if (config_.keep_frame_results) {
+        frame_results.push_back(std::move(slot_results[slot]));
+      }
+    }
+
+    report.lambda_trace.push_back(params.lambda_energy);  // λ the window ran with
+    if (config_.budget) {
+      controller.observe(window_energy / static_cast<double>(window.size()));
+      lambda = controller.lambda();
+    }
+  }
+
+  // Final reduction, single-threaded, stream order throughout.
+  report.frames = report.frame_stats.size();
+  std::map<dataset::SceneType, SceneReport> scenes;
+  for (const FrameStats& stats : report.frame_stats) {
+    report.total_energy_j += stats.energy_j;
+    report.mean_latency_ms += stats.latency_ms;
+    report.mean_loss += stats.loss;
+    report.total_detections += stats.detections;
+    SceneReport& scene = scenes[stats.scene];
+    scene.scene = stats.scene;
+    scene.frames += 1;
+    scene.mean_loss += stats.loss;
+    scene.mean_energy_j += stats.energy_j;
+    scene.mean_latency_ms += stats.latency_ms;
+  }
+  if (report.frames > 0) {
+    const auto n = static_cast<double>(report.frames);
+    report.mean_energy_j = report.total_energy_j / n;
+    report.mean_latency_ms /= n;
+    report.mean_loss /= n;
+  }
+  // Overall mAP first, then move the frame results into per-scene buckets
+  // (avoids deep-copying every detection list a second time).
+  std::map<dataset::SceneType, std::vector<eval::FrameResult>> scene_results;
+  if (config_.keep_frame_results && !frame_results.empty()) {
+    report.map = eval::mean_average_precision(frame_results);
+    for (std::size_t i = 0; i < report.frame_stats.size(); ++i) {
+      scene_results[report.frame_stats[i].scene].push_back(
+          std::move(frame_results[i]));
+    }
+  }
+  for (auto& [type, scene] : scenes) {
+    const auto n = static_cast<double>(scene.frames);
+    scene.mean_loss /= n;
+    scene.mean_energy_j /= n;
+    scene.mean_latency_ms /= n;
+    if (config_.keep_frame_results) {
+      scene.map = eval::mean_average_precision(scene_results[type]);
+    }
+    report.per_scene.push_back(scene);
+  }
+  report.final_lambda = lambda;
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (report.wall_seconds > 0.0) {
+    report.frames_per_second =
+        static_cast<double>(report.frames) / report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace eco::runtime

@@ -1,0 +1,113 @@
+// The streaming perception pipeline.
+//
+// Consumes a FrameStream through a fixed-size worker pool sharing one
+// (immutable, thread-safe) EcoFusionEngine. Each worker owns a private gate
+// instance, so Algorithm 1 runs with zero cross-worker synchronisation on
+// the hot path. Frames are dispatched in *control windows*: every frame in a
+// window runs with the same λ_E; at the window boundary the (optional)
+// BudgetController folds the window's measured mean energy into the next
+// window's λ_E.
+//
+// Determinism contract: aggregate results — per-frame selections, losses,
+// energies, the λ_E trace, the per-scene breakdown, mAP — are a pure
+// function of (engine, stream config, pipeline config, gate factory). The
+// worker count changes only wall-clock throughput. This holds because
+// (a) stream order is timing-independent, (b) per-frame work is independent
+// given λ_E, (c) λ_E only changes at window barriers from window aggregates
+// accumulated in stream order, and (d) final reduction runs in stream order
+// on one thread. tests/runtime_test.cpp pins the contract bitwise.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "eval/map_metric.hpp"
+#include "gating/gate.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/stream.hpp"
+
+namespace eco::runtime {
+
+/// Builds one gate instance. Called once per worker; every instance must be
+/// behaviourally identical (same weights/table) for the determinism
+/// contract to hold across worker counts.
+using GateFactory = std::function<std::unique_ptr<gating::Gate>()>;
+
+/// Pipeline parameters.
+struct PipelineConfig {
+  /// Worker threads running Algorithm 1.
+  std::size_t workers = 1;
+  /// γ and the initial λ_E (λ_E floats when `budget` is set).
+  core::JointOptParams joint;
+  /// Frames per control window (λ_E update granularity).
+  std::size_t window = 16;
+  /// When set, λ_E is adapted online to hold the energy budget.
+  std::optional<BudgetConfig> budget;
+  /// Keep per-frame detections + ground truth for mAP (costs memory
+  /// proportional to the stream; disable for unbounded streams).
+  bool keep_frame_results = true;
+};
+
+/// Per-frame accounting record (stream order).
+struct FrameStats {
+  std::size_t stream_index = 0;
+  dataset::SceneType scene = dataset::SceneType::kCity;
+  std::size_t config_index = 0;
+  float loss = 0.0f;
+  double energy_j = 0.0;
+  double latency_ms = 0.0;
+  float lambda_energy = 0.0f;  // λ_E in force for this frame
+  std::size_t detections = 0;
+};
+
+/// Aggregates for one scene type.
+struct SceneReport {
+  dataset::SceneType scene = dataset::SceneType::kCity;
+  std::size_t frames = 0;
+  double mean_loss = 0.0;
+  double mean_energy_j = 0.0;
+  double mean_latency_ms = 0.0;
+  double map = 0.0;  // 0 when keep_frame_results is off
+};
+
+/// Full pipeline run report.
+struct PipelineReport {
+  std::size_t frames = 0;
+  double total_energy_j = 0.0;
+  double mean_energy_j = 0.0;
+  double mean_latency_ms = 0.0;
+  double mean_loss = 0.0;
+  double map = 0.0;
+  std::size_t total_detections = 0;
+  float final_lambda = 0.0f;
+  std::vector<float> lambda_trace;       // per control window
+  std::vector<SceneReport> per_scene;    // scenes present, enum order
+  std::vector<FrameStats> frame_stats;   // stream order
+  // Wall-clock measurements; NOT covered by the determinism contract.
+  double wall_seconds = 0.0;
+  double frames_per_second = 0.0;
+};
+
+/// Runs the adaptive engine over a frame stream with a worker pool.
+class StreamingPipeline {
+ public:
+  StreamingPipeline(const core::EcoFusionEngine& engine,
+                    PipelineConfig config);
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Drains `stream` to exhaustion. Blocking; returns the final report.
+  [[nodiscard]] PipelineReport run(FrameStream& stream,
+                                   const GateFactory& make_gate) const;
+
+ private:
+  const core::EcoFusionEngine& engine_;
+  PipelineConfig config_;
+};
+
+}  // namespace eco::runtime

@@ -1,0 +1,98 @@
+#include "runtime/stream.hpp"
+
+#include "util/rng.hpp"
+
+namespace eco::runtime {
+
+namespace {
+
+std::vector<dataset::SceneType> effective_scenes(const StreamConfig& config) {
+  if (!config.scenes.empty()) return config.scenes;
+  return dataset::all_scene_types();
+}
+
+}  // namespace
+
+dataset::SequenceConfig sequence_params(const StreamConfig& config,
+                                        dataset::SceneType scene,
+                                        std::size_t ordinal) {
+  dataset::SequenceConfig params = config.sequence;
+  const std::uint64_t salt = util::hash_combine(
+      config.seed, util::hash_combine(static_cast<std::uint64_t>(scene),
+                                      static_cast<std::uint64_t>(ordinal)));
+  params.seed = salt;
+  if (config.vary_severity) {
+    util::Rng rng(salt);
+    params.vehicle_speed *= rng.uniform_f(0.6f, 1.6f);
+    params.phantom_churn *= rng.uniform_f(0.5f, 2.0f);
+  }
+  return params;
+}
+
+FrameStream::FrameStream(StreamConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {
+  total_ = effective_scenes(config_).size() * config_.sequences_per_scene *
+           config_.sequence.length;
+  producer_ = std::thread([this] { produce(); });
+}
+
+FrameStream::~FrameStream() {
+  queue_.close();  // unblocks the producer if consumers stopped early
+  producer_.join();
+}
+
+void FrameStream::produce() {
+  const std::vector<dataset::SceneType> scenes = effective_scenes(config_);
+
+  // One lane per scene type. A lane walks its sequences in order,
+  // regenerating lazily; lanes are drained round-robin so consecutive
+  // stream frames come from different contexts (a mixed-scenario stream).
+  struct Lane {
+    dataset::SceneType scene;
+    std::size_t next_sequence = 0;   // ordinal of the sequence to open next
+    std::size_t cursor = 0;          // frame cursor within `current`
+    dataset::Sequence current;
+    bool open = false;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(scenes.size());
+  for (dataset::SceneType scene : scenes) lanes.push_back(Lane{scene, 0, 0, {}, false});
+
+  std::size_t emitted = 0;
+  std::size_t exhausted = 0;
+  while (exhausted < lanes.size()) {
+    exhausted = 0;
+    for (Lane& lane : lanes) {
+      if (!lane.open) {
+        if (lane.next_sequence >= config_.sequences_per_scene) {
+          ++exhausted;
+          continue;
+        }
+        lane.current = dataset::generate_sequence(
+            lane.scene, sequence_params(config_, lane.scene, lane.next_sequence),
+            lane.next_sequence);
+        lane.cursor = 0;
+        lane.open = !lane.current.frames.empty();
+        if (!lane.open) {  // zero-length sequence: skip it
+          ++lane.next_sequence;
+          continue;
+        }
+      }
+      StreamFrame out;
+      out.index = emitted;
+      out.sequence_id = util::hash_combine(
+          static_cast<std::uint64_t>(lane.scene), lane.next_sequence);
+      out.scene = lane.scene;
+      out.frame = lane.current.frames[lane.cursor];
+      if (++lane.cursor >= lane.current.frames.size()) {
+        lane.open = false;
+        ++lane.next_sequence;
+      }
+      if (!queue_.push(std::move(out))) return;  // consumers gone
+      ++emitted;
+    }
+  }
+  queue_.close();
+}
+
+}  // namespace eco::runtime

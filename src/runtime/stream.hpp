@@ -1,0 +1,134 @@
+// Frame sources for the streaming runtime.
+//
+// A FrameStream multiplexes many generated dataset::Sequence roll-outs into
+// one ordered stream of frames, the way an on-vehicle pipeline sees them:
+// scene contexts interleave (one "lane" per scene type, round-robin), and
+// each sequence gets its own seed and severity jitter so no two sequences
+// are identical. Frames are produced on a dedicated thread into a bounded
+// queue: when consumers fall behind, production blocks (backpressure)
+// instead of buffering the whole stream in memory.
+//
+// The *order* of the stream is a pure function of StreamConfig — it does not
+// depend on queue capacity, consumer count, or timing — which is what lets
+// the pipeline guarantee deterministic aggregate results (see pipeline.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "dataset/sequence.hpp"
+
+namespace eco::runtime {
+
+/// A single-producer bounded FIFO with blocking push/pop and close().
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open; empty optional = drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the queue: pending pops drain remaining items, pushes fail.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::queue<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Stream composition parameters.
+struct StreamConfig {
+  /// Base sequence parameters (grid, length, speeds). Per-sequence seeds
+  /// and severity jitter are derived from `seed`, not from sequence.seed.
+  dataset::SequenceConfig sequence;
+  /// Scene lanes to interleave. Empty = all 8 scene types.
+  std::vector<dataset::SceneType> scenes;
+  std::size_t sequences_per_scene = 2;
+  std::uint64_t seed = 7102;
+  /// Bounded-queue capacity between the producer thread and consumers.
+  std::size_t queue_capacity = 32;
+  /// Jitter vehicle speed / phantom churn per sequence (mixed severities).
+  bool vary_severity = true;
+};
+
+/// One frame of the multiplexed stream.
+struct StreamFrame {
+  std::size_t index = 0;        // global position in the stream
+  std::uint64_t sequence_id = 0;
+  dataset::SceneType scene = dataset::SceneType::kCity;
+  dataset::Frame frame;
+};
+
+/// A live, producer-backed frame stream. Thread-safe: any number of
+/// consumers may call next() concurrently; each frame is delivered once.
+class FrameStream {
+ public:
+  explicit FrameStream(StreamConfig config);
+  ~FrameStream();
+
+  FrameStream(const FrameStream&) = delete;
+  FrameStream& operator=(const FrameStream&) = delete;
+
+  /// Total frames the stream will deliver (known up front).
+  [[nodiscard]] std::size_t total_frames() const noexcept { return total_; }
+
+  [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
+
+  /// Next frame in stream order; empty when exhausted.
+  [[nodiscard]] std::optional<StreamFrame> next() { return queue_.pop(); }
+
+ private:
+  void produce();
+
+  StreamConfig config_;
+  std::size_t total_ = 0;
+  BoundedQueue<StreamFrame> queue_;
+  std::thread producer_;
+};
+
+/// The sequence parameters lane `scene` uses for its `ordinal`-th sequence:
+/// a derived seed plus (optionally) severity jitter. Exposed so tests can
+/// reproduce individual sequences of a stream.
+[[nodiscard]] dataset::SequenceConfig sequence_params(
+    const StreamConfig& config, dataset::SceneType scene, std::size_t ordinal);
+
+}  // namespace eco::runtime

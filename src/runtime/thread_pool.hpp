@@ -1,0 +1,54 @@
+// A minimal fixed-size worker pool for the streaming runtime.
+//
+// Tasks receive the id of the worker executing them (0..size-1), which lets
+// callers keep per-worker state (e.g. one gate instance per worker) without
+// any synchronisation on the hot path. The pool is intentionally small:
+// submit + wait_idle is all the streaming pipeline needs, and the
+// deterministic windowed dispatch lives in the pipeline, not here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eco::runtime {
+
+class ThreadPool {
+ public:
+  /// A task; the argument is the executing worker's id.
+  using Task = std::function<void(std::size_t)>;
+
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues one task. Never blocks.
+  void submit(Task task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace eco::runtime
