@@ -8,17 +8,74 @@
 // wall-clock columns may move. Future PRs use this as the perf baseline:
 // run before/after and compare frames/sec at equal worker counts.
 //
-// Build & run:  ./build/bench/runtime_throughput [frames_per_sequence]
+// Besides the table, the run is written to BENCH_runtime.json (or the path
+// given as the second argument) so the perf trajectory is machine-trackable
+// across PRs.
+//
+// Build & run:  ./build/bench/runtime_throughput [frames_per_sequence] [json]
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "gating/knowledge_gate.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/stream.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+struct Row {
+  std::size_t workers = 0;
+  double frames_per_second = 0.0;
+  double speedup = 0.0;
+};
+
+void write_json(const char* path, const eco::runtime::PipelineReport& report,
+                std::size_t frames_per_sequence, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"runtime_throughput\",\n");
+  std::fprintf(f, "  \"frames\": %zu,\n", report.frames);
+  std::fprintf(f, "  \"frames_per_sequence\": %zu,\n", frames_per_sequence);
+  std::fprintf(f, "  \"mean_energy_j\": %.6f,\n", report.mean_energy_j);
+  std::fprintf(f, "  \"mean_latency_ms\": %.6f,\n", report.mean_latency_ms);
+  std::fprintf(f, "  \"mean_loss\": %.6f,\n", report.mean_loss);
+  std::fprintf(f, "  \"map\": %.6f,\n", report.map);
+  std::fprintf(f, "  \"exec\": {\n");
+  std::fprintf(f, "    \"stems_skipped\": %zu,\n", report.exec.stems_skipped);
+  std::fprintf(f, "    \"stems_computed\": %zu,\n", report.exec.stems_computed);
+  std::fprintf(f, "    \"stem_cache_hits\": %zu,\n",
+               report.exec.stem_cache_hits);
+  std::fprintf(f, "    \"stem_cache_misses\": %zu,\n",
+               report.exec.stem_cache_misses);
+  std::fprintf(f, "    \"branch_runs\": %zu,\n", report.exec.branch_runs);
+  std::fprintf(f, "    \"batches\": %zu,\n", report.exec.batches);
+  std::fprintf(f, "    \"batched_frames\": %zu,\n", report.exec.batched_frames);
+  std::fprintf(f, "    \"max_batch\": %zu,\n", report.exec.max_batch);
+  std::fprintf(f, "    \"mean_batch\": %.4f\n", report.exec.mean_batch);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"workers\": %zu, \"frames_per_second\": %.2f, "
+                 "\"speedup\": %.3f}%s\n",
+                 rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", path);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace eco;
@@ -28,10 +85,12 @@ int main(int argc, char** argv) {
     frames_per_sequence = std::strtoul(argv[1], nullptr, 10);
     if (frames_per_sequence == 0) {
       std::fprintf(stderr,
-                   "usage: runtime_throughput [frames_per_sequence >= 1]\n");
+                   "usage: runtime_throughput [frames_per_sequence >= 1] "
+                   "[json_path]\n");
       return 2;
     }
   }
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_runtime.json";
 
   const core::EcoFusionEngine engine;
   const runtime::GateFactory gate_factory = [&engine] {
@@ -52,6 +111,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"Workers", "Frames/s", "Speedup", "J/frame",
                      "Model ms/frame", "Mean loss", "mAP (%)"});
+  std::vector<Row> rows;
+  runtime::PipelineReport last_report;
   double base_fps = 0.0;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
     runtime::PipelineConfig config;
@@ -59,7 +120,7 @@ int main(int argc, char** argv) {
     config.window = 16;
     runtime::StreamingPipeline pipeline(engine, config);
     runtime::FrameStream stream(stream_config);
-    const runtime::PipelineReport report = pipeline.run(stream, gate_factory);
+    runtime::PipelineReport report = pipeline.run(stream, gate_factory);
     if (base_fps == 0.0) base_fps = report.frames_per_second;
     table.add_row({std::to_string(workers),
                    util::fmt(report.frames_per_second, 1),
@@ -68,9 +129,20 @@ int main(int argc, char** argv) {
                    util::fmt(report.mean_latency_ms, 2),
                    util::fmt(report.mean_loss),
                    util::fmt_pct(report.map)});
+    rows.push_back({workers, report.frames_per_second,
+                    report.frames_per_second / base_fps});
+    last_report = std::move(report);
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("Exec layer: %zu branch runs over %zu frames; stems skipped on "
+              "%zu frames;\n%zu/%zu stem-cache hits/misses; mean batch %.2f "
+              "(max %zu, %zu frames batched).\n",
+              last_report.exec.branch_runs, last_report.frames,
+              last_report.exec.stems_skipped, last_report.exec.stem_cache_hits,
+              last_report.exec.stem_cache_misses, last_report.exec.mean_batch,
+              last_report.exec.max_batch, last_report.exec.batched_frames);
   std::printf("J/frame, loss, and mAP are worker-count invariant by the\n"
               "pipeline's determinism contract; only wall-clock moves.\n");
+  write_json(json_path, last_report, frames_per_sequence, rows);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dataset/scene.hpp"
+#include "exec/workspace.hpp"
 
 namespace eco::core {
 
@@ -136,72 +137,57 @@ std::vector<detect::Detection> EcoFusionEngine::run_branch(
       branch_grids(branch, frame));
 }
 
-RunResult EcoFusionEngine::run_static(const dataset::Frame& frame,
-                                      std::size_t config_index) const {
+void EcoFusionEngine::fuse_and_score(exec::FrameWorkspace& ws,
+                                     std::size_t config_index,
+                                     RunResult& result) const {
   const ModelConfig& config = space_.at(config_index);
   std::vector<fusion::DetectionList> per_branch;
   per_branch.reserve(config.branches.size());
   for (BranchId branch : config.branches) {
-    per_branch.push_back(run_branch(branch, frame));
+    per_branch.push_back(ws.branch_detections(branch));
   }
-  RunResult result;
   result.config_index = config_index;
   result.detections = fusion_block_.fuse(per_branch);
-  result.loss =
-      detect::detection_loss(result.detections, frame.objects, config_.loss);
+  result.loss = detect::detection_loss(result.detections, ws.frame().objects,
+                                       config_.loss);
+}
+
+RunResult EcoFusionEngine::run_static(exec::FrameWorkspace& ws,
+                                      std::size_t config_index) const {
+  RunResult result;
+  fuse_and_score(ws, config_index, result);
   result.latency_ms = static_latency_ms(config_index);
   result.energy_j = static_energy_j(config_index);
   return result;
 }
 
-std::vector<float> EcoFusionEngine::config_losses(
-    const dataset::Frame& frame) const {
-  // Run every branch exactly once, then fuse per configuration.
-  std::array<fusion::DetectionList, kNumBranches> branch_detections;
-  std::array<bool, kNumBranches> branch_ran{};
-  for (const ModelConfig& config : space_) {
-    for (BranchId branch : config.branches) {
-      const auto b = static_cast<std::size_t>(branch);
-      if (!branch_ran[b]) {
-        branch_detections[b] = run_branch(branch, frame);
-        branch_ran[b] = true;
-      }
-    }
-  }
-  std::vector<float> losses;
-  losses.reserve(space_.size());
-  for (const ModelConfig& config : space_) {
-    std::vector<fusion::DetectionList> per_branch;
-    per_branch.reserve(config.branches.size());
-    for (BranchId branch : config.branches) {
-      per_branch.push_back(
-          branch_detections[static_cast<std::size_t>(branch)]);
-    }
-    const std::vector<detect::Detection> fused =
-        fusion_block_.fuse(per_branch);
-    losses.push_back(
-        detect::detection_loss(fused, frame.objects, config_.loss).total());
-  }
-  return losses;
+RunResult EcoFusionEngine::run_static(const dataset::Frame& frame,
+                                      std::size_t config_index) const {
+  exec::FrameWorkspace ws(*this, frame);
+  return run_static(ws, config_index);
 }
 
-AdaptiveResult EcoFusionEngine::run_adaptive(
-    const dataset::Frame& frame, gating::Gate& gate,
+std::vector<float> EcoFusionEngine::config_losses(
+    const dataset::Frame& frame) const {
+  exec::FrameWorkspace ws(*this, frame);
+  return ws.config_losses();
+}
+
+SelectionResult EcoFusionEngine::select_adaptive(
+    exec::FrameWorkspace& ws, gating::Gate& gate,
     std::optional<JointOptParams> params,
     const std::vector<float>* precomputed_oracle) const {
   const JointOptParams joint = params.value_or(config_.joint);
 
-  // 1-2: stems + gate.
-  const tensor::Tensor features = gate_features(frame);
+  // 1-2: stems + gate. F resolves lazily through the workspace, so gates
+  // that never consult it (knowledge, oracle) skip the stems entirely.
   gating::GateInput input;
-  input.features = &features;
-  input.scene = frame.scene;
-  std::vector<float> oracle;
+  input.feature_source = &ws;
+  input.scene = ws.frame().scene;
   if (precomputed_oracle != nullptr) {
     input.oracle_losses = precomputed_oracle;
   } else if (gate.needs_oracle()) {
-    oracle = config_losses(frame);
-    input.oracle_losses = &oracle;
+    input.oracle_losses = &ws.config_losses();
   }
   std::vector<float> predicted = gate.predict_losses(input);
   if (predicted.size() != space_.size()) {
@@ -210,27 +196,43 @@ AdaptiveResult EcoFusionEngine::run_adaptive(
 
   // 3-4: candidate selection + joint optimization over the offline E(Φ).
   const std::vector<float>& energies = adaptive_energy_table(gate.complexity());
-  const std::size_t selected = select_configuration(predicted, energies, joint);
-
-  // 5: execute φ* and late-fuse.
-  AdaptiveResult result;
+  SelectionResult result;
+  result.config_index = select_configuration(predicted, energies, joint);
   result.predicted_losses = std::move(predicted);
   result.candidates = candidate_set(result.predicted_losses, joint.gamma);
-
-  const ModelConfig& config = space_[selected];
-  std::vector<fusion::DetectionList> per_branch;
-  per_branch.reserve(config.branches.size());
-  for (BranchId branch : config.branches) {
-    per_branch.push_back(run_branch(branch, frame));
-  }
-  result.run.config_index = selected;
-  result.run.detections = fusion_block_.fuse(per_branch);
-  result.run.loss = detect::detection_loss(result.run.detections,
-                                           frame.objects, config_.loss);
-  result.run.latency_ms = px2_.latency_ms(
-      config.execution_profile(/*adaptive=*/true, gate.complexity()));
-  result.run.energy_j = energies[selected];
   return result;
+}
+
+RunResult EcoFusionEngine::run_selected(
+    exec::FrameWorkspace& ws, std::size_t config_index,
+    energy::GateComplexity gate_complexity) const {
+  RunResult result;
+  fuse_and_score(ws, config_index, result);
+  result.latency_ms = px2_.latency_ms(space_[config_index].execution_profile(
+      /*adaptive=*/true, gate_complexity));
+  result.energy_j = adaptive_energy_table(gate_complexity)[config_index];
+  return result;
+}
+
+AdaptiveResult EcoFusionEngine::run_adaptive(
+    exec::FrameWorkspace& ws, gating::Gate& gate,
+    std::optional<JointOptParams> params,
+    const std::vector<float>* precomputed_oracle) const {
+  SelectionResult selection =
+      select_adaptive(ws, gate, params, precomputed_oracle);
+  AdaptiveResult result;
+  result.run = run_selected(ws, selection.config_index, gate.complexity());
+  result.predicted_losses = std::move(selection.predicted_losses);
+  result.candidates = std::move(selection.candidates);
+  return result;
+}
+
+AdaptiveResult EcoFusionEngine::run_adaptive(
+    const dataset::Frame& frame, gating::Gate& gate,
+    std::optional<JointOptParams> params,
+    const std::vector<float>* precomputed_oracle) const {
+  exec::FrameWorkspace ws(*this, frame);
+  return run_adaptive(ws, gate, params, precomputed_oracle);
 }
 
 gating::KnowledgeTable EcoFusionEngine::default_knowledge_table() const {

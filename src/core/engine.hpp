@@ -29,6 +29,10 @@
 #include "gating/knowledge_gate.hpp"
 #include "tensor/tensor.hpp"
 
+namespace eco::exec {
+class FrameWorkspace;
+}
+
 namespace eco::core {
 
 /// Engine-wide configuration.
@@ -59,6 +63,16 @@ struct AdaptiveResult {
   std::vector<std::size_t> candidates;   // Φ* indices
 };
 
+/// Result of the selection phase of Algorithm 1 (steps 1–4): which φ* to
+/// run, plus the gate outputs. The split lets the streaming pipeline select
+/// for a whole control window first and then batch the execution of frames
+/// that picked the same configuration.
+struct SelectionResult {
+  std::size_t config_index = 0;
+  std::vector<float> predicted_losses;   // gate output, size |Φ|
+  std::vector<std::size_t> candidates;   // Φ* indices
+};
+
 /// The engine. Construction builds all seven branch detectors, the stem
 /// bank, the fusion block and the PX2 model; it is immutable afterwards and
 /// safe to share across read-only callers.
@@ -77,6 +91,13 @@ class EcoFusionEngine {
   }
   [[nodiscard]] const StemBank& stems() const noexcept { return stems_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const fusion::FusionBlock& fusion() const noexcept {
+    return fusion_block_;
+  }
+  [[nodiscard]] const detect::BranchDetector& branch_detector(
+      BranchId branch) const {
+    return *branches_[static_cast<std::size_t>(branch)];
+  }
 
   /// Offline per-configuration energy table E(Φ) with EcoFusion (adaptive)
   /// accounting: all stems + gate always run (§3.2: computed offline).
@@ -90,6 +111,42 @@ class EcoFusionEngine {
   /// Runs one branch on the frame's grids.
   [[nodiscard]] std::vector<detect::Detection> run_branch(
       BranchId branch, const dataset::Frame& frame) const;
+
+  /// The input grids branch `branch` consumes from `frame` (used by the
+  /// batched execution path to assemble detector batches).
+  [[nodiscard]] std::vector<tensor::Tensor> branch_grids(
+      BranchId branch, const dataset::Frame& frame) const;
+
+  // ---- workspace-routed execution (src/exec) --------------------------
+  // The engine's run paths share per-frame intermediates through a
+  // FrameWorkspace: every branch executes at most once per workspace and
+  // stems run only when a gate pulls F. The frame-taking overloads below
+  // are thin wrappers creating a transient workspace.
+
+  /// Runs configuration `config_index` statically (baseline accounting),
+  /// reusing any branch detections already in `ws`.
+  [[nodiscard]] RunResult run_static(exec::FrameWorkspace& ws,
+                                     std::size_t config_index) const;
+
+  /// Steps 1–4 of Algorithm 1: stems (lazy) + gate + candidate selection +
+  /// joint optimization. Does not execute φ*'s branches.
+  [[nodiscard]] SelectionResult select_adaptive(
+      exec::FrameWorkspace& ws, gating::Gate& gate,
+      std::optional<JointOptParams> params = std::nullopt,
+      const std::vector<float>* precomputed_oracle = nullptr) const;
+
+  /// Step 5 of Algorithm 1: executes configuration `config_index` with
+  /// adaptive (EcoFusion) accounting, reusing `ws` branch detections.
+  /// `gate_complexity` selects the energy/latency table.
+  [[nodiscard]] RunResult run_selected(
+      exec::FrameWorkspace& ws, std::size_t config_index,
+      energy::GateComplexity gate_complexity) const;
+
+  /// Full adaptive pass (Algorithm 1) over `ws`.
+  [[nodiscard]] AdaptiveResult run_adaptive(
+      exec::FrameWorkspace& ws, gating::Gate& gate,
+      std::optional<JointOptParams> params = std::nullopt,
+      const std::vector<float>* precomputed_oracle = nullptr) const;
 
   /// Runs configuration `config_index` statically (baseline accounting).
   [[nodiscard]] RunResult run_static(const dataset::Frame& frame,
@@ -108,7 +165,9 @@ class EcoFusionEngine {
 
   /// Full adaptive pass (Algorithm 1). `params` overrides the engine's
   /// default γ/λ_E when provided. If the gate needs oracle losses
-  /// (Loss-Based), they are computed on the fly unless supplied.
+  /// (Loss-Based), they are computed on the fly unless supplied — through
+  /// the transient workspace, so the winning configuration's branches are
+  /// not executed a second time.
   [[nodiscard]] AdaptiveResult run_adaptive(
       const dataset::Frame& frame, gating::Gate& gate,
       std::optional<JointOptParams> params = std::nullopt,
@@ -119,8 +178,11 @@ class EcoFusionEngine {
   [[nodiscard]] gating::KnowledgeTable default_knowledge_table() const;
 
  private:
-  [[nodiscard]] std::vector<tensor::Tensor> branch_grids(
-      BranchId branch, const dataset::Frame& frame) const;
+  /// Shared tail of the static/adaptive run paths: gathers the
+  /// configuration's branch detections from `ws`, late-fuses, and scores
+  /// against ground truth. Callers add their own energy/latency accounting.
+  void fuse_and_score(exec::FrameWorkspace& ws, std::size_t config_index,
+                      RunResult& result) const;
 
   EngineConfig config_;
   std::vector<ModelConfig> space_;

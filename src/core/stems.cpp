@@ -1,5 +1,8 @@
 #include "core/stems.hpp"
 
+#include <algorithm>
+
+#include "tensor/nn.hpp"
 #include "util/rng.hpp"
 
 namespace eco::core {
@@ -10,13 +13,12 @@ namespace {
 /// converge to (identity, smoothing, oriented edges, Laplacian, high-pass,
 /// centre-surround). They expose exactly the statistics the gate needs —
 /// signal level, edge density, noise floor — per sensor.
-void set_stem_kernels(tensor::Conv2d& conv) {
-  tensor::Tensor& w = conv.weight().value;  // (8, 1, 3, 3)
-  w.zero();
+void set_stem_kernels(tensor::Tensor& weight, tensor::Tensor& bias) {
+  weight.zero();  // (8, 1, 3, 3)
   auto set = [&](std::size_t oc, std::initializer_list<float> k) {
     std::size_t i = 0;
     for (float v : k) {
-      w.at(oc, 0, i / 3, i % 3) = v;
+      weight.at(oc, 0, i / 3, i % 3) = v;
       ++i;
     }
   };
@@ -37,7 +39,38 @@ void set_stem_kernels(tensor::Conv2d& conv) {
           -.111f});
   // centre-surround (difference of local means)
   set(7, {-.25f, -.25f, -.25f, -.25f, 2.0f, -.25f, -.25f, -.25f, -.25f});
-  conv.bias().value.zero();
+  bias.zero();
+}
+
+/// ReLU over rows [row_begin, row_end) of a CHW tensor; the per-element
+/// update matches tensor::relu exactly.
+void relu_rows(tensor::Tensor& t, std::size_t row_begin, std::size_t row_end) {
+  const std::size_t c = t.size(0), h = t.size(1), w = t.size(2);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    float* row0 = t.data() + (ch * h + row_begin) * w;
+    for (std::size_t i = 0; i < (row_end - row_begin) * w; ++i) {
+      row0[i] = row0[i] > 0.0f ? row0[i] : 0.0f;
+    }
+  }
+}
+
+/// 2x2/stride-2 max pooling of output rows [row_begin, row_end); the
+/// per-cell max matches tensor::maxpool2x2 exactly.
+void maxpool_rows(const tensor::Tensor& in, std::size_t row_begin,
+                  std::size_t row_end, tensor::Tensor& out) {
+  const std::size_t c = out.size(0), ow = out.size(2);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t iy = oy * 2, ix = ox * 2;
+        float m = in.at(ch, iy, ix);
+        m = std::max(m, in.at(ch, iy, ix + 1));
+        m = std::max(m, in.at(ch, iy + 1, ix));
+        m = std::max(m, in.at(ch, iy + 1, ix + 1));
+        out.at(ch, oy, ox) = m;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -45,34 +78,64 @@ void set_stem_kernels(tensor::Conv2d& conv) {
 StemBank::StemBank(StemConfig config) : config_(config) {
   util::Rng rng(config_.seed);
   for (std::size_t s = 0; s < dataset::kNumSensors; ++s) {
-    auto stem = std::make_unique<tensor::Sequential>();
-    tensor::Conv2dSpec conv;
-    conv.in_channels = 1;
-    conv.out_channels = config_.out_channels;
-    conv.kernel = 3;
-    conv.stride = 1;
-    conv.padding = 1;
-    auto conv_layer = std::make_unique<tensor::Conv2d>(conv, rng);
-    if (config_.out_channels == 8) set_stem_kernels(*conv_layer);
-    stem->add(std::move(conv_layer));
-    stem->emplace<tensor::ReLU>();
-    stem->emplace<tensor::MaxPool2d>();
-    stems_[s] = std::move(stem);
+    Stem& stem = stems_[s];
+    stem.spec.in_channels = 1;
+    stem.spec.out_channels = config_.out_channels;
+    stem.spec.kernel = 3;
+    stem.spec.stride = 1;
+    stem.spec.padding = 1;
+    stem.weight = tensor::Tensor(
+        {config_.out_channels, 1, stem.spec.kernel, stem.spec.kernel});
+    // Consume the rng exactly as the previous Conv2d-module bank did so the
+    // random-projection fallback (out_channels != 8) keeps its weights.
+    tensor::kaiming_uniform(stem.weight, stem.spec.kernel * stem.spec.kernel,
+                            rng);
+    stem.bias = tensor::Tensor({config_.out_channels});
+    if (config_.out_channels == 8) set_stem_kernels(stem.weight, stem.bias);
   }
 }
 
 tensor::Tensor StemBank::features(dataset::SensorKind kind,
                                   const tensor::Tensor& grid) const {
-  return stems_[static_cast<std::size_t>(kind)]->forward(grid);
+  const Stem& stem = stems_[static_cast<std::size_t>(kind)];
+  return tensor::maxpool2x2(
+      tensor::relu(tensor::conv2d(grid, stem.weight, stem.bias, stem.spec)));
 }
 
 tensor::Tensor StemBank::gate_features(const dataset::Frame& frame) const {
+  std::array<tensor::Tensor, dataset::kNumSensors> conv_out;
+  std::vector<tensor::Conv2dBatchItem> batch;
+  batch.reserve(dataset::kNumSensors);
+  for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
+    const auto s = static_cast<std::size_t>(kind);
+    batch.push_back({&frame.grid(kind), &stems_[s].weight, &stems_[s].bias,
+                     &conv_out[s]});
+  }
+  tensor::conv2d_batch(batch, stems_.front().spec);
   std::vector<tensor::Tensor> parts;
   parts.reserve(dataset::kNumSensors);
-  for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
-    parts.push_back(features(kind, frame.grid(kind)));
+  for (std::size_t s = 0; s < dataset::kNumSensors; ++s) {
+    parts.push_back(tensor::maxpool2x2(tensor::relu(conv_out[s])));
   }
   return tensor::concat_channels(parts);
+}
+
+void StemBank::refresh_feature_rows(dataset::SensorKind kind,
+                                    const tensor::Tensor& grid,
+                                    std::size_t row_begin, std::size_t row_end,
+                                    tensor::Tensor& pooled) const {
+  if (row_begin >= row_end) return;
+  const Stem& stem = stems_[static_cast<std::size_t>(kind)];
+  const std::size_t oh = stem.spec.out_extent(grid.size(1));
+  const std::size_t ow = stem.spec.out_extent(grid.size(2));
+  // Pooled row p consumes conv rows 2p and 2p+1.
+  const std::size_t conv_begin = row_begin * 2;
+  const std::size_t conv_end = std::min(oh, row_end * 2);
+  tensor::Tensor conv({stem.spec.out_channels, oh, ow});
+  tensor::conv2d_rows(grid, stem.weight, stem.bias, stem.spec, conv_begin,
+                      conv_end, conv);
+  relu_rows(conv, conv_begin, conv_end);
+  maxpool_rows(conv, row_begin, row_end, pooled);
 }
 
 }  // namespace eco::core

@@ -8,14 +8,21 @@
 // property the gate depends on — F carries enough per-modality SNR/context
 // signal to predict per-configuration losses — without multi-hour branch
 // training.
+//
+// The bank stores raw weight tensors and evaluates through the pure tensor
+// ops (no Module forward caches), so one bank can be shared by any number
+// of pipeline workers without synchronisation. It also exposes a
+// row-restricted refresh path (`refresh_feature_rows`) that the temporal
+// stem cache uses to recompute only the feature rows a frame delta touched;
+// both paths run the identical per-cell arithmetic, so partial refresh is
+// bitwise equal to full recompute.
 #pragma once
 
 #include <array>
-#include <memory>
 
 #include "dataset/generator.hpp"
 #include "dataset/sensor_model.hpp"
-#include "tensor/nn.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eco::core {
@@ -37,9 +44,19 @@ class StemBank {
                                         const tensor::Tensor& grid) const;
 
   /// Concatenated features F over all four sensors:
-  /// (4*out_channels, H/2, W/2).
+  /// (4*out_channels, H/2, W/2). All four convolutions dispatch through one
+  /// batched tensor-op call.
   [[nodiscard]] tensor::Tensor gate_features(
       const dataset::Frame& frame) const;
+
+  /// Recomputes pooled feature rows [row_begin, row_end) of `kind`'s stem
+  /// for `grid` into `pooled` (shape (out_channels, H/2, W/2)); other rows
+  /// are untouched. The refreshed rows are bitwise identical to what
+  /// features() would produce for them.
+  void refresh_feature_rows(dataset::SensorKind kind,
+                            const tensor::Tensor& grid,
+                            std::size_t row_begin, std::size_t row_end,
+                            tensor::Tensor& pooled) const;
 
   [[nodiscard]] std::size_t out_channels() const noexcept {
     return config_.out_channels;
@@ -50,11 +67,14 @@ class StemBank {
   }
 
  private:
+  struct Stem {
+    tensor::Conv2dSpec spec;
+    tensor::Tensor weight;  // (out_channels, 1, 3, 3)
+    tensor::Tensor bias;    // (out_channels)
+  };
+
   StemConfig config_;
-  // One fixed-weight conv stack per sensor; mutable because Module::forward
-  // caches state, but stems are logically const (weights never change).
-  mutable std::array<std::unique_ptr<tensor::Sequential>,
-                     dataset::kNumSensors> stems_;
+  std::array<Stem, dataset::kNumSensors> stems_;
 };
 
 }  // namespace eco::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/workspace.hpp"
+
 namespace eco::core {
 
 TemporalRunner::TemporalRunner(const EcoFusionEngine& engine,
@@ -16,15 +18,16 @@ void TemporalRunner::reset() {
 }
 
 TemporalStepResult TemporalRunner::step(const dataset::Frame& frame) {
-  // Gate prediction on this frame's features.
-  const tensor::Tensor features = engine_.gate_features(frame);
+  // One workspace per step: the gate pull, any oracle losses, and the held
+  // configuration's execution below share branch runs and stem features.
+  exec::FrameWorkspace ws(engine_, frame);
+
+  // Gate prediction on this frame's features (resolved lazily).
   gating::GateInput input;
-  input.features = &features;
+  input.feature_source = &ws;
   input.scene = frame.scene;
-  std::vector<float> oracle;
   if (gate_.needs_oracle()) {
-    oracle = engine_.config_losses(frame);
-    input.oracle_losses = &oracle;
+    input.oracle_losses = &ws.config_losses();
   }
   const std::vector<float> predicted = gate_.predict_losses(input);
 
@@ -69,7 +72,7 @@ TemporalStepResult TemporalRunner::step(const dataset::Frame& frame) {
   TemporalStepResult result;
   result.smoothed_losses = ema_;
   result.switched = switched;
-  RunResult run = engine_.run_static(frame, *current_);
+  RunResult run = engine_.run_static(ws, *current_);
   const auto& space = engine_.config_space();
   run.latency_ms = engine_.hardware().latency_ms(
       space[*current_].execution_profile(/*adaptive=*/true,

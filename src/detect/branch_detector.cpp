@@ -62,28 +62,53 @@ tensor::Tensor BranchDetector::fuse_inputs(
 
 std::vector<Detection> BranchDetector::detect(
     const std::vector<tensor::Tensor>& grids) const {
-  if (grids.size() != config_.input_count) {
-    throw std::invalid_argument("BranchDetector '" + config_.name +
-                                "': expected " +
-                                std::to_string(config_.input_count) +
-                                " grids, got " + std::to_string(grids.size()));
-  }
-  if (grids.size() == 1) {
-    const std::vector<Proposal> proposals = rpn_.propose(grids.front());
-    return roi_heads_.front().run(grids.front(), proposals);
-  }
+  const std::vector<const std::vector<tensor::Tensor>*> batch = {&grids};
+  return std::move(detect_batch(batch).front());
+}
 
-  // Early fusion: per-channel detection, merged as a plain union. No
-  // cross-channel confidence calibration (see header).
-  std::vector<Detection> merged;
-  for (std::size_t i = 0; i < grids.size(); ++i) {
-    const std::vector<Proposal> proposals = rpn_.propose(grids[i]);
-    std::vector<Detection> channel = roi_heads_[i].run(grids[i], proposals);
-    merged.insert(merged.end(), std::make_move_iterator(channel.begin()),
-                  std::make_move_iterator(channel.end()));
+std::vector<std::vector<Detection>> BranchDetector::detect_batch(
+    const std::vector<const std::vector<tensor::Tensor>*>& grids_per_frame)
+    const {
+  // Flatten every frame's channels into one proposal batch so the RPN
+  // generates anchors once for the whole batch.
+  std::vector<const tensor::Tensor*> channels;
+  channels.reserve(grids_per_frame.size() * config_.input_count);
+  for (const std::vector<tensor::Tensor>* grids : grids_per_frame) {
+    if (grids == nullptr || grids->size() != config_.input_count) {
+      throw std::invalid_argument(
+          "BranchDetector '" + config_.name + "': expected " +
+          std::to_string(config_.input_count) + " grids, got " +
+          std::to_string(grids == nullptr ? 0 : grids->size()));
+    }
+    for (const tensor::Tensor& grid : *grids) channels.push_back(&grid);
   }
-  return nms(std::move(merged), config_.channel_merge_iou,
-             /*class_aware=*/false);
+  const std::vector<std::vector<Proposal>> proposals =
+      rpn_.propose_batch(channels);
+
+  std::vector<std::vector<Detection>> results;
+  results.reserve(grids_per_frame.size());
+  std::size_t flat = 0;
+  for (const std::vector<tensor::Tensor>* grids : grids_per_frame) {
+    if (config_.input_count == 1) {
+      results.push_back(
+          roi_heads_.front().run(grids->front(), proposals[flat]));
+      ++flat;
+      continue;
+    }
+    // Early fusion: per-channel detection, merged as a plain union. No
+    // cross-channel confidence calibration (see header).
+    std::vector<Detection> merged;
+    for (std::size_t i = 0; i < grids->size(); ++i) {
+      std::vector<Detection> channel =
+          roi_heads_[i].run((*grids)[i], proposals[flat]);
+      ++flat;
+      merged.insert(merged.end(), std::make_move_iterator(channel.begin()),
+                    std::make_move_iterator(channel.end()));
+    }
+    results.push_back(nms(std::move(merged), config_.channel_merge_iou,
+                          /*class_aware=*/false));
+  }
+  return results;
 }
 
 }  // namespace eco::detect

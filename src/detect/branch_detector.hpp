@@ -60,6 +60,14 @@ class BranchDetector {
   [[nodiscard]] std::vector<Detection> detect(
       const std::vector<tensor::Tensor>& grids) const;
 
+  /// Batched detection: one entry per frame, each holding this branch's
+  /// input grids. Anchor generation is shared across the whole batch (the
+  /// expensive per-call setup of the RPN); per-frame results are bitwise
+  /// identical to detect().
+  [[nodiscard]] std::vector<std::vector<Detection>> detect_batch(
+      const std::vector<const std::vector<tensor::Tensor>*>& grids_per_frame)
+      const;
+
   /// The composited input grid (exposed for tests and visualisation).
   [[nodiscard]] tensor::Tensor fuse_inputs(
       const std::vector<tensor::Tensor>& grids) const;

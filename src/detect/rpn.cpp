@@ -85,12 +85,38 @@ std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid) const {
   if (grid.dim() != 3 || grid.size(0) != 1) {
     throw std::invalid_argument("Rpn::propose: expected (1,H,W) grid");
   }
+  return propose_with_anchors(
+      grid, generate_anchors(grid.size(1), grid.size(2), config_.anchors));
+}
+
+std::vector<std::vector<Proposal>> Rpn::propose_batch(
+    const std::vector<const tensor::Tensor*>& grids) const {
+  std::vector<std::vector<Proposal>> proposals;
+  proposals.reserve(grids.size());
+  std::vector<Box> anchors;
+  std::size_t anchor_h = 0, anchor_w = 0;
+  for (const tensor::Tensor* grid : grids) {
+    if (grid == nullptr || grid->dim() != 3 || grid->size(0) != 1) {
+      throw std::invalid_argument("Rpn::propose_batch: expected (1,H,W) grid");
+    }
+    if (anchors.empty() || grid->size(1) != anchor_h ||
+        grid->size(2) != anchor_w) {
+      anchor_h = grid->size(1);
+      anchor_w = grid->size(2);
+      anchors = generate_anchors(anchor_h, anchor_w, config_.anchors);
+    }
+    proposals.push_back(propose_with_anchors(*grid, anchors));
+  }
+  return proposals;
+}
+
+std::vector<Proposal> Rpn::propose_with_anchors(
+    const tensor::Tensor& grid, const std::vector<Box>& anchors) const {
   const std::size_t h = grid.size(1), w = grid.size(2);
 
   const tensor::Tensor smoothed = box_blur3(grid);
   const IntegralImage integral(smoothed);
 
-  const std::vector<Box> anchors = generate_anchors(h, w, config_.anchors);
   std::vector<Detection> raw;
   raw.reserve(anchors.size() / 4);
 

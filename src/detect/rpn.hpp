@@ -66,6 +66,18 @@ class Rpn {
   /// Proposes regions on a single-channel observation/feature grid (1,H,W).
   [[nodiscard]] std::vector<Proposal> propose(const tensor::Tensor& grid) const;
 
+  /// Same as propose(), with the anchor grid supplied by the caller.
+  /// Anchors depend only on the grid extent, so batched executors generate
+  /// them once per batch instead of once per grid; results are identical.
+  [[nodiscard]] std::vector<Proposal> propose_with_anchors(
+      const tensor::Tensor& grid, const std::vector<Box>& anchors) const;
+
+  /// Batched proposal entry point: proposes on every grid (all the same
+  /// extent) sharing one anchor generation. Bitwise identical to per-grid
+  /// propose() calls.
+  [[nodiscard]] std::vector<std::vector<Proposal>> propose_batch(
+      const std::vector<const tensor::Tensor*>& grids) const;
+
   [[nodiscard]] const RpnConfig& config() const noexcept { return config_; }
 
  private:

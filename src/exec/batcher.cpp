@@ -1,0 +1,40 @@
+#include "exec/batcher.hpp"
+
+#include "core/engine.hpp"
+#include "detect/branch_detector.hpp"
+
+namespace eco::exec {
+
+BranchBatcher::BranchBatcher(const core::EcoFusionEngine& engine)
+    : engine_(engine) {}
+
+void BranchBatcher::execute(std::size_t config_index,
+                            const std::vector<FrameWorkspace*>& group) const {
+  const core::ModelConfig& config =
+      engine_.config_space().at(config_index);
+  for (core::BranchId branch : config.branches) {
+    std::vector<FrameWorkspace*> pending;
+    pending.reserve(group.size());
+    for (FrameWorkspace* ws : group) {
+      if (!ws->has_branch(branch)) pending.push_back(ws);
+    }
+    if (pending.empty()) continue;
+
+    std::vector<std::vector<tensor::Tensor>> grids;
+    grids.reserve(pending.size());
+    for (FrameWorkspace* ws : pending) {
+      grids.push_back(engine_.branch_grids(branch, ws->frame()));
+    }
+    std::vector<const std::vector<tensor::Tensor>*> grid_ptrs;
+    grid_ptrs.reserve(grids.size());
+    for (const auto& g : grids) grid_ptrs.push_back(&g);
+
+    std::vector<std::vector<detect::Detection>> detections =
+        engine_.branch_detector(branch).detect_batch(grid_ptrs);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      pending[i]->adopt_branch_detections(branch, std::move(detections[i]));
+    }
+  }
+}
+
+}  // namespace eco::exec

@@ -1,0 +1,35 @@
+// Batched branch execution.
+//
+// When several in-flight frames of a control window select the same
+// configuration φ, their branches can execute together: one batched
+// detector call per branch shares the per-call setup (anchor generation,
+// dispatch) across the whole group and keeps each branch's code and data
+// hot instead of interleaving seven branches per frame. The batcher only
+// *seeds* workspaces with detections — fusion, losses and accounting stay
+// per-frame — so batched execution is bitwise identical to per-frame
+// execution and purely a throughput optimization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/workspace.hpp"
+
+namespace eco::exec {
+
+class BranchBatcher {
+ public:
+  explicit BranchBatcher(const core::EcoFusionEngine& engine);
+
+  /// Executes configuration `config_index`'s branches for every workspace
+  /// in `group` (frames that selected the same φ) and deposits the
+  /// per-frame detections into the workspaces. Branches a workspace already
+  /// memoized (e.g. from an oracle pass) are skipped for that frame.
+  void execute(std::size_t config_index,
+               const std::vector<FrameWorkspace*>& group) const;
+
+ private:
+  const core::EcoFusionEngine& engine_;
+};
+
+}  // namespace eco::exec

@@ -1,0 +1,125 @@
+#include "exec/stem_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+namespace eco::exec {
+
+namespace {
+
+/// Dirty row interval of `next` vs `prev` (same (1,H,W) shape), or false if
+/// the grids are identical. Rows are compared bytewise: float payloads are
+/// produced deterministically, so bit equality is value equality here.
+bool dirty_rows(const tensor::Tensor& prev, const tensor::Tensor& next,
+                std::size_t& first, std::size_t& last) {
+  const std::size_t h = next.size(1), w = next.size(2);
+  const float* a = prev.data();
+  const float* b = next.data();
+  std::size_t lo = h, hi = 0;
+  for (std::size_t y = 0; y < h; ++y) {
+    if (std::memcmp(a + y * w, b + y * w, w * sizeof(float)) != 0) {
+      lo = std::min(lo, y);
+      hi = y;
+    }
+  }
+  if (lo == h) return false;
+  first = lo;
+  last = hi;
+  return true;
+}
+
+}  // namespace
+
+TemporalStemCache::TemporalStemCache(const core::StemBank& stems,
+                                     StemCacheConfig config)
+    : stems_(stems), config_(config) {
+  if (config_.max_sequences == 0) config_.max_sequences = 1;
+}
+
+tensor::Tensor TemporalStemCache::gate_features(std::uint64_t sequence_id,
+                                                const dataset::Frame& frame,
+                                                bool* hit) {
+  std::shared_ptr<const Entry> prev;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(sequence_id);
+    if (it != entries_.end()) prev = it->second;
+  }
+
+  auto next = std::make_shared<Entry>();
+  std::uint64_t refreshed = 0, reused = 0;
+  for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
+    const auto s = static_cast<std::size_t>(kind);
+    const tensor::Tensor& grid = frame.grid(kind);
+    next->grids[s] = grid;
+    if (prev == nullptr || prev->grids[s].shape() != grid.shape()) {
+      next->features[s] = stems_.features(kind, grid);
+      continue;
+    }
+    std::size_t first = 0, last = 0;
+    if (!dirty_rows(prev->grids[s], grid, first, last)) {
+      next->features[s] = prev->features[s];
+      ++reused;
+      continue;
+    }
+    // A dirty input row y reaches conv rows y-1..y+1 (3x3, pad 1, stride 1)
+    // and pooled row p covers conv rows 2p..2p+1, so the affected pooled
+    // interval is [(first-1)/2, (last+1)/2].
+    const std::size_t pooled_h = prev->features[s].size(1);
+    const std::size_t p0 = (first > 0 ? first - 1 : 0) / 2;
+    const std::size_t p1 = std::min(pooled_h - 1, (last + 1) / 2);
+    next->features[s] = prev->features[s];
+    stems_.refresh_feature_rows(kind, grid, p0, p1 + 1, next->features[s]);
+    refreshed += static_cast<std::uint64_t>(p1 + 1 - p0);
+  }
+
+  std::vector<tensor::Tensor> parts(next->features.begin(),
+                                    next->features.end());
+  tensor::Tensor result = tensor::concat_channels(parts);
+
+  const bool was_hit = prev != nullptr;
+  if (hit != nullptr) *hit = was_hit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (was_hit) {
+      counters_.hits += 1;
+      counters_.refreshed_rows += refreshed;
+      counters_.reused_sensor_maps += reused;
+    } else {
+      counters_.misses += 1;
+    }
+    auto [it, inserted] = entries_.insert_or_assign(sequence_id,
+                                                    std::move(next));
+    (void)it;
+    if (inserted) {
+      insertion_order_.push_back(sequence_id);
+      while (entries_.size() > config_.max_sequences &&
+             !insertion_order_.empty()) {
+        const std::uint64_t victim = insertion_order_.front();
+        insertion_order_.pop_front();
+        if (victim != sequence_id) entries_.erase(victim);
+      }
+    }
+  }
+  return result;
+}
+
+void TemporalStemCache::retain(const std::vector<std::uint64_t>& live) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto is_live = [&](std::uint64_t id) {
+    return std::find(live.begin(), live.end(), id) != live.end();
+  };
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = is_live(it->first) ? std::next(it) : entries_.erase(it);
+  }
+  std::erase_if(insertion_order_,
+                [&](std::uint64_t id) { return !is_live(id); });
+}
+
+StemCacheCounters TemporalStemCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace eco::exec

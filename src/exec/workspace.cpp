@@ -1,0 +1,78 @@
+#include "exec/workspace.hpp"
+
+#include "core/engine.hpp"
+#include "detect/losses.hpp"
+#include "exec/stem_cache.hpp"
+
+namespace eco::exec {
+
+FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
+                               const dataset::Frame& frame)
+    : engine_(engine), frame_(frame) {}
+
+FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
+                               const dataset::Frame& frame,
+                               TemporalStemCache* cache,
+                               std::uint64_t sequence_id)
+    : engine_(engine),
+      frame_(frame),
+      stem_cache_(cache),
+      sequence_id_(sequence_id) {}
+
+const tensor::Tensor& FrameWorkspace::gate_features() const {
+  if (!features_) {
+    if (stem_cache_ != nullptr) {
+      bool hit = false;
+      features_ = stem_cache_->gate_features(sequence_id_, frame_, &hit);
+      stem_source_ = hit ? StemSource::kCacheHit : StemSource::kCacheMiss;
+    } else {
+      features_ = engine_.stems().gate_features(frame_);
+      stem_source_ = StemSource::kComputed;
+    }
+  }
+  return *features_;
+}
+
+const fusion::DetectionList& FrameWorkspace::branch_detections(
+    core::BranchId branch) {
+  auto& slot = branches_[static_cast<std::size_t>(branch)];
+  if (!slot) {
+    slot = engine_.run_branch(branch, frame_);
+    ++branch_executions_;
+  }
+  return *slot;
+}
+
+void FrameWorkspace::adopt_branch_detections(core::BranchId branch,
+                                             fusion::DetectionList detections) {
+  auto& slot = branches_[static_cast<std::size_t>(branch)];
+  if (slot) return;
+  slot = std::move(detections);
+  ++branch_executions_;
+}
+
+const std::vector<float>& FrameWorkspace::config_losses() {
+  if (!config_losses_) {
+    // Execute every branch referenced by Φ exactly once, then fuse and
+    // score per configuration — the same loop the engine ran before the
+    // workspace existed, so the losses are bitwise unchanged.
+    std::vector<float> losses;
+    losses.reserve(engine_.config_space().size());
+    for (const core::ModelConfig& config : engine_.config_space()) {
+      std::vector<fusion::DetectionList> per_branch;
+      per_branch.reserve(config.branches.size());
+      for (core::BranchId branch : config.branches) {
+        per_branch.push_back(branch_detections(branch));
+      }
+      const std::vector<detect::Detection> fused =
+          engine_.fusion().fuse(per_branch);
+      losses.push_back(
+          detect::detection_loss(fused, frame_.objects, engine_.config().loss)
+              .total());
+    }
+    config_losses_ = std::move(losses);
+  }
+  return *config_losses_;
+}
+
+}  // namespace eco::exec

@@ -1,0 +1,108 @@
+// Per-frame execution workspace.
+//
+// The engine's entry points (run_static, config_losses, run_adaptive and
+// the oracle-loss path inside it) all need the same intermediates — stem
+// features F, per-branch detections — and before this layer existed each
+// entry point recomputed them from scratch, so an oracle-gated adaptive
+// pass executed the winning configuration's branches twice. A
+// FrameWorkspace memoizes those intermediates for one frame: every branch
+// executes at most once per workspace, and the stems run only when a gate
+// actually pulls F (the workspace is the gating::FeatureSource handed to
+// the gate). All memoized values are produced by the same deterministic
+// code paths the unmemoized engine used, so routing through a workspace is
+// bitwise invisible in results.
+//
+// A workspace is single-threaded state: one workspace per (frame, task).
+// Attach a TemporalStemCache to resolve F through the cross-frame cache.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config_space.hpp"
+#include "dataset/generator.hpp"
+#include "fusion/wbf.hpp"
+#include "gating/gate.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::core {
+class EcoFusionEngine;
+}
+
+namespace eco::exec {
+
+class TemporalStemCache;
+
+/// How a workspace resolved the frame's gate features F.
+enum class StemSource : std::uint8_t {
+  kSkipped = 0,  // no gate ever read F; the stems never ran
+  kComputed,     // computed directly (no temporal cache attached)
+  kCacheMiss,    // temporal cache consulted: full compute + store
+  kCacheHit,     // temporal cache reused/delta-refreshed a prior frame
+};
+
+class FrameWorkspace final : public gating::FeatureSource {
+ public:
+  FrameWorkspace(const core::EcoFusionEngine& engine,
+                 const dataset::Frame& frame);
+
+  /// Attaches temporal stem caching: F resolves through `cache` under
+  /// `sequence_id` (frames of one sequence share cache state).
+  FrameWorkspace(const core::EcoFusionEngine& engine,
+                 const dataset::Frame& frame, TemporalStemCache* cache,
+                 std::uint64_t sequence_id);
+
+  [[nodiscard]] const dataset::Frame& frame() const noexcept { return frame_; }
+  [[nodiscard]] const core::EcoFusionEngine& engine() const noexcept {
+    return engine_;
+  }
+
+  /// Lazily computed, memoized stem features F (gating::FeatureSource).
+  [[nodiscard]] const tensor::Tensor& gate_features() const override;
+
+  /// Memoized detections of one branch; the branch executes on first call.
+  [[nodiscard]] const fusion::DetectionList& branch_detections(
+      core::BranchId branch);
+
+  [[nodiscard]] bool has_branch(core::BranchId branch) const noexcept {
+    return branches_[static_cast<std::size_t>(branch)].has_value();
+  }
+
+  /// Deposits externally computed detections (the BranchBatcher runs a
+  /// branch for many frames in one batched call). No-op when already
+  /// memoized; counts as one execution for this frame otherwise.
+  void adopt_branch_detections(core::BranchId branch,
+                               fusion::DetectionList detections);
+
+  /// Ground-truth fusion loss L_f(φ) of every configuration; each branch
+  /// executes at most once (shared with any later branch consumer).
+  [[nodiscard]] const std::vector<float>& config_losses();
+
+  // ---- observability --------------------------------------------------
+  /// Branch executions attributed to this frame (memoized reuse is free).
+  [[nodiscard]] std::size_t branch_executions() const noexcept {
+    return branch_executions_;
+  }
+  [[nodiscard]] StemSource stem_source() const noexcept {
+    return stem_source_;
+  }
+
+ private:
+  const core::EcoFusionEngine& engine_;
+  const dataset::Frame& frame_;
+  TemporalStemCache* stem_cache_ = nullptr;
+  std::uint64_t sequence_id_ = 0;
+
+  // Memoized intermediates. `mutable` because FeatureSource::gate_features
+  // is const for gate consumers; memoization is the workspace's job.
+  mutable std::optional<tensor::Tensor> features_;
+  mutable StemSource stem_source_ = StemSource::kSkipped;
+  std::array<std::optional<fusion::DetectionList>, core::kNumBranches>
+      branches_;
+  std::optional<std::vector<float>> config_losses_;
+  std::size_t branch_executions_ = 0;
+};
+
+}  // namespace eco::exec

@@ -10,6 +10,7 @@
 //   LossBasedGate  — a-posteriori oracle (theoretical upper bound).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,13 +20,36 @@
 
 namespace eco::gating {
 
-/// Everything a gate may consult. Learned gates use `features`; the
-/// knowledge gate uses `scene` (assumed to come from an external source such
-/// as weather + GPS, §4.2.1); the oracle uses `oracle_losses`.
+/// Lazy provider of the stem features F. The execution layer's
+/// FrameWorkspace implements this so gates that never consult F (knowledge,
+/// oracle) cost zero stem compute: the stems only run when a gate actually
+/// pulls the features.
+class FeatureSource {
+ public:
+  virtual ~FeatureSource() = default;
+
+  /// The concatenated stem features F, (C,H,W). May compute on first call;
+  /// repeated calls return the same (memoized) tensor.
+  [[nodiscard]] virtual const tensor::Tensor& gate_features() const = 0;
+};
+
+/// Everything a gate may consult. Learned gates use the features (eager
+/// `features` pointer or lazy `feature_source`); the knowledge gate uses
+/// `scene` (assumed to come from an external source such as weather + GPS,
+/// §4.2.1); the oracle uses `oracle_losses`.
 struct GateInput {
-  const tensor::Tensor* features = nullptr;           // F, (C,H,W)
+  const tensor::Tensor* features = nullptr;           // F, (C,H,W), eager
+  const FeatureSource* feature_source = nullptr;      // F, resolved lazily
   dataset::SceneType scene = dataset::SceneType::kCity;
   const std::vector<float>* oracle_losses = nullptr;  // ground-truth L_f(Φ)
+
+  /// Resolves F from whichever form the caller supplied. Only gates that
+  /// really read F should call this — resolving may trigger stem compute.
+  [[nodiscard]] const tensor::Tensor& get_features() const {
+    if (features != nullptr) return *features;
+    if (feature_source != nullptr) return feature_source->gate_features();
+    throw std::invalid_argument("GateInput: features required");
+  }
 };
 
 /// Abstract gate.

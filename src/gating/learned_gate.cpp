@@ -53,10 +53,10 @@ tensor::Tensor LearnedGate::forward(const tensor::Tensor& features) {
 }
 
 std::vector<float> LearnedGate::predict_losses(const GateInput& input) {
-  if (input.features == nullptr) {
+  if (input.features == nullptr && input.feature_source == nullptr) {
     throw std::invalid_argument("LearnedGate: features required");
   }
-  const tensor::Tensor out = forward(*input.features);
+  const tensor::Tensor out = forward(input.get_features());
   return out.vec();
 }
 

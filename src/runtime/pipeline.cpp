@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "exec/batcher.hpp"
+#include "exec/stem_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace eco::runtime {
@@ -24,10 +28,24 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   std::vector<std::unique_ptr<gating::Gate>> gates;
   gates.reserve(pool.size());
   for (std::size_t w = 0; w < pool.size(); ++w) gates.push_back(make_gate());
+  const energy::GateComplexity complexity = gates.front()->complexity();
 
   BudgetController controller(config_.budget.value_or(BudgetConfig{}));
   float lambda = config_.budget ? controller.lambda()
                                 : config_.joint.lambda_energy;
+
+  std::optional<exec::TemporalStemCache> stem_cache;
+  if (config_.temporal_stem_cache) {
+    exec::StemCacheConfig cache_config;
+    // Eviction is driven deterministically by retain() at every window
+    // barrier; the capacity is sized so the FIFO backstop can never fire
+    // between barriers (at most `window` retained + `window` new entries),
+    // keeping hit/miss counters worker-count invariant for any config.
+    cache_config.max_sequences =
+        std::max(config_.stem_cache_sequences, 2 * config_.window);
+    stem_cache.emplace(engine_.stems(), cache_config);
+  }
+  const exec::BranchBatcher batcher(engine_);
 
   PipelineReport report;
   std::vector<eval::FrameResult> frame_results;
@@ -36,6 +54,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   // main thread reduces them in stream order after the barrier.
   std::vector<FrameStats> slot_stats(config_.window);
   std::vector<eval::FrameResult> slot_results(config_.window);
+  std::vector<std::unique_ptr<exec::FrameWorkspace>> workspaces(config_.window);
+  std::vector<std::size_t> selections(config_.window, 0);
 
   for (;;) {
     // Pull the next control window off the stream.
@@ -51,26 +71,103 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     core::JointOptParams params = config_.joint;
     params.lambda_energy = lambda;
 
+    // ---- Phase A: selection (Algorithm 1 steps 1-4) -------------------
+    // Slots grouped by sequence, one task per sequence: the temporal stem
+    // cache then sees each sequence's frames in stream order regardless of
+    // worker count, which keeps hit/miss counters deterministic.
+    std::vector<std::vector<std::size_t>> lanes;
+    {
+      std::unordered_map<std::uint64_t, std::size_t> lane_of;
+      for (std::size_t slot = 0; slot < window.size(); ++slot) {
+        auto [it, inserted] =
+            lane_of.try_emplace(window[slot].sequence_id, lanes.size());
+        if (inserted) lanes.emplace_back();
+        lanes[it->second].push_back(slot);
+      }
+    }
+    for (const std::vector<std::size_t>& lane : lanes) {
+      pool.submit([this, &lane, &window, params, &gates, &workspaces,
+                   &selections, &stem_cache](std::size_t worker) {
+        for (std::size_t slot : lane) {
+          const StreamFrame& sf = window[slot];
+          workspaces[slot] = std::make_unique<exec::FrameWorkspace>(
+              engine_, sf.frame, stem_cache ? &*stem_cache : nullptr,
+              sf.sequence_id);
+          selections[slot] =
+              engine_
+                  .select_adaptive(*workspaces[slot], *gates[worker], params)
+                  .config_index;
+        }
+      });
+    }
+    pool.wait_idle();
+
+    // ---- Phase B: execution, batched by selected configuration --------
+    // Groups are formed from the (deterministic) selections in slot order,
+    // so group membership and batch sizes are worker-count invariant.
+    std::map<std::size_t, std::vector<std::size_t>> groups;
     for (std::size_t slot = 0; slot < window.size(); ++slot) {
-      const StreamFrame& sf = window[slot];
-      pool.submit([this, &sf, slot, params, &gates, &slot_stats,
-                   &slot_results](std::size_t worker) {
-        const core::AdaptiveResult result =
-            engine_.run_adaptive(sf.frame, *gates[worker], params);
+      groups[selections[slot]].push_back(slot);
+    }
+    report.exec.batches += groups.size();
+    for (const auto& group_entry : groups) {
+      const std::size_t selected = group_entry.first;
+      const std::vector<std::size_t>& slots = group_entry.second;
+      report.exec.max_batch = std::max(report.exec.max_batch, slots.size());
+      // batch_size reports the group's size whether or not batched
+      // execution is enabled — grouping depends only on the (deterministic)
+      // selections, so reports stay bitwise identical across the toggle.
+      const auto finish_frame = [this, &window, &workspaces, &slot_stats,
+                                 &slot_results, params, complexity, selected,
+                                 batch = slots.size()](std::size_t slot) {
+        exec::FrameWorkspace& ws = *workspaces[slot];
+        const core::RunResult run =
+            engine_.run_selected(ws, selected, complexity);
+        const StreamFrame& sf = window[slot];
         FrameStats stats;
         stats.stream_index = sf.index;
         stats.scene = sf.scene;
-        stats.config_index = result.run.config_index;
-        stats.loss = result.run.loss.total();
-        stats.energy_j = result.run.energy_j;
-        stats.latency_ms = result.run.latency_ms;
+        stats.config_index = run.config_index;
+        stats.loss = run.loss.total();
+        stats.energy_j = run.energy_j;
+        stats.latency_ms = run.latency_ms;
         stats.lambda_energy = params.lambda_energy;
-        stats.detections = result.run.detections.size();
+        stats.detections = run.detections.size();
+        stats.stem_source = ws.stem_source();
+        stats.batch_size = batch;
+        stats.branch_runs = ws.branch_executions();
         slot_stats[slot] = stats;
         if (config_.keep_frame_results) {
-          slot_results[slot] = {result.run.detections, sf.frame.objects};
+          slot_results[slot] = {run.detections, sf.frame.objects};
         }
-      });
+      };
+      if (config_.batch_branches && slots.size() > 1) {
+        // One task runs the batched branch execution, then fans the
+        // per-frame fusion/loss/accounting back out to the pool so a large
+        // group doesn't serialise the whole window on one worker.
+        // (Submitting from inside a task is safe: the submitter is still
+        // in flight, so wait_idle cannot return early.)
+        pool.submit([&pool, &batcher, &workspaces, &slots, selected,
+                     finish_frame](std::size_t) {
+          std::vector<exec::FrameWorkspace*> group;
+          group.reserve(slots.size());
+          for (std::size_t slot : slots) {
+            group.push_back(workspaces[slot].get());
+          }
+          batcher.execute(selected, group);
+          for (std::size_t slot : slots) {
+            pool.submit([slot, finish_frame](std::size_t) {
+              finish_frame(slot);
+            });
+          }
+        });
+      } else {
+        for (std::size_t slot : slots) {
+          pool.submit([slot, finish_frame](std::size_t) {
+            finish_frame(slot);
+          });
+        }
+      }
     }
     pool.wait_idle();
 
@@ -82,6 +179,18 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
       if (config_.keep_frame_results) {
         frame_results.push_back(std::move(slot_results[slot]));
       }
+      workspaces[slot].reset();
+    }
+
+    // Deterministic cache eviction: retain only this window's sequences
+    // (single-threaded, derived from stream order alone).
+    if (stem_cache) {
+      std::vector<std::uint64_t> live;
+      live.reserve(lanes.size());
+      for (const std::vector<std::size_t>& lane : lanes) {
+        live.push_back(window[lane.front()].sequence_id);
+      }
+      stem_cache->retain(live);
     }
 
     report.lambda_trace.push_back(params.lambda_energy);  // λ the window ran with
@@ -99,18 +208,38 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     report.mean_latency_ms += stats.latency_ms;
     report.mean_loss += stats.loss;
     report.total_detections += stats.detections;
+    report.exec.branch_runs += stats.branch_runs;
+    if (stats.batch_size > 1) report.exec.batched_frames += 1;
+    switch (stats.stem_source) {
+      case exec::StemSource::kSkipped: report.exec.stems_skipped += 1; break;
+      case exec::StemSource::kComputed: report.exec.stems_computed += 1; break;
+      case exec::StemSource::kCacheHit: report.exec.stem_cache_hits += 1; break;
+      case exec::StemSource::kCacheMiss:
+        report.exec.stem_cache_misses += 1;
+        break;
+    }
     SceneReport& scene = scenes[stats.scene];
     scene.scene = stats.scene;
     scene.frames += 1;
     scene.mean_loss += stats.loss;
     scene.mean_energy_j += stats.energy_j;
     scene.mean_latency_ms += stats.latency_ms;
+    scene.mean_batch += static_cast<double>(stats.batch_size);
+    if (stats.stem_source == exec::StemSource::kCacheHit) {
+      scene.stem_cache_hits += 1;
+    } else if (stats.stem_source == exec::StemSource::kCacheMiss) {
+      scene.stem_cache_misses += 1;
+    }
   }
   if (report.frames > 0) {
     const auto n = static_cast<double>(report.frames);
     report.mean_energy_j = report.total_energy_j / n;
     report.mean_latency_ms /= n;
     report.mean_loss /= n;
+  }
+  if (report.exec.batches > 0) {
+    report.exec.mean_batch = static_cast<double>(report.frames) /
+                             static_cast<double>(report.exec.batches);
   }
   // Overall mAP first, then move the frame results into per-scene buckets
   // (avoids deep-copying every detection list a second time).
@@ -127,6 +256,7 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     scene.mean_loss /= n;
     scene.mean_energy_j /= n;
     scene.mean_latency_ms /= n;
+    scene.mean_batch /= n;
     if (config_.keep_frame_results) {
       scene.map = eval::mean_average_precision(scene_results[type]);
     }

@@ -8,14 +8,28 @@
 // BudgetController folds the window's measured mean energy into the next
 // window's λ_E.
 //
+// Each window executes in two phases over the exec layer:
+//   A) *select* — frames are grouped by sequence (so the TemporalStemCache
+//      sees each sequence's frames in order) and Algorithm 1 steps 1–4 run
+//      per frame against a FrameWorkspace;
+//   B) *execute* — frames that selected the same configuration φ* form one
+//      batch, and the BranchBatcher runs each branch of φ* across the
+//      whole batch before per-frame fusion/loss/accounting.
+// Both phases are pure optimizations: results are bitwise identical with
+// caching and batching on or off, and with any worker count.
+//
 // Determinism contract: aggregate results — per-frame selections, losses,
-// energies, the λ_E trace, the per-scene breakdown, mAP — are a pure
-// function of (engine, stream config, pipeline config, gate factory). The
-// worker count changes only wall-clock throughput. This holds because
-// (a) stream order is timing-independent, (b) per-frame work is independent
-// given λ_E, (c) λ_E only changes at window barriers from window aggregates
-// accumulated in stream order, and (d) final reduction runs in stream order
-// on one thread. tests/runtime_test.cpp pins the contract bitwise.
+// energies, the λ_E trace, the per-scene breakdown, mAP, and the exec
+// counters — are a pure function of (engine, stream config, pipeline
+// config, gate factory). The worker count changes only wall-clock
+// throughput. This holds because (a) stream order is timing-independent,
+// (b) per-frame work is independent given λ_E, (c) λ_E only changes at
+// window barriers from window aggregates accumulated in stream order,
+// (d) final reduction runs in stream order on one thread, and (e) stem
+// cache hits depend only on sequence grouping, which is fixed by the
+// stream order (a sequence's frames are processed in order within one
+// phase-A task, and windows are separated by barriers).
+// tests/runtime_test.cpp pins the contract bitwise.
 #pragma once
 
 #include <functional>
@@ -25,6 +39,7 @@
 
 #include "core/engine.hpp"
 #include "eval/map_metric.hpp"
+#include "exec/workspace.hpp"
 #include "gating/gate.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/stream.hpp"
@@ -49,6 +64,17 @@ struct PipelineConfig {
   /// Keep per-frame detections + ground truth for mAP (costs memory
   /// proportional to the stream; disable for unbounded streams).
   bool keep_frame_results = true;
+  /// Reuse/delta-refresh stem features across frames of one sequence
+  /// (bitwise-invisible; see exec/stem_cache.hpp).
+  bool temporal_stem_cache = true;
+  /// Batch branch execution across a window's frames that selected the
+  /// same configuration (bitwise-invisible; see exec/batcher.hpp).
+  bool batch_branches = true;
+  /// Minimum sequence entries the temporal stem cache may hold. The
+  /// pipeline sizes the cache to at least 2×window and prunes it
+  /// deterministically at every window barrier, so hit/miss counters stay
+  /// worker-count invariant for any value here.
+  std::size_t stem_cache_sequences = 64;
 };
 
 /// Per-frame accounting record (stream order).
@@ -61,6 +87,25 @@ struct FrameStats {
   double latency_ms = 0.0;
   float lambda_energy = 0.0f;  // λ_E in force for this frame
   std::size_t detections = 0;
+  /// How this frame's stem features were obtained.
+  exec::StemSource stem_source = exec::StemSource::kSkipped;
+  /// Size of the phase-B execution group this frame ran in (1 = alone).
+  std::size_t batch_size = 1;
+  /// Branch executions attributed to this frame (reuse is free).
+  std::size_t branch_runs = 0;
+};
+
+/// Execution-layer counters for one run (all deterministic).
+struct ExecCounters {
+  std::size_t stems_skipped = 0;     // no gate pulled F for the frame
+  std::size_t stems_computed = 0;    // F computed without a temporal cache
+  std::size_t stem_cache_hits = 0;   // F resolved against cached sequence state
+  std::size_t stem_cache_misses = 0; // F recomputed + stored (new sequence)
+  std::size_t branch_runs = 0;       // total branch executions
+  std::size_t batches = 0;           // phase-B execution groups
+  std::size_t batched_frames = 0;    // frames in groups of size > 1
+  std::size_t max_batch = 0;         // largest group
+  double mean_batch = 0.0;           // frames / batches
 };
 
 /// Aggregates for one scene type.
@@ -71,6 +116,9 @@ struct SceneReport {
   double mean_energy_j = 0.0;
   double mean_latency_ms = 0.0;
   double map = 0.0;  // 0 when keep_frame_results is off
+  std::size_t stem_cache_hits = 0;
+  std::size_t stem_cache_misses = 0;
+  double mean_batch = 0.0;  // mean phase-B group size of this scene's frames
 };
 
 /// Full pipeline run report.
@@ -83,6 +131,7 @@ struct PipelineReport {
   double map = 0.0;
   std::size_t total_detections = 0;
   float final_lambda = 0.0f;
+  ExecCounters exec;                     // cache/batch observability
   std::vector<float> lambda_trace;       // per control window
   std::vector<SceneReport> per_scene;    // scenes present, enum order
   std::vector<FrameStats> frame_stats;   // stream order

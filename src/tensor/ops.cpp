@@ -12,8 +12,9 @@ void require(bool condition, const char* message) {
 }
 }  // namespace
 
-Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
-              const Conv2dSpec& spec) {
+namespace {
+void require_conv_args(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const Conv2dSpec& spec) {
   require(input.dim() == 3, "conv2d: input must be CHW");
   require(weight.dim() == 4, "conv2d: weight must be (Cout,Cin,K,K)");
   require(input.size(0) == spec.in_channels, "conv2d: input channel mismatch");
@@ -22,15 +23,25 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               weight.size(2) == spec.kernel && weight.size(3) == spec.kernel,
           "conv2d: weight shape mismatch");
   require(bias.numel() == spec.out_channels, "conv2d: bias shape mismatch");
+}
+}  // namespace
 
+void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                 const Conv2dSpec& spec, std::size_t row_begin,
+                 std::size_t row_end, Tensor& out) {
+  require_conv_args(input, weight, bias, spec);
   const std::size_t h = input.size(1), w = input.size(2);
   const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
   const std::size_t k = spec.kernel;
-  Tensor out({spec.out_channels, oh, ow});
+  require(out.dim() == 3 && out.size(0) == spec.out_channels &&
+              out.size(1) == oh && out.size(2) == ow,
+          "conv2d_rows: output shape mismatch");
+  require(row_begin <= row_end && row_end <= oh,
+          "conv2d_rows: row range out of bounds");
 
   for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
     const float b = bias[oc];
-    for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float acc = b;
         // Input window origin (may be negative with padding).
@@ -57,7 +68,32 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       }
     }
   }
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+  require_conv_args(input, weight, bias, spec);
+  const std::size_t oh = spec.out_extent(input.size(1));
+  const std::size_t ow = spec.out_extent(input.size(2));
+  Tensor out({spec.out_channels, oh, ow});
+  conv2d_rows(input, weight, bias, spec, 0, oh, out);
   return out;
+}
+
+void conv2d_batch(std::vector<Conv2dBatchItem>& items, const Conv2dSpec& spec) {
+  for (Conv2dBatchItem& item : items) {
+    require(item.input != nullptr && item.weight != nullptr &&
+                item.bias != nullptr && item.output != nullptr,
+            "conv2d_batch: null item pointer");
+    require_conv_args(*item.input, *item.weight, *item.bias, spec);
+    const std::size_t oh = spec.out_extent(item.input->size(1));
+    const std::size_t ow = spec.out_extent(item.input->size(2));
+    if (item.output->shape() != Shape{spec.out_channels, oh, ow}) {
+      *item.output = Tensor({spec.out_channels, oh, ow});
+    }
+    conv2d_rows(*item.input, *item.weight, *item.bias, spec, 0, oh,
+                *item.output);
+  }
 }
 
 Tensor conv2d_backward(const Tensor& input, const Tensor& weight,

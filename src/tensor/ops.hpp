@@ -29,6 +29,32 @@ struct Conv2dSpec {
 [[nodiscard]] Tensor conv2d(const Tensor& input, const Tensor& weight,
                             const Tensor& bias, const Conv2dSpec& spec);
 
+/// Row-restricted conv2d: computes output rows [row_begin, row_end) into a
+/// preallocated `out` of shape (C_out, H_out, W_out); rows outside the range
+/// are left untouched. conv2d() is implemented on top of this, so the
+/// per-cell arithmetic (and therefore the result, bitwise) is identical —
+/// this is what lets the temporal stem cache refresh only the rows a frame
+/// delta touched and still honour the pipeline's determinism contract.
+void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                 const Conv2dSpec& spec, std::size_t row_begin,
+                 std::size_t row_end, Tensor& out);
+
+/// One sample of a batched convolution. Weights may differ per item (the
+/// stem bank convolves four sensors with four kernel sets in one call);
+/// `output` is resized and filled by conv2d_batch.
+struct Conv2dBatchItem {
+  const Tensor* input = nullptr;
+  const Tensor* weight = nullptr;
+  const Tensor* bias = nullptr;
+  Tensor* output = nullptr;
+};
+
+/// Batched conv2d entry point: runs every item under one spec. Results are
+/// bitwise identical to per-item conv2d() calls; the batch form exists so
+/// callers executing many frames (or many sensors) against the same layer
+/// shape pay validation/dispatch once and keep the inner loops hot.
+void conv2d_batch(std::vector<Conv2dBatchItem>& items, const Conv2dSpec& spec);
+
 /// conv2d backward. Given d(loss)/d(output), fills gradients (accumulating
 /// into grad_weight / grad_bias) and returns d(loss)/d(input).
 [[nodiscard]] Tensor conv2d_backward(const Tensor& input, const Tensor& weight,

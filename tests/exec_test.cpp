@@ -1,0 +1,285 @@
+// Tests for the shared-execution layer: FrameWorkspace memoization,
+// TemporalStemCache bitwise-exact reuse/delta refresh, batched branch
+// execution, and the row-restricted conv entry point they build on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataset/sequence.hpp"
+#include "exec/batcher.hpp"
+#include "exec/stem_cache.hpp"
+#include "exec/workspace.hpp"
+#include "gating/knowledge_gate.hpp"
+#include "gating/loss_gate.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace eco::exec {
+namespace {
+
+const core::EcoFusionEngine& engine() {
+  static core::EcoFusionEngine instance;
+  return instance;
+}
+
+dataset::Sequence test_sequence(dataset::SceneType scene, std::size_t length,
+                                std::uint64_t id = 1) {
+  dataset::SequenceConfig config;
+  config.length = length;
+  config.seed = 2024;
+  return dataset::generate_sequence(scene, config, id);
+}
+
+void expect_same_detections(const std::vector<detect::Detection>& a,
+                            const std::vector<detect::Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box.x1, b[i].box.x1);
+    EXPECT_EQ(a[i].box.y1, b[i].box.y1);
+    EXPECT_EQ(a[i].box.x2, b[i].box.x2);
+    EXPECT_EQ(a[i].box.y2, b[i].box.y2);
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+// The satellite fix pinned: with an oracle gate, run_adaptive used to
+// compute config_losses (all 7 branches) and then execute the winning
+// configuration's branches a second time. Through the workspace every
+// branch runs at most once per frame.
+TEST(FrameWorkspaceTest, OracleAdaptivePassRunsEachBranchOnce) {
+  const auto seq = test_sequence(dataset::SceneType::kRain, 1);
+  gating::LossBasedGate oracle(engine().config_space().size());
+
+  FrameWorkspace ws(engine(), seq.frames[0]);
+  const core::AdaptiveResult result = engine().run_adaptive(ws, oracle);
+  EXPECT_EQ(ws.branch_executions(), core::kNumBranches);
+  EXPECT_FALSE(result.run.detections.empty());
+
+  // A second pass over the same workspace adds no executions at all.
+  (void)engine().run_adaptive(ws, oracle);
+  EXPECT_EQ(ws.branch_executions(), core::kNumBranches);
+}
+
+TEST(FrameWorkspaceTest, KnowledgeGateSkipsStemsAndExtraBranches) {
+  const auto seq = test_sequence(dataset::SceneType::kCity, 1);
+  gating::KnowledgeGate gate(engine().default_knowledge_table(),
+                             engine().config_space().size());
+
+  FrameWorkspace ws(engine(), seq.frames[0]);
+  const core::AdaptiveResult result = engine().run_adaptive(ws, gate);
+  // The knowledge gate never pulls F, so the stems never ran...
+  EXPECT_EQ(ws.stem_source(), StemSource::kSkipped);
+  // ...and only the selected configuration's branches executed.
+  const auto& selected = engine().config_space()[result.run.config_index];
+  EXPECT_EQ(ws.branch_executions(), selected.branches.size());
+}
+
+TEST(FrameWorkspaceTest, WorkspacePathMatchesFrameWrappers) {
+  const auto seq = test_sequence(dataset::SceneType::kFog, 1);
+  const dataset::Frame& frame = seq.frames[0];
+  gating::LossBasedGate oracle(engine().config_space().size());
+
+  FrameWorkspace ws(engine(), frame);
+  const core::AdaptiveResult shared = engine().run_adaptive(ws, oracle);
+  const core::AdaptiveResult fresh = engine().run_adaptive(frame, oracle);
+  EXPECT_EQ(shared.run.config_index, fresh.run.config_index);
+  EXPECT_EQ(shared.run.loss.total(), fresh.run.loss.total());
+  EXPECT_EQ(shared.run.energy_j, fresh.run.energy_j);
+  expect_same_detections(shared.run.detections, fresh.run.detections);
+
+  const core::RunResult via_ws = engine().run_static(ws, 3);
+  const core::RunResult via_frame = engine().run_static(frame, 3);
+  EXPECT_EQ(via_ws.loss.total(), via_frame.loss.total());
+  expect_same_detections(via_ws.detections, via_frame.detections);
+}
+
+TEST(FrameWorkspaceTest, ConfigLossesMatchEngineWrapper) {
+  const auto seq = test_sequence(dataset::SceneType::kNight, 1);
+  FrameWorkspace ws(engine(), seq.frames[0]);
+  const std::vector<float>& shared = ws.config_losses();
+  const std::vector<float> fresh = engine().config_losses(seq.frames[0]);
+  ASSERT_EQ(shared.size(), fresh.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_EQ(shared[i], fresh[i]);  // bitwise
+  }
+}
+
+// Cache-resolved features must be bitwise equal to a fresh stem pass for
+// every frame of a sequence — this is the exactness contract that makes the
+// cache legal under the pipeline's determinism guarantee.
+TEST(TemporalStemCacheTest, SequenceFeaturesAreBitwiseExact) {
+  const auto seq = test_sequence(dataset::SceneType::kMotorway, 6);
+  TemporalStemCache cache(engine().stems());
+  for (const dataset::Frame& frame : seq.frames) {
+    const tensor::Tensor cached = cache.gate_features(42, frame);
+    const tensor::Tensor fresh = engine().stems().gate_features(frame);
+    ASSERT_EQ(cached.shape(), fresh.shape());
+    for (std::size_t i = 0; i < cached.numel(); ++i) {
+      ASSERT_EQ(cached[i], fresh[i]) << "feature " << i << " diverged";
+    }
+  }
+  const StemCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, seq.frames.size() - 1);
+}
+
+TEST(TemporalStemCacheTest, SparseDeltaRefreshesOnlyTouchedRows) {
+  const auto seq = test_sequence(dataset::SceneType::kCity, 1);
+  const dataset::Frame& base = seq.frames[0];
+
+  // A localized change: a few cells in two rows of one sensor.
+  dataset::Frame moved = base;
+  tensor::Tensor& grid =
+      moved.sensor_grids[static_cast<std::size_t>(dataset::SensorKind::kLidar)];
+  grid.at(0, 10, 7) += 0.25f;
+  grid.at(0, 11, 8) += 0.25f;
+
+  TemporalStemCache cache(engine().stems());
+  (void)cache.gate_features(7, base);
+  bool hit = false;
+  const tensor::Tensor delta = cache.gate_features(7, moved, &hit);
+  EXPECT_TRUE(hit);
+
+  const tensor::Tensor fresh = engine().stems().gate_features(moved);
+  for (std::size_t i = 0; i < delta.numel(); ++i) {
+    ASSERT_EQ(delta[i], fresh[i]);
+  }
+  const StemCacheCounters counters = cache.counters();
+  // Three sensors unchanged (maps reused outright); the dirty input rows
+  // 10-11 reach pooled rows 4-6 only.
+  EXPECT_EQ(counters.reused_sensor_maps, dataset::kNumSensors - 1);
+  EXPECT_LE(counters.refreshed_rows, 3u);
+  EXPECT_GE(counters.refreshed_rows, 1u);
+}
+
+TEST(TemporalStemCacheTest, IdenticalFrameReusesEverySensorMap) {
+  const auto seq = test_sequence(dataset::SceneType::kRural, 1);
+  TemporalStemCache cache(engine().stems());
+  (void)cache.gate_features(9, seq.frames[0]);
+  (void)cache.gate_features(9, seq.frames[0]);
+  const StemCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.reused_sensor_maps, dataset::kNumSensors);
+  EXPECT_EQ(counters.refreshed_rows, 0u);
+}
+
+TEST(TemporalStemCacheTest, EvictionFallsBackToExactRecompute) {
+  const auto seq = test_sequence(dataset::SceneType::kSnow, 2);
+  StemCacheConfig config;
+  config.max_sequences = 1;
+  TemporalStemCache cache(engine().stems(), config);
+  (void)cache.gate_features(1, seq.frames[0]);
+  (void)cache.gate_features(2, seq.frames[0]);  // evicts sequence 1
+  bool hit = true;
+  const tensor::Tensor recomputed = cache.gate_features(1, seq.frames[1], &hit);
+  EXPECT_FALSE(hit);
+  const tensor::Tensor fresh = engine().stems().gate_features(seq.frames[1]);
+  for (std::size_t i = 0; i < recomputed.numel(); ++i) {
+    ASSERT_EQ(recomputed[i], fresh[i]);
+  }
+}
+
+// Batched branch execution deposits per-frame detections identical to
+// per-frame runs.
+TEST(BranchBatcherTest, BatchedDetectionsMatchPerFrameRuns) {
+  const auto seq = test_sequence(dataset::SceneType::kJunction, 4);
+  const std::size_t config_index = engine().baselines().late;
+
+  std::vector<std::unique_ptr<FrameWorkspace>> workspaces;
+  std::vector<FrameWorkspace*> group;
+  for (const dataset::Frame& frame : seq.frames) {
+    workspaces.push_back(std::make_unique<FrameWorkspace>(engine(), frame));
+    group.push_back(workspaces.back().get());
+  }
+  const BranchBatcher batcher(engine());
+  batcher.execute(config_index, group);
+
+  const auto& config = engine().config_space()[config_index];
+  for (std::size_t f = 0; f < seq.frames.size(); ++f) {
+    for (core::BranchId branch : config.branches) {
+      ASSERT_TRUE(workspaces[f]->has_branch(branch));
+      expect_same_detections(workspaces[f]->branch_detections(branch),
+                             engine().run_branch(branch, seq.frames[f]));
+    }
+  }
+}
+
+TEST(BranchBatcherTest, DetectBatchMatchesDetect) {
+  const auto seq = test_sequence(dataset::SceneType::kFog, 3);
+  // An early-fusion branch (multi-channel) and a single-sensor branch.
+  for (core::BranchId branch : {core::BranchId::kEarlyCamerasLidar,
+                                core::BranchId::kRadar}) {
+    const auto& detector = engine().branch_detector(branch);
+    std::vector<std::vector<tensor::Tensor>> grids;
+    std::vector<const std::vector<tensor::Tensor>*> batch;
+    for (const dataset::Frame& frame : seq.frames) {
+      grids.push_back(engine().branch_grids(branch, frame));
+    }
+    for (const auto& g : grids) batch.push_back(&g);
+    const auto batched = detector.detect_batch(batch);
+    ASSERT_EQ(batched.size(), seq.frames.size());
+    for (std::size_t f = 0; f < seq.frames.size(); ++f) {
+      expect_same_detections(batched[f], detector.detect(grids[f]));
+    }
+  }
+}
+
+TEST(TensorOpsTest, Conv2dRowsMatchesFullConv) {
+  util::Rng rng(123);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  tensor::Tensor input({2, 11, 9});
+  tensor::Tensor weight({3, 2, 3, 3});
+  tensor::Tensor bias({3});
+  for (auto& v : input.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& v : weight.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& v : bias.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+
+  const tensor::Tensor full = tensor::conv2d(input, weight, bias, spec);
+  tensor::Tensor striped({3, 11, 9});
+  // Cover the output with uneven stripes.
+  tensor::conv2d_rows(input, weight, bias, spec, 0, 4, striped);
+  tensor::conv2d_rows(input, weight, bias, spec, 4, 5, striped);
+  tensor::conv2d_rows(input, weight, bias, spec, 5, 11, striped);
+  for (std::size_t i = 0; i < full.numel(); ++i) {
+    ASSERT_EQ(full[i], striped[i]);
+  }
+}
+
+TEST(TensorOpsTest, Conv2dBatchMatchesPerItemCalls) {
+  util::Rng rng(7);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 4;
+  std::vector<tensor::Tensor> inputs(3, tensor::Tensor({1, 8, 8}));
+  std::vector<tensor::Tensor> weights(3, tensor::Tensor({4, 1, 3, 3}));
+  tensor::Tensor bias({4});
+  for (auto& t : inputs) {
+    for (auto& v : t.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  }
+  for (auto& t : weights) {
+    for (auto& v : t.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  }
+  std::vector<tensor::Tensor> outputs(3);
+  std::vector<tensor::Conv2dBatchItem> items;
+  for (std::size_t i = 0; i < 3; ++i) {
+    items.push_back({&inputs[i], &weights[i], &bias, &outputs[i]});
+  }
+  tensor::conv2d_batch(items, spec);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const tensor::Tensor expected =
+        tensor::conv2d(inputs[i], weights[i], bias, spec);
+    ASSERT_EQ(outputs[i].shape(), expected.shape());
+    for (std::size_t j = 0; j < expected.numel(); ++j) {
+      ASSERT_EQ(outputs[i][j], expected[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eco::exec

@@ -9,7 +9,9 @@ namespace {
 
 Param make_param(std::vector<float> values) {
   Param p;
-  p.name = "p";
+  // std::string{} sidesteps a GCC 12 -Wrestrict false positive on
+  // assigning a literal to the NRVO'd member.
+  p.name = std::string{"p"};
   p.value = Tensor::from_vector(std::move(values));
   p.zero_grad();
   return p;

@@ -8,6 +8,7 @@
 
 #include "core/engine.hpp"
 #include "gating/knowledge_gate.hpp"
+#include "gating/learned_gate.hpp"
 #include "gating/loss_gate.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/pipeline.hpp"
@@ -33,6 +34,17 @@ GateFactory oracle_factory() {
   return
       [] { return std::make_unique<gating::LossBasedGate>(
                engine().config_space().size()); };
+}
+
+// An (untrained) Deep gate: deterministic fixed-seed weights, and — unlike
+// the knowledge/oracle gates — it actually pulls the stem features F, so it
+// exercises the temporal stem cache.
+GateFactory deep_factory() {
+  return [] {
+    gating::LearnedGateConfig config;
+    config.num_configs = engine().config_space().size();
+    return std::make_unique<gating::LearnedGate>(config);
+  };
 }
 
 StreamConfig small_stream() {
@@ -250,6 +262,170 @@ TEST(StreamingPipelineTest, BudgetControllerConvergesToTarget) {
     EXPECT_EQ(report.lambda_trace[i], replay.lambda_trace[i]);
   }
   EXPECT_EQ(report.total_energy_j, replay.total_energy_j);
+}
+
+PipelineReport run_pipeline_exec(std::size_t workers, const GateFactory& gates,
+                                 bool cache, bool batch) {
+  PipelineConfig config;
+  config.workers = workers;
+  config.window = 16;
+  config.joint.gamma = 2.0f;
+  config.temporal_stem_cache = cache;
+  config.batch_branches = batch;
+  StreamingPipeline pipeline(engine(), config);
+  FrameStream stream(small_stream());
+  return pipeline.run(stream, gates);
+}
+
+/// Bitwise equality of everything the determinism contract covers.
+/// `compare_stem_source` is off when comparing cache-on vs cache-off runs
+/// (the cache changes *how* F was obtained, never its value).
+void expect_reports_equal(const PipelineReport& a, const PipelineReport& b,
+                          bool compare_stem_source) {
+  ASSERT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.mean_energy_j, b.mean_energy_j);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.mean_loss, b.mean_loss);
+  EXPECT_EQ(a.map, b.map);
+  EXPECT_EQ(a.total_detections, b.total_detections);
+  EXPECT_EQ(a.final_lambda, b.final_lambda);
+  ASSERT_EQ(a.lambda_trace.size(), b.lambda_trace.size());
+  for (std::size_t i = 0; i < a.lambda_trace.size(); ++i) {
+    EXPECT_EQ(a.lambda_trace[i], b.lambda_trace[i]);
+  }
+  ASSERT_EQ(a.frame_stats.size(), b.frame_stats.size());
+  for (std::size_t i = 0; i < a.frame_stats.size(); ++i) {
+    const FrameStats& x = a.frame_stats[i];
+    const FrameStats& y = b.frame_stats[i];
+    EXPECT_EQ(x.stream_index, y.stream_index);
+    EXPECT_EQ(x.scene, y.scene);
+    EXPECT_EQ(x.config_index, y.config_index);
+    EXPECT_EQ(x.loss, y.loss);          // bitwise
+    EXPECT_EQ(x.energy_j, y.energy_j);  // bitwise
+    EXPECT_EQ(x.latency_ms, y.latency_ms);
+    EXPECT_EQ(x.lambda_energy, y.lambda_energy);
+    EXPECT_EQ(x.detections, y.detections);
+    EXPECT_EQ(x.batch_size, y.batch_size);
+    EXPECT_EQ(x.branch_runs, y.branch_runs);
+    if (compare_stem_source) {
+      EXPECT_EQ(x.stem_source, y.stem_source);
+    }
+  }
+  ASSERT_EQ(a.per_scene.size(), b.per_scene.size());
+  for (std::size_t s = 0; s < a.per_scene.size(); ++s) {
+    EXPECT_EQ(a.per_scene[s].scene, b.per_scene[s].scene);
+    EXPECT_EQ(a.per_scene[s].frames, b.per_scene[s].frames);
+    EXPECT_EQ(a.per_scene[s].mean_loss, b.per_scene[s].mean_loss);
+    EXPECT_EQ(a.per_scene[s].mean_energy_j, b.per_scene[s].mean_energy_j);
+    EXPECT_EQ(a.per_scene[s].map, b.per_scene[s].map);
+    EXPECT_EQ(a.per_scene[s].mean_batch, b.per_scene[s].mean_batch);
+    if (compare_stem_source) {
+      EXPECT_EQ(a.per_scene[s].stem_cache_hits, b.per_scene[s].stem_cache_hits);
+      EXPECT_EQ(a.per_scene[s].stem_cache_misses,
+                b.per_scene[s].stem_cache_misses);
+    }
+  }
+  EXPECT_EQ(a.exec.branch_runs, b.exec.branch_runs);
+  EXPECT_EQ(a.exec.batches, b.exec.batches);
+  EXPECT_EQ(a.exec.batched_frames, b.exec.batched_frames);
+  EXPECT_EQ(a.exec.max_batch, b.exec.max_batch);
+  EXPECT_EQ(a.exec.mean_batch, b.exec.mean_batch);
+  if (compare_stem_source) {
+    EXPECT_EQ(a.exec.stems_skipped, b.exec.stems_skipped);
+    EXPECT_EQ(a.exec.stems_computed, b.exec.stems_computed);
+    EXPECT_EQ(a.exec.stem_cache_hits, b.exec.stem_cache_hits);
+    EXPECT_EQ(a.exec.stem_cache_misses, b.exec.stem_cache_misses);
+  }
+}
+
+// The temporal stem cache is a pure optimization: reports with it on and
+// off are bitwise identical (a Deep gate pulls F every frame, so the cache
+// is genuinely on the path here).
+TEST(StreamingPipelineTest, StemCacheOnOffReportsBitwiseIdentical) {
+  const PipelineReport off =
+      run_pipeline_exec(2, deep_factory(), /*cache=*/false, /*batch=*/true);
+  const PipelineReport on =
+      run_pipeline_exec(2, deep_factory(), /*cache=*/true, /*batch=*/true);
+  expect_reports_equal(off, on, /*compare_stem_source=*/false);
+  // And the cache really engaged: one miss per sequence, hits elsewhere.
+  EXPECT_EQ(on.exec.stem_cache_misses, dataset::kNumSceneTypes);
+  EXPECT_EQ(on.exec.stem_cache_hits, on.frames - dataset::kNumSceneTypes);
+  EXPECT_EQ(off.exec.stems_computed, off.frames);
+}
+
+// So is batched branch execution.
+TEST(StreamingPipelineTest, BatchOnOffReportsBitwiseIdentical) {
+  const PipelineReport off =
+      run_pipeline_exec(2, knowledge_factory(), /*cache=*/true,
+                        /*batch=*/false);
+  const PipelineReport on =
+      run_pipeline_exec(2, knowledge_factory(), /*cache=*/true,
+                        /*batch=*/true);
+  expect_reports_equal(off, on, /*compare_stem_source=*/true);
+  EXPECT_GT(on.exec.batched_frames, 0u);
+  EXPECT_GT(on.exec.max_batch, 1u);
+}
+
+// 1-vs-N worker determinism with caching AND batching enabled, including
+// every exec counter.
+TEST(StreamingPipelineTest, DeterministicAcrossWorkersWithCacheAndBatch) {
+  const PipelineReport one =
+      run_pipeline_exec(1, deep_factory(), /*cache=*/true, /*batch=*/true);
+  const PipelineReport four =
+      run_pipeline_exec(4, deep_factory(), /*cache=*/true, /*batch=*/true);
+  expect_reports_equal(one, four, /*compare_stem_source=*/true);
+}
+
+// Even with a stem-cache capacity far below the live sequence count,
+// eviction stays deterministic (it happens at window barriers, from stream
+// order alone) — counters must not depend on worker timing.
+TEST(StreamingPipelineTest, TinyStemCacheStaysDeterministic) {
+  auto run = [](std::size_t workers) {
+    PipelineConfig config;
+    config.workers = workers;
+    config.window = 16;
+    config.joint.gamma = 2.0f;
+    config.stem_cache_sequences = 1;  // pipeline floors this at 2x window
+    StreamingPipeline pipeline(engine(), config);
+    FrameStream stream(small_stream());
+    return pipeline.run(stream, deep_factory());
+  };
+  const PipelineReport one = run(1);
+  const PipelineReport four = run(4);
+  expect_reports_equal(one, four, /*compare_stem_source=*/true);
+  EXPECT_GT(one.exec.stem_cache_hits, 0u);
+}
+
+TEST(StreamingPipelineTest, ExecCountersAreConsistent) {
+  const PipelineReport report =
+      run_pipeline_exec(2, knowledge_factory(), /*cache=*/true,
+                        /*batch=*/true);
+  ASSERT_GT(report.frames, 0u);
+  // The knowledge gate never pulls F: stems skipped on every frame.
+  EXPECT_EQ(report.exec.stems_skipped, report.frames);
+  EXPECT_EQ(report.exec.stem_cache_hits, 0u);
+  EXPECT_EQ(report.exec.stem_cache_misses, 0u);
+  EXPECT_GT(report.exec.branch_runs, 0u);
+  ASSERT_GT(report.exec.batches, 0u);
+  EXPECT_DOUBLE_EQ(report.exec.mean_batch,
+                   static_cast<double>(report.frames) /
+                       static_cast<double>(report.exec.batches));
+  std::size_t batched = 0;
+  double batch_sum = 0.0;
+  for (const FrameStats& stats : report.frame_stats) {
+    EXPECT_GE(stats.batch_size, 1u);
+    EXPECT_GT(stats.branch_runs, 0u);
+    if (stats.batch_size > 1) ++batched;
+    batch_sum += static_cast<double>(stats.batch_size);
+  }
+  EXPECT_EQ(report.exec.batched_frames, batched);
+  // Per-scene mean batch sizes aggregate the same per-frame data.
+  double scene_batch_sum = 0.0;
+  for (const SceneReport& scene : report.per_scene) {
+    scene_batch_sum += scene.mean_batch * static_cast<double>(scene.frames);
+  }
+  EXPECT_NEAR(scene_batch_sum, batch_sum, 1e-9);
 }
 
 }  // namespace
