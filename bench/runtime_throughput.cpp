@@ -1,18 +1,30 @@
 // Streaming-runtime throughput baseline: frames/sec and J/frame vs worker
-// count on the same mixed-scenario stream.
+// count, and vs engine-shard count, on the same mixed-scenario stream.
 //
 // Every row replays an identical stream (all 8 scene types interleaved,
-// severity-jittered sequences) through the StreamingPipeline with a shared
-// engine and per-worker Knowledge gates. The determinism contract means
-// J/frame, loss, and mAP columns must be identical across rows — only the
-// wall-clock columns may move. Future PRs use this as the perf baseline:
-// run before/after and compare frames/sec at equal worker counts.
+// severity-jittered sequences). The worker sweep drives one StreamingPipeline
+// with a shared engine and per-worker Knowledge gates; the shard sweep
+// drives a ShardedPipeline — N engine shards over one shared pool — at a
+// fixed worker count. The determinism contract means J/frame, loss, and mAP
+// columns must be identical across ALL rows, including across shard counts
+// (the sharded merge restores global stream order and re-runs the exact
+// stream-order reduction) — only the wall-clock columns may move. Future
+// PRs use this as the perf baseline: run before/after and compare frames/sec
+// at equal worker and shard counts.
+//
+// Shard-speedup expectations are hardware-bound: shards overlap their window
+// barriers and stream producers on the shared pool, so gains need at least
+// as many cores as busy shards. On a single-core container the shard rows
+// should sit within noise of each other (batching grows with shard count —
+// a shard's window spans fewer lanes — but per-call batch savings are
+// small); the CI runners' multi-core sweep is the interesting one.
 //
 // Besides the table, the run is written to BENCH_runtime.json (or the path
 // given as the second argument) so the perf trajectory is machine-trackable
 // across PRs.
 //
-// Build & run:  ./build/bench/runtime_throughput [frames_per_sequence] [json]
+// Build & run:
+//   ./build/bench/runtime_throughput [frames_per_sequence] [json] [max_shards]
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -23,6 +35,7 @@
 #include "core/engine.hpp"
 #include "gating/knowledge_gate.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
 #include "util/table.hpp"
 
@@ -34,12 +47,21 @@ struct Row {
   double speedup = 0.0;
 };
 
-void write_json(const char* path, const eco::runtime::PipelineReport& report,
-                std::size_t frames_per_sequence, const std::vector<Row>& rows) {
+struct ShardRow {
+  std::size_t shards = 0;
+  double frames_per_second = 0.0;
+  double speedup = 0.0;
+  double mean_batch = 0.0;
+  bool merged_invariant = false;  // J/loss/mAP bitwise equal to 1-shard row
+};
+
+bool write_json(const char* path, const eco::runtime::PipelineReport& report,
+                std::size_t frames_per_sequence, const std::vector<Row>& rows,
+                const std::vector<ShardRow>& shard_rows) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
-    return;
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return false;
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"runtime_throughput\",\n");
@@ -70,9 +92,22 @@ void write_json(const char* path, const eco::runtime::PipelineReport& report,
                  rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
                  i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"shard_rows\": [\n");
+  for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"frames_per_second\": %.2f, "
+                 "\"speedup\": %.3f, \"mean_batch\": %.3f, "
+                 "\"merged_invariant\": %s}%s\n",
+                 shard_rows[i].shards, shard_rows[i].frames_per_second,
+                 shard_rows[i].speedup, shard_rows[i].mean_batch,
+                 shard_rows[i].merged_invariant ? "true" : "false",
+                 i + 1 < shard_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("Wrote %s\n", path);
+  return true;
 }
 
 }  // namespace
@@ -86,17 +121,28 @@ int main(int argc, char** argv) {
     if (frames_per_sequence == 0) {
       std::fprintf(stderr,
                    "usage: runtime_throughput [frames_per_sequence >= 1] "
-                   "[json_path]\n");
+                   "[json_path] [max_shards]\n");
       return 2;
     }
   }
   const char* json_path = argc > 2 ? argv[2] : "BENCH_runtime.json";
+  std::size_t max_shards = 4;
+  if (argc > 3) {
+    max_shards = std::strtoul(argv[3], nullptr, 10);
+    if (max_shards == 0) max_shards = 1;
+  }
 
   const core::EcoFusionEngine engine;
   const runtime::GateFactory gate_factory = [&engine] {
     return std::make_unique<gating::KnowledgeGate>(
         engine.default_knowledge_table(), engine.config_space().size());
   };
+  const runtime::ShardGateFactory shard_gate_factory =
+      [](const core::EcoFusionEngine& shard_engine) {
+        return std::make_unique<gating::KnowledgeGate>(
+            shard_engine.default_knowledge_table(),
+            shard_engine.config_space().size());
+      };
 
   runtime::StreamConfig stream_config;
   stream_config.sequence.length = frames_per_sequence;
@@ -134,6 +180,48 @@ int main(int argc, char** argv) {
     last_report = std::move(report);
   }
   std::printf("%s\n", table.render().c_str());
+
+  // ---- Shard sweep: N engine shards on one 4-worker pool ----------------
+  util::Table shard_table({"Shards", "Frames/s", "Speedup", "J/frame",
+                           "Mean loss", "mAP (%)", "Mean batch",
+                           "Merged =="});
+  std::vector<ShardRow> shard_rows;
+  runtime::PipelineReport one_shard_merged;
+  double shard_base_fps = 0.0;
+  for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+    runtime::ShardedConfig config;
+    config.shards = shards;
+    config.pipeline.workers = 4;
+    config.pipeline.window = 16;
+    runtime::ShardedPipeline pipeline(config);
+    const runtime::ShardedReport report =
+        pipeline.run(stream_config, shard_gate_factory);
+    const runtime::PipelineReport& merged = report.merged;
+    const bool invariant =
+        shards == 1 ||
+        (merged.mean_energy_j == one_shard_merged.mean_energy_j &&
+         merged.mean_loss == one_shard_merged.mean_loss &&
+         merged.map == one_shard_merged.map &&
+         merged.mean_latency_ms == one_shard_merged.mean_latency_ms &&
+         merged.total_detections == one_shard_merged.total_detections);
+    if (shards == 1) {
+      shard_base_fps = merged.frames_per_second;
+      one_shard_merged = merged;
+    }
+    shard_table.add_row(
+        {std::to_string(shards), util::fmt(merged.frames_per_second, 1),
+         util::fmt(merged.frames_per_second / shard_base_fps, 2) + "x",
+         util::fmt(merged.mean_energy_j), util::fmt(merged.mean_loss),
+         util::fmt_pct(merged.map), util::fmt(merged.exec.mean_batch, 2),
+         invariant ? "yes" : "NO"});
+    shard_rows.push_back({shards, merged.frames_per_second,
+                          merged.frames_per_second / shard_base_fps,
+                          merged.exec.mean_batch, invariant});
+  }
+  std::printf("Sharded front-end at 4 shared workers (sequences hashed "
+              "across shards,\nmerged report restored to stream order):\n");
+  std::printf("%s\n", shard_table.render().c_str());
+
   std::printf("Exec layer: %zu branch runs over %zu frames; stems skipped on "
               "%zu frames;\n%zu/%zu stem-cache hits/misses; mean batch %.2f "
               "(max %zu, %zu frames batched).\n",
@@ -141,8 +229,20 @@ int main(int argc, char** argv) {
               last_report.exec.stems_skipped, last_report.exec.stem_cache_hits,
               last_report.exec.stem_cache_misses, last_report.exec.mean_batch,
               last_report.exec.max_batch, last_report.exec.batched_frames);
-  std::printf("J/frame, loss, and mAP are worker-count invariant by the\n"
-              "pipeline's determinism contract; only wall-clock moves.\n");
-  write_json(json_path, last_report, frames_per_sequence, rows);
-  return 0;
+  std::printf("J/frame, loss, and mAP are worker- AND shard-count invariant\n"
+              "by the runtime's determinism contract; only wall-clock moves.\n");
+  const bool wrote =
+      write_json(json_path, last_report, frames_per_sequence, rows, shard_rows);
+  // The bench is its own gate: a merged-report invariance violation (or a
+  // lost artifact) must fail the run, not depend on downstream grepping.
+  bool all_invariant = true;
+  for (const ShardRow& row : shard_rows) {
+    all_invariant = all_invariant && row.merged_invariant;
+  }
+  if (!all_invariant) {
+    std::fprintf(stderr,
+                 "error: merged report not bitwise invariant across shard "
+                 "counts\n");
+  }
+  return (all_invariant && wrote) ? 0 : 1;
 }

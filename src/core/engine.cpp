@@ -98,16 +98,27 @@ EcoFusionEngine::EcoFusionEngine(EngineConfig config)
 const std::vector<float>& EcoFusionEngine::adaptive_energy_table(
     energy::GateComplexity gate) const {
   const auto slot = static_cast<std::size_t>(gate);
-  std::call_once(energy_table_once_[slot], [&] {
-    std::vector<float> table;
-    table.reserve(space_.size());
+  std::call_once(cost_table_once_[slot], [&] {
+    std::vector<float> energies;
+    std::vector<float> latencies;
+    energies.reserve(space_.size());
+    latencies.reserve(space_.size());
     for (const ModelConfig& config : space_) {
-      table.push_back(static_cast<float>(
-          px2_.energy_j(config.execution_profile(/*adaptive=*/true, gate))));
+      const energy::ProfileCost cost =
+          px2_.cost(config.execution_profile(/*adaptive=*/true, gate));
+      energies.push_back(static_cast<float>(cost.energy_j));
+      latencies.push_back(static_cast<float>(cost.latency_ms));
     }
-    energy_tables_[slot] = std::move(table);
+    energy_tables_[slot] = std::move(energies);
+    latency_tables_[slot] = std::move(latencies);
   });
   return energy_tables_[slot];
+}
+
+const std::vector<float>& EcoFusionEngine::adaptive_latency_table(
+    energy::GateComplexity gate) const {
+  (void)adaptive_energy_table(gate);  // builds both tables of the slot
+  return latency_tables_[static_cast<std::size_t>(gate)];
 }
 
 double EcoFusionEngine::static_latency_ms(std::size_t config_index) const {
@@ -194,10 +205,14 @@ SelectionResult EcoFusionEngine::select_adaptive(
     throw std::logic_error("run_adaptive: gate arity != |Φ|");
   }
 
-  // 3-4: candidate selection + joint optimization over the offline E(Φ).
+  // 3-4: candidate selection + joint optimization over the offline E(Φ)
+  // and (when a deadline loop actuates λ_L) the modeled T(Φ).
   const std::vector<float>& energies = adaptive_energy_table(gate.complexity());
+  const std::vector<float>& latencies =
+      adaptive_latency_table(gate.complexity());
   SelectionResult result;
-  result.config_index = select_configuration(predicted, energies, joint);
+  result.config_index =
+      select_configuration(predicted, energies, latencies, joint);
   result.predicted_losses = std::move(predicted);
   result.candidates = candidate_set(result.predicted_losses, joint.gamma);
   return result;

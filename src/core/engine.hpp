@@ -104,6 +104,14 @@ class EcoFusionEngine {
   [[nodiscard]] const std::vector<float>& adaptive_energy_table(
       energy::GateComplexity gate) const;
 
+  /// Offline per-configuration modeled latency table T(Φ) (ms) under the
+  /// same adaptive accounting as E(Φ). This is the plant model behind the
+  /// deadline controller: λ_L scores configurations against these values,
+  /// and the controller observes their per-frame means — so closed-loop
+  /// latency control is as deterministic as the energy loop.
+  [[nodiscard]] const std::vector<float>& adaptive_latency_table(
+      energy::GateComplexity gate) const;
+
   /// Energy/latency of a configuration under static (baseline) accounting.
   [[nodiscard]] double static_latency_ms(std::size_t config_index) const;
   [[nodiscard]] double static_energy_j(std::size_t config_index) const;
@@ -191,11 +199,13 @@ class EcoFusionEngine {
   energy::Px2Model px2_;
   fusion::FusionBlock fusion_block_;
   std::vector<std::unique_ptr<detect::BranchDetector>> branches_;
-  // E(Φ) tables per gate complexity (lazily built, cached). Each table is
-  // built exactly once under its flag so concurrent read-only callers
-  // (the runtime worker pool) never observe a partially filled table.
-  mutable std::array<std::once_flag, 4> energy_table_once_;
+  // E(Φ) and T(Φ) tables per gate complexity (lazily built, cached). Both
+  // tables of a complexity are built together exactly once under its flag
+  // so concurrent read-only callers (the runtime worker pool) never observe
+  // a partially filled table.
+  mutable std::array<std::once_flag, 4> cost_table_once_;
   mutable std::array<std::vector<float>, 4> energy_tables_;
+  mutable std::array<std::vector<float>, 4> latency_tables_;
 };
 
 }  // namespace eco::core

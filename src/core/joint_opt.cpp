@@ -32,27 +32,67 @@ float joint_loss(float fusion_loss, float energy_j,
   return (1.0f - lambda_energy) * fusion_loss + lambda_energy * energy_j;
 }
 
-std::size_t select_configuration(const std::vector<float>& losses,
-                                 const std::vector<float>& energies,
-                                 const JointOptParams& params) {
+float joint_cost(float fusion_loss, float energy_j, float latency_ms,
+                 const JointOptParams& params) noexcept {
+  if (params.lambda_latency == 0.0f) {
+    // Keep the λ_L = 0 path literally on Eq. 8 so legacy callers (and the
+    // determinism pins on existing runs) stay bitwise unchanged.
+    return joint_loss(fusion_loss, energy_j, params.lambda_energy);
+  }
+  const float fidelity =
+      1.0f - params.lambda_energy - params.lambda_latency;
+  return fidelity * fusion_loss + params.lambda_energy * energy_j +
+         params.lambda_latency * (latency_ms / params.latency_scale_ms);
+}
+
+namespace {
+
+/// Shared Eq. 7-9 argmin; `latencies` may be null (λ_L treated as 0).
+std::size_t select_over(const std::vector<float>& losses,
+                        const std::vector<float>& energies,
+                        const std::vector<float>* latencies,
+                        const JointOptParams& params) {
   if (losses.size() != energies.size()) {
     throw std::invalid_argument(
         "select_configuration: losses/energies arity mismatch");
   }
+  if (latencies != nullptr && latencies->size() != losses.size()) {
+    throw std::invalid_argument(
+        "select_configuration: losses/latencies arity mismatch");
+  }
+  const auto cost = [&](std::size_t idx) {
+    return latencies != nullptr
+               ? joint_cost(losses[idx], energies[idx], (*latencies)[idx],
+                            params)
+               : joint_loss(losses[idx], energies[idx], params.lambda_energy);
+  };
   const std::vector<std::size_t> candidates =
       candidate_set(losses, params.gamma);
   std::size_t best = candidates.front();
-  float best_joint = joint_loss(losses[best], energies[best],
-                                params.lambda_energy);
+  float best_joint = cost(best);
   for (std::size_t idx : candidates) {
-    const float j = joint_loss(losses[idx], energies[idx],
-                               params.lambda_energy);
+    const float j = cost(idx);
     if (j < best_joint) {
       best_joint = j;
       best = idx;
     }
   }
   return best;
+}
+
+}  // namespace
+
+std::size_t select_configuration(const std::vector<float>& losses,
+                                 const std::vector<float>& energies,
+                                 const JointOptParams& params) {
+  return select_over(losses, energies, nullptr, params);
+}
+
+std::size_t select_configuration(const std::vector<float>& losses,
+                                 const std::vector<float>& energies,
+                                 const std::vector<float>& latencies,
+                                 const JointOptParams& params) {
+  return select_over(losses, energies, &latencies, params);
 }
 
 }  // namespace eco::core

@@ -23,6 +23,16 @@ struct JointOptParams {
   float gamma = 0.5f;
   /// Energy weight λ_E ∈ [0, 1].
   float lambda_energy = 0.01f;
+  /// Latency weight λ_L ∈ [0, 1 − λ_E]. Extends Eq. 8 with a third term:
+  ///   L_joint(φ) = (1 − λ_E − λ_L)·L_f(φ) + λ_E·E(φ) + λ_L·T(φ)/s_T
+  /// where T(φ) is the modeled PX2 latency. λ_L = 0 reproduces the paper's
+  /// two-term cost exactly (bitwise), so the extension is opt-in.
+  float lambda_latency = 0.0f;
+  /// Latency normalisation s_T (ms): maps T(φ) onto the loss/energy scale
+  /// so λ_L has leverage comparable to λ_E across its [0, 1] range. Purely
+  /// a unit choice for the actuator; the DeadlineController holds its
+  /// ms-target regardless of the value.
+  float latency_scale_ms = 30.0f;
 };
 
 /// Index of the minimum-loss configuration φ' (ties -> lowest index).
@@ -36,10 +46,24 @@ struct JointOptParams {
 [[nodiscard]] float joint_loss(float fusion_loss, float energy_j,
                                float lambda_energy) noexcept;
 
+/// Extended joint cost: (1−λ_E−λ_L)·L_f + λ_E·E + λ_L·T/s_T. Identical to
+/// joint_loss when params.lambda_latency is 0.
+[[nodiscard]] float joint_cost(float fusion_loss, float energy_j,
+                               float latency_ms,
+                               const JointOptParams& params) noexcept;
+
 /// Full selection per Eq. 7-9. `losses` and `energies` are indexed by
 /// configuration; returns the index of φ*.
 [[nodiscard]] std::size_t select_configuration(
     const std::vector<float>& losses, const std::vector<float>& energies,
     const JointOptParams& params);
+
+/// Deadline-aware selection over the extended cost. `latencies` holds the
+/// modeled per-configuration latency T(Φ) in milliseconds. With
+/// params.lambda_latency == 0 the result matches the two-term overload for
+/// every input (the latency term contributes exactly zero).
+[[nodiscard]] std::size_t select_configuration(
+    const std::vector<float>& losses, const std::vector<float>& energies,
+    const std::vector<float>& latencies, const JointOptParams& params);
 
 }  // namespace eco::core

@@ -111,6 +111,13 @@ double Px2Model::energy_j(const ExecutionProfile& profile) const {
   return load_power_w_ * latency_ms(profile) * 1e-3;
 }
 
+ProfileCost Px2Model::cost(const ExecutionProfile& profile) const {
+  ProfileCost result;
+  result.latency_ms = latency_ms(profile);
+  result.energy_j = load_power_w_ * result.latency_ms * 1e-3;
+  return result;
+}
+
 double Px2Model::effective_gmacs_stem() const {
   return macs_.stem_macs() / (stem_ms_ * 1e-3) * 1e-9;
 }

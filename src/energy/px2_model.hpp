@@ -82,6 +82,15 @@ struct ExecutionProfile {
   bool fusion_block = true;
 };
 
+/// Latency + energy of one inference pass. Energy is derived from latency
+/// via Eq. 6 (E = P·t), so callers that need both — e.g. the engine's
+/// per-configuration E(Φ)/T(Φ) tables behind the deadline controller —
+/// should cost the profile once instead of walking it twice.
+struct ProfileCost {
+  double latency_ms = 0.0;
+  double energy_j = 0.0;
+};
+
 /// The calibrated PX2 model.
 class Px2Model {
  public:
@@ -92,6 +101,10 @@ class Px2Model {
 
   /// Energy of a full pass, in Joules (Eq. 6: E = P * t).
   [[nodiscard]] double energy_j(const ExecutionProfile& profile) const;
+
+  /// Latency and energy of a full pass in one profile walk. The values are
+  /// bitwise identical to latency_ms()/energy_j() on the same profile.
+  [[nodiscard]] ProfileCost cost(const ExecutionProfile& profile) const;
 
   /// Average power under load, Watts (measured in the paper: 45.4 W).
   [[nodiscard]] double load_power_w() const noexcept { return load_power_w_; }

@@ -46,8 +46,8 @@ float ap_from_curve(std::vector<PrPoint>& curve, bool eleven_point) {
 
 }  // namespace
 
-std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
-                                  const MapConfig& config) {
+std::vector<ClassAp> per_class_ap(
+    const std::vector<const FrameResult*>& frames, const MapConfig& config) {
   std::vector<ClassAp> result;
   for (detect::ObjectClass cls : detect::all_object_classes()) {
     ClassAp entry;
@@ -55,8 +55,8 @@ std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
 
     // Gather class ground truth counts and detections.
     std::size_t gt_total = 0;
-    for (const FrameResult& frame : frames) {
-      for (const auto& gt : frame.ground_truth) {
+    for (const FrameResult* frame : frames) {
+      for (const auto& gt : frame->ground_truth) {
         if (gt.cls == cls) ++gt_total;
       }
     }
@@ -64,7 +64,7 @@ std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
 
     std::vector<RankedDetection> ranked;
     for (std::size_t f = 0; f < frames.size(); ++f) {
-      for (const auto& det : frames[f].detections) {
+      for (const auto& det : frames[f]->detections) {
         if (det.cls == cls) ranked.push_back({f, &det});
       }
     }
@@ -81,12 +81,12 @@ std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
     // Greedy matching in confidence order.
     std::vector<std::vector<bool>> claimed(frames.size());
     for (std::size_t f = 0; f < frames.size(); ++f) {
-      claimed[f].assign(frames[f].ground_truth.size(), false);
+      claimed[f].assign(frames[f]->ground_truth.size(), false);
     }
     std::size_t tp = 0, fp = 0;
     entry.curve.reserve(ranked.size());
     for (const RankedDetection& rd : ranked) {
-      const auto& gts = frames[rd.frame].ground_truth;
+      const auto& gts = frames[rd.frame]->ground_truth;
       float best_iou = config.iou_threshold;
       int best_gt = -1;
       for (std::size_t g = 0; g < gts.size(); ++g) {
@@ -115,7 +115,24 @@ std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
   return result;
 }
 
-float mean_average_precision(const std::vector<FrameResult>& frames,
+namespace {
+
+std::vector<const FrameResult*> to_view(
+    const std::vector<FrameResult>& frames) {
+  std::vector<const FrameResult*> view;
+  view.reserve(frames.size());
+  for (const FrameResult& frame : frames) view.push_back(&frame);
+  return view;
+}
+
+}  // namespace
+
+std::vector<ClassAp> per_class_ap(const std::vector<FrameResult>& frames,
+                                  const MapConfig& config) {
+  return per_class_ap(to_view(frames), config);
+}
+
+float mean_average_precision(const std::vector<const FrameResult*>& frames,
                              const MapConfig& config) {
   const std::vector<ClassAp> aps = per_class_ap(frames, config);
   float total = 0.0f;
@@ -126,6 +143,11 @@ float mean_average_precision(const std::vector<FrameResult>& frames,
     ++counted;
   }
   return counted > 0 ? total / static_cast<float>(counted) : 0.0f;
+}
+
+float mean_average_precision(const std::vector<FrameResult>& frames,
+                             const MapConfig& config) {
+  return mean_average_precision(to_view(frames), config);
 }
 
 }  // namespace eco::eval

@@ -43,8 +43,21 @@ struct MapConfig {
 [[nodiscard]] std::vector<ClassAp> per_class_ap(
     const std::vector<FrameResult>& frames, const MapConfig& config = {});
 
+/// Same, over a view of frames held elsewhere. Aggregating consumers (the
+/// streaming pipeline's per-scene tables, the sharded merge) score subsets
+/// of one result set without copying detection lists; values are identical
+/// to the owning overload on the pointed-to frames in the same order.
+[[nodiscard]] std::vector<ClassAp> per_class_ap(
+    const std::vector<const FrameResult*>& frames,
+    const MapConfig& config = {});
+
 /// Mean AP over classes with at least one ground-truth instance.
 [[nodiscard]] float mean_average_precision(
     const std::vector<FrameResult>& frames, const MapConfig& config = {});
+
+/// Non-owning-view variant of mean_average_precision().
+[[nodiscard]] float mean_average_precision(
+    const std::vector<const FrameResult*>& frames,
+    const MapConfig& config = {});
 
 }  // namespace eco::eval

@@ -66,6 +66,17 @@ class Gate {
   /// Complexity class for the PX2 latency/energy accounting.
   [[nodiscard]] virtual energy::GateComplexity complexity() const = 0;
 
+  /// Modeled per-inference cost of this gate on the PX2 hardware — its
+  /// fixed share of any frame deadline. Deadline-aware callers use it to
+  /// reason about headroom: a ms/frame target below the gate cost plus the
+  /// fastest configuration's latency is unreachable for any λ_L. The
+  /// default derives the cost from complexity(); gates with bespoke
+  /// execution models may override.
+  [[nodiscard]] virtual double modeled_cost_ms(
+      const energy::Px2Model& px2) const {
+    return px2.gate_latency_ms(complexity());
+  }
+
   /// Whether the joint optimization is meaningful for this gate
   /// (the knowledge gate pins one configuration; λ_E has no effect, §5.1).
   [[nodiscard]] virtual bool tunable() const { return true; }

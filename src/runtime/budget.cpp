@@ -19,4 +19,34 @@ void BudgetController::observe(double mean_j_per_frame) {
   lambda_ = std::clamp(lambda_ + step, config_.lambda_min, config_.lambda_max);
 }
 
+DeadlineController::DeadlineController(DeadlineConfig config)
+    : config_(config),
+      lambda_(std::clamp(config.initial_lambda, config.lambda_min,
+                         config.lambda_max)) {}
+
+void DeadlineController::observe(double mean_ms_per_frame) {
+  if (config_.target_ms_per_frame <= 0.0) return;
+  error_ = (mean_ms_per_frame - config_.target_ms_per_frame) /
+           config_.target_ms_per_frame;
+  // Over deadline (error > 0) → raise λ_L → faster configurations.
+  const float step = std::clamp(config_.gain * static_cast<float>(error_),
+                                -config_.max_step, config_.max_step);
+  lambda_ = std::clamp(lambda_ + step, config_.lambda_min, config_.lambda_max);
+}
+
+std::pair<float, float> compose_control_weights(float lambda_energy,
+                                                float lambda_latency,
+                                                ControlPriority priority) {
+  lambda_energy = std::clamp(lambda_energy, 0.0f, 1.0f);
+  lambda_latency = std::clamp(lambda_latency, 0.0f, 1.0f);
+  if (lambda_energy + lambda_latency > 1.0f) {
+    if (priority == ControlPriority::kDeadlineFirst) {
+      lambda_energy = 1.0f - lambda_latency;
+    } else {
+      lambda_latency = 1.0f - lambda_energy;
+    }
+  }
+  return {lambda_energy, lambda_latency};
+}
+
 }  // namespace eco::runtime

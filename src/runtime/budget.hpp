@@ -1,22 +1,40 @@
-// Closed-loop energy budgeting.
+// Closed-loop energy and latency budgeting.
 //
-// The paper selects configurations with a *fixed* energy weight λ_E (Eq. 8).
-// On a vehicle the interesting contract is inverted: hold a joules-per-frame
-// budget while the scene mix drifts, and let λ_E float. BudgetController
-// closes that loop: after each control window it compares the window's mean
-// energy against the target and nudges λ_E proportionally (higher λ_E →
-// greener configurations → less energy). Because the plant is a step
-// function over a discrete Φ, the controller bounds its step size and the
-// pipeline reports the trace so convergence is observable.
+// The paper selects configurations with *fixed* scoring weights (Eq. 8).
+// On a vehicle the interesting contract is inverted: hold a budget while
+// the scene mix drifts, and let the weight float. Two controllers close
+// that loop, one per actuator:
 //
-// The controller is deliberately free of wall-clock state: its output is a
-// pure fold over the sequence of window means, so a stream replayed with a
-// different worker count reproduces the same λ_E trajectory exactly.
+//   * BudgetController holds a joules-per-frame budget by nudging λ_E
+//     (higher λ_E → greener configurations → less energy);
+//   * DeadlineController holds a milliseconds-per-frame target by nudging
+//     λ_L, the latency weight of the extended joint cost (higher λ_L →
+//     faster configurations). It observes the *modeled* PX2 latency, which
+//     the engine computes per configuration the same way it computes E(φ)
+//     — so the controller's input, and therefore its trajectory, is
+//     deterministic and machine-independent.
+//
+// After each control window the controller compares the window's mean
+// against the target and steps its weight proportionally. Because the
+// plant is a step function over a discrete Φ, both controllers bound their
+// step size and the pipeline reports the traces so convergence is
+// observable.
+//
+// The controllers are deliberately free of wall-clock state: their outputs
+// are pure folds over the sequence of window means, so a stream replayed
+// with a different worker count reproduces the same trajectories exactly.
+//
+// When both loops run at once their actuators share one scoring budget
+// (the fidelity weight 1 − λ_E − λ_L must stay ≥ 0); the pipeline resolves
+// contention with compose_control_weights, shrinking the lower-priority
+// weight.
 #pragma once
+
+#include <utility>
 
 namespace eco::runtime {
 
-/// Budget-tracking parameters.
+/// Energy-budget parameters.
 struct BudgetConfig {
   /// The energy budget to hold, in joules per frame.
   double target_j_per_frame = 2.0;
@@ -51,5 +69,57 @@ class BudgetController {
   float lambda_;
   double error_ = 0.0;
 };
+
+/// Deadline (latency-budget) parameters. Mirrors BudgetConfig with λ_L as
+/// the actuator and modeled milliseconds per frame as the plant output.
+struct DeadlineConfig {
+  /// The frame deadline to hold, in modeled milliseconds per frame.
+  double target_ms_per_frame = 40.0;
+  /// λ_L actuator range.
+  float lambda_min = 0.0f;
+  float lambda_max = 1.0f;
+  float initial_lambda = 0.0f;
+  /// Proportional gain: λ step per unit of relative latency error.
+  float gain = 0.10f;
+  /// Clamp on a single window's λ step.
+  float max_step = 0.15f;
+};
+
+class DeadlineController {
+ public:
+  explicit DeadlineController(DeadlineConfig config);
+
+  [[nodiscard]] const DeadlineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// λ_L to use for the next control window.
+  [[nodiscard]] float lambda() const noexcept { return lambda_; }
+
+  /// Feeds one window's mean modeled latency; updates λ_L.
+  void observe(double mean_ms_per_frame);
+
+  /// Relative error of the most recent window: (measured − target) / target.
+  [[nodiscard]] double last_relative_error() const noexcept { return error_; }
+
+ private:
+  DeadlineConfig config_;
+  float lambda_;
+  double error_ = 0.0;
+};
+
+/// Which controller wins when the energy and deadline loops together ask
+/// for more scoring weight than exists (λ_E + λ_L > 1).
+enum class ControlPriority {
+  kDeadlineFirst,  // latency is safety-critical; energy yields
+  kEnergyFirst,    // energy budget is the hard constraint; deadline yields
+};
+
+/// Resolves actuator contention: returns (λ_E, λ_L) with λ_E + λ_L ≤ 1,
+/// shrinking the lower-priority weight when the raw pair oversubscribes.
+/// Pure and deterministic — applied to the weights a control window runs
+/// with; the controllers' internal states keep evolving unclamped.
+[[nodiscard]] std::pair<float, float> compose_control_weights(
+    float lambda_energy, float lambda_latency, ControlPriority priority);
 
 }  // namespace eco::runtime

@@ -8,9 +8,18 @@
 
 #include "exec/batcher.hpp"
 #include "exec/stem_cache.hpp"
-#include "runtime/thread_pool.hpp"
 
 namespace eco::runtime {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 StreamingPipeline::StreamingPipeline(const core::EcoFusionEngine& engine,
                                      PipelineConfig config)
@@ -22,17 +31,31 @@ StreamingPipeline::StreamingPipeline(const core::EcoFusionEngine& engine,
 
 PipelineReport StreamingPipeline::run(FrameStream& stream,
                                       const GateFactory& make_gate) const {
+  ThreadPool pool(config_.workers);
+  return run(stream, make_gate, pool);
+}
+
+PipelineReport StreamingPipeline::run(FrameStream& stream,
+                                      const GateFactory& make_gate,
+                                      ThreadPool& pool) const {
   const auto wall_start = std::chrono::steady_clock::now();
 
-  ThreadPool pool(config_.workers);
+  // One gate per pool worker; all window barriers below wait on this
+  // pipeline's group only, so other clients of a shared pool (e.g. sibling
+  // engine shards) keep flowing through the same workers.
+  TaskGroup group;
   std::vector<std::unique_ptr<gating::Gate>> gates;
   gates.reserve(pool.size());
   for (std::size_t w = 0; w < pool.size(); ++w) gates.push_back(make_gate());
   const energy::GateComplexity complexity = gates.front()->complexity();
 
-  BudgetController controller(config_.budget.value_or(BudgetConfig{}));
-  float lambda = config_.budget ? controller.lambda()
-                                : config_.joint.lambda_energy;
+  BudgetController budget_controller(config_.budget.value_or(BudgetConfig{}));
+  DeadlineController deadline_controller(
+      config_.deadline.value_or(DeadlineConfig{}));
+  float lambda_energy = config_.budget ? budget_controller.lambda()
+                                       : config_.joint.lambda_energy;
+  float lambda_latency = config_.deadline ? deadline_controller.lambda()
+                                          : config_.joint.lambda_latency;
 
   std::optional<exec::TemporalStemCache> stem_cache;
   if (config_.temporal_stem_cache) {
@@ -69,7 +92,12 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     if (window.empty()) break;
 
     core::JointOptParams params = config_.joint;
-    params.lambda_energy = lambda;
+    // Both control loops share the scoring weight budget; the priority
+    // order decides who yields when λ_E + λ_L would exceed 1.
+    const auto [applied_energy, applied_latency] = compose_control_weights(
+        lambda_energy, lambda_latency, config_.priority);
+    params.lambda_energy = applied_energy;
+    params.lambda_latency = applied_latency;
 
     // ---- Phase A: selection (Algorithm 1 steps 1-4) -------------------
     // Slots grouped by sequence, one task per sequence: the temporal stem
@@ -86,8 +114,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
       }
     }
     for (const std::vector<std::size_t>& lane : lanes) {
-      pool.submit([this, &lane, &window, params, &gates, &workspaces,
-                   &selections, &stem_cache](std::size_t worker) {
+      pool.submit(group, [this, &lane, &window, params, &gates, &workspaces,
+                          &selections, &stem_cache](std::size_t worker) {
         for (std::size_t slot : lane) {
           const StreamFrame& sf = window[slot];
           workspaces[slot] = std::make_unique<exec::FrameWorkspace>(
@@ -100,7 +128,7 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         }
       });
     }
-    pool.wait_idle();
+    group.wait();
 
     // ---- Phase B: execution, batched by selected configuration --------
     // Groups are formed from the (deterministic) selections in slot order,
@@ -117,9 +145,13 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
       // batch_size reports the group's size whether or not batched
       // execution is enabled — grouping depends only on the (deterministic)
       // selections, so reports stay bitwise identical across the toggle.
+      // `shared_wall_ms` spreads the batched branch execution's wall time
+      // across the group (wall attribution is observability only).
       const auto finish_frame = [this, &window, &workspaces, &slot_stats,
                                  &slot_results, params, complexity, selected,
-                                 batch = slots.size()](std::size_t slot) {
+                                 batch = slots.size()](std::size_t slot,
+                                                       double shared_wall_ms) {
+        const auto frame_start = std::chrono::steady_clock::now();
         exec::FrameWorkspace& ws = *workspaces[slot];
         const core::RunResult run =
             engine_.run_selected(ws, selected, complexity);
@@ -132,10 +164,12 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         stats.energy_j = run.energy_j;
         stats.latency_ms = run.latency_ms;
         stats.lambda_energy = params.lambda_energy;
+        stats.lambda_latency = params.lambda_latency;
         stats.detections = run.detections.size();
         stats.stem_source = ws.stem_source();
         stats.batch_size = batch;
         stats.branch_runs = ws.branch_executions();
+        stats.wall_ms = shared_wall_ms + elapsed_ms(frame_start);
         slot_stats[slot] = stats;
         if (config_.keep_frame_results) {
           slot_results[slot] = {run.detections, sf.frame.objects};
@@ -146,35 +180,40 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         // per-frame fusion/loss/accounting back out to the pool so a large
         // group doesn't serialise the whole window on one worker.
         // (Submitting from inside a task is safe: the submitter is still
-        // in flight, so wait_idle cannot return early.)
-        pool.submit([&pool, &batcher, &workspaces, &slots, selected,
-                     finish_frame](std::size_t) {
-          std::vector<exec::FrameWorkspace*> group;
-          group.reserve(slots.size());
+        // in flight, so the group cannot drain early.)
+        pool.submit(group, [&pool, &group, &batcher, &workspaces, &slots,
+                            selected, finish_frame](std::size_t) {
+          const auto batch_start = std::chrono::steady_clock::now();
+          std::vector<exec::FrameWorkspace*> batch_group;
+          batch_group.reserve(slots.size());
           for (std::size_t slot : slots) {
-            group.push_back(workspaces[slot].get());
+            batch_group.push_back(workspaces[slot].get());
           }
-          batcher.execute(selected, group);
+          batcher.execute(selected, batch_group);
+          const double shared_ms =
+              elapsed_ms(batch_start) / static_cast<double>(slots.size());
           for (std::size_t slot : slots) {
-            pool.submit([slot, finish_frame](std::size_t) {
-              finish_frame(slot);
+            pool.submit(group, [slot, shared_ms, finish_frame](std::size_t) {
+              finish_frame(slot, shared_ms);
             });
           }
         });
       } else {
         for (std::size_t slot : slots) {
-          pool.submit([slot, finish_frame](std::size_t) {
-            finish_frame(slot);
+          pool.submit(group, [slot, finish_frame](std::size_t) {
+            finish_frame(slot, 0.0);
           });
         }
       }
     }
-    pool.wait_idle();
+    group.wait();
 
     // Reduce the window in stream order (slot order == stream order).
     double window_energy = 0.0;
+    double window_latency = 0.0;
     for (std::size_t slot = 0; slot < window.size(); ++slot) {
       window_energy += slot_stats[slot].energy_j;
+      window_latency += slot_stats[slot].latency_ms;
       report.frame_stats.push_back(slot_stats[slot]);
       if (config_.keep_frame_results) {
         frame_results.push_back(std::move(slot_results[slot]));
@@ -193,20 +232,63 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
       stem_cache->retain(live);
     }
 
-    report.lambda_trace.push_back(params.lambda_energy);  // λ the window ran with
+    // λs the window ran with.
+    report.lambda_trace.push_back(params.lambda_energy);
+    report.deadline_trace.push_back(params.lambda_latency);
+    const auto window_frames = static_cast<double>(window.size());
     if (config_.budget) {
-      controller.observe(window_energy / static_cast<double>(window.size()));
-      lambda = controller.lambda();
+      budget_controller.observe(window_energy / window_frames);
+      lambda_energy = budget_controller.lambda();
+    }
+    if (config_.deadline) {
+      deadline_controller.observe(window_latency / window_frames);
+      lambda_latency = deadline_controller.lambda();
     }
   }
 
-  // Final reduction, single-threaded, stream order throughout.
+  report.final_lambda = lambda_energy;
+  report.final_lambda_latency = lambda_latency;
+  report.frame_results = std::move(frame_results);
+  finalize_report(report);
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (report.wall_seconds > 0.0) {
+    report.frames_per_second =
+        static_cast<double>(report.frames) / report.wall_seconds;
+  }
+  return report;
+}
+
+void finalize_report(PipelineReport& report) {
+  // Single-threaded reduction in frame_stats (stream) order throughout;
+  // every sum below is an exact fold in that order, which is what makes a
+  // sharded merge reassembling the same records bitwise-identical to the
+  // unsharded run.
   report.frames = report.frame_stats.size();
+  report.total_energy_j = 0.0;
+  report.mean_energy_j = 0.0;
+  report.mean_latency_ms = 0.0;
+  report.mean_loss = 0.0;
+  report.mean_wall_ms = 0.0;
+  report.map = 0.0;
+  report.total_detections = 0;
+  report.per_scene.clear();
+  report.exec.stems_skipped = 0;
+  report.exec.stems_computed = 0;
+  report.exec.stem_cache_hits = 0;
+  report.exec.stem_cache_misses = 0;
+  report.exec.branch_runs = 0;
+  report.exec.batched_frames = 0;
+  report.exec.mean_batch = 0.0;
+
   std::map<dataset::SceneType, SceneReport> scenes;
   for (const FrameStats& stats : report.frame_stats) {
     report.total_energy_j += stats.energy_j;
     report.mean_latency_ms += stats.latency_ms;
     report.mean_loss += stats.loss;
+    report.mean_wall_ms += stats.wall_ms;
     report.total_detections += stats.detections;
     report.exec.branch_runs += stats.branch_runs;
     if (stats.batch_size > 1) report.exec.batched_frames += 1;
@@ -236,19 +318,23 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     report.mean_energy_j = report.total_energy_j / n;
     report.mean_latency_ms /= n;
     report.mean_loss /= n;
+    report.mean_wall_ms /= n;
   }
   if (report.exec.batches > 0) {
     report.exec.mean_batch = static_cast<double>(report.frames) /
                              static_cast<double>(report.exec.batches);
   }
-  // Overall mAP first, then move the frame results into per-scene buckets
-  // (avoids deep-copying every detection list a second time).
-  std::map<dataset::SceneType, std::vector<eval::FrameResult>> scene_results;
-  if (config_.keep_frame_results && !frame_results.empty()) {
-    report.map = eval::mean_average_precision(frame_results);
+  // Overall mAP, then per-scene mAP over non-owning views of the same
+  // results (frame_results stays intact for downstream consumers such as
+  // the sharded merge).
+  std::map<dataset::SceneType, std::vector<const eval::FrameResult*>>
+      scene_results;
+  const bool have_results = !report.frame_results.empty();
+  if (have_results) {
+    report.map = eval::mean_average_precision(report.frame_results);
     for (std::size_t i = 0; i < report.frame_stats.size(); ++i) {
       scene_results[report.frame_stats[i].scene].push_back(
-          std::move(frame_results[i]));
+          &report.frame_results[i]);
     }
   }
   for (auto& [type, scene] : scenes) {
@@ -257,21 +343,11 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     scene.mean_energy_j /= n;
     scene.mean_latency_ms /= n;
     scene.mean_batch /= n;
-    if (config_.keep_frame_results) {
+    if (have_results) {
       scene.map = eval::mean_average_precision(scene_results[type]);
     }
     report.per_scene.push_back(scene);
   }
-  report.final_lambda = lambda;
-
-  const auto wall_end = std::chrono::steady_clock::now();
-  report.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
-  if (report.wall_seconds > 0.0) {
-    report.frames_per_second =
-        static_cast<double>(report.frames) / report.wall_seconds;
-  }
-  return report;
 }
 
 }  // namespace eco::runtime

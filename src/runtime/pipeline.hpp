@@ -1,12 +1,14 @@
 // The streaming perception pipeline.
 //
-// Consumes a FrameStream through a fixed-size worker pool sharing one
-// (immutable, thread-safe) EcoFusionEngine. Each worker owns a private gate
-// instance, so Algorithm 1 runs with zero cross-worker synchronisation on
-// the hot path. Frames are dispatched in *control windows*: every frame in a
-// window runs with the same λ_E; at the window boundary the (optional)
-// BudgetController folds the window's measured mean energy into the next
-// window's λ_E.
+// Consumes a FrameStream through a worker pool sharing one (immutable,
+// thread-safe) EcoFusionEngine. Each worker owns a private gate instance,
+// so Algorithm 1 runs with zero cross-worker synchronisation on the hot
+// path. Frames are dispatched in *control windows*: every frame in a window
+// runs with the same (λ_E, λ_L); at the window boundary the optional
+// controllers fold the window's aggregates into the next window's weights —
+// BudgetController holds a J/frame budget through λ_E, DeadlineController
+// holds a modeled-ms/frame target through λ_L, and when both run their
+// weights are composed priority-ordered (compose_control_weights).
 //
 // Each window executes in two phases over the exec layer:
 //   A) *select* — frames are grouped by sequence (so the TemporalStemCache
@@ -18,18 +20,25 @@
 // Both phases are pure optimizations: results are bitwise identical with
 // caching and batching on or off, and with any worker count.
 //
+// The pipeline can run on a pool it owns (run/2) or as one client of a
+// shared pool (run/3): the sharded front-end (runtime/shard.hpp) drives one
+// pipeline per engine shard over the same pool, each waiting on its own
+// TaskGroup so one shard's window barrier never stalls another shard.
+//
 // Determinism contract: aggregate results — per-frame selections, losses,
-// energies, the λ_E trace, the per-scene breakdown, mAP, and the exec
-// counters — are a pure function of (engine, stream config, pipeline
-// config, gate factory). The worker count changes only wall-clock
-// throughput. This holds because (a) stream order is timing-independent,
-// (b) per-frame work is independent given λ_E, (c) λ_E only changes at
-// window barriers from window aggregates accumulated in stream order,
-// (d) final reduction runs in stream order on one thread, and (e) stem
-// cache hits depend only on sequence grouping, which is fixed by the
-// stream order (a sequence's frames are processed in order within one
-// phase-A task, and windows are separated by barriers).
-// tests/runtime_test.cpp pins the contract bitwise.
+// energies, modeled latencies, the λ_E/λ_L traces, the per-scene breakdown,
+// mAP, and the exec counters — are a pure function of (engine, stream
+// config, pipeline config, gate factory). The worker count (and pool
+// sharing) changes only wall-clock throughput. This holds because (a)
+// stream order is timing-independent, (b) per-frame work is independent
+// given the window weights, (c) weights only change at window barriers from
+// window aggregates accumulated in stream order (the deadline loop observes
+// *modeled* latency, never wall-clock), (d) final reduction runs in stream
+// order on one thread, and (e) stem cache hits depend only on sequence
+// grouping, which is fixed by the stream order. Wall-clock fields
+// (wall_seconds, frames_per_second, FrameStats::wall_ms, mean_wall_ms) are
+// explicitly outside the contract. tests/runtime_test.cpp and
+// tests/shard_test.cpp pin the contract bitwise.
 #pragma once
 
 #include <functional>
@@ -43,6 +52,7 @@
 #include "gating/gate.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/stream.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace eco::runtime {
 
@@ -53,16 +63,23 @@ using GateFactory = std::function<std::unique_ptr<gating::Gate>()>;
 
 /// Pipeline parameters.
 struct PipelineConfig {
-  /// Worker threads running Algorithm 1.
+  /// Worker threads running Algorithm 1 (pool size when the pipeline owns
+  /// its pool; ignored when running on a caller-supplied shared pool).
   std::size_t workers = 1;
-  /// γ and the initial λ_E (λ_E floats when `budget` is set).
+  /// γ and the initial λ_E/λ_L (the λs float when controllers are set).
   core::JointOptParams joint;
-  /// Frames per control window (λ_E update granularity).
+  /// Frames per control window (controller update granularity).
   std::size_t window = 16;
   /// When set, λ_E is adapted online to hold the energy budget.
   std::optional<BudgetConfig> budget;
-  /// Keep per-frame detections + ground truth for mAP (costs memory
-  /// proportional to the stream; disable for unbounded streams).
+  /// When set, λ_L is adapted online to hold the frame deadline (modeled
+  /// PX2 ms/frame, so the loop is deterministic and machine-independent).
+  std::optional<DeadlineConfig> deadline;
+  /// Who yields when both controllers oversubscribe the scoring weight.
+  ControlPriority priority = ControlPriority::kDeadlineFirst;
+  /// Keep per-frame detections + ground truth for mAP — and, in the
+  /// report, for downstream aggregation such as the sharded merge (costs
+  /// memory proportional to the stream; disable for unbounded streams).
   bool keep_frame_results = true;
   /// Reuse/delta-refresh stem features across frames of one sequence
   /// (bitwise-invisible; see exec/stem_cache.hpp).
@@ -84,8 +101,14 @@ struct FrameStats {
   std::size_t config_index = 0;
   float loss = 0.0f;
   double energy_j = 0.0;
+  /// Modeled PX2 latency of the frame's pass (deterministic; used by every
+  /// latency aggregate and by the deadline loop).
   double latency_ms = 0.0;
-  float lambda_energy = 0.0f;  // λ_E in force for this frame
+  /// Measured wall-clock execution time attributed to this frame (phase-B
+  /// share). Observability only — NOT covered by determinism.
+  double wall_ms = 0.0;
+  float lambda_energy = 0.0f;   // λ_E in force for this frame
+  float lambda_latency = 0.0f;  // λ_L in force for this frame
   std::size_t detections = 0;
   /// How this frame's stem features were obtained.
   exec::StemSource stem_source = exec::StemSource::kSkipped;
@@ -126,19 +149,35 @@ struct PipelineReport {
   std::size_t frames = 0;
   double total_energy_j = 0.0;
   double mean_energy_j = 0.0;
-  double mean_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;  // modeled (deterministic)
   double mean_loss = 0.0;
   double map = 0.0;
   std::size_t total_detections = 0;
-  float final_lambda = 0.0f;
-  ExecCounters exec;                     // cache/batch observability
-  std::vector<float> lambda_trace;       // per control window
-  std::vector<SceneReport> per_scene;    // scenes present, enum order
-  std::vector<FrameStats> frame_stats;   // stream order
+  float final_lambda = 0.0f;          // λ_E after the last window
+  float final_lambda_latency = 0.0f;  // λ_L after the last window
+  ExecCounters exec;                   // cache/batch observability
+  std::vector<float> lambda_trace;     // λ_E per control window
+  std::vector<float> deadline_trace;   // λ_L per control window
+  std::vector<SceneReport> per_scene;  // scenes present, enum order
+  std::vector<FrameStats> frame_stats; // stream order
+  /// Per-frame detections + ground truth, aligned with frame_stats
+  /// (retained when keep_frame_results; consumed by the sharded merge).
+  std::vector<eval::FrameResult> frame_results;
   // Wall-clock measurements; NOT covered by the determinism contract.
   double wall_seconds = 0.0;
   double frames_per_second = 0.0;
+  double mean_wall_ms = 0.0;  // mean per-frame phase-B wall attribution
 };
+
+/// Recomputes every derived aggregate of `report` from report.frame_stats
+/// (plus report.frame_results when present): totals, means, the per-scene
+/// table, per-frame exec counters, and mAP. Inputs the caller must have
+/// set: frame_stats (stream order), frame_results (aligned or empty),
+/// exec.batches and exec.max_batch (group-level counters that are not
+/// derivable per frame). Reduction runs in frame_stats order with exact
+/// sums, so any caller assembling the same per-frame records — one
+/// pipeline, or a sharded merge — obtains bitwise-identical aggregates.
+void finalize_report(PipelineReport& report);
 
 /// Runs the adaptive engine over a frame stream with a worker pool.
 class StreamingPipeline {
@@ -150,9 +189,17 @@ class StreamingPipeline {
     return config_;
   }
 
-  /// Drains `stream` to exhaustion. Blocking; returns the final report.
+  /// Drains `stream` to exhaustion on a pool owned by this call. Blocking;
+  /// returns the final report.
   [[nodiscard]] PipelineReport run(FrameStream& stream,
                                    const GateFactory& make_gate) const;
+
+  /// Same, on a caller-supplied pool shared with other clients. All work is
+  /// tagged with a private TaskGroup, so concurrent pipelines on one pool
+  /// interleave without stalling each other's window barriers.
+  [[nodiscard]] PipelineReport run(FrameStream& stream,
+                                   const GateFactory& make_gate,
+                                   ThreadPool& pool) const;
 
  private:
   const core::EcoFusionEngine& engine_;

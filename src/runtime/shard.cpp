@@ -1,0 +1,134 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace eco::runtime {
+
+ShardedPipeline::ShardedPipeline(ShardedConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ShardedPipeline: shards must be >= 1");
+  }
+  engines_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    engines_.push_back(
+        std::make_unique<core::EcoFusionEngine>(config_.engine));
+  }
+}
+
+ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
+                                   const ShardGateFactory& make_gate) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t shards = config_.shards;
+
+  // One pool shared by every shard; each shard's pipeline tags its work
+  // with a private TaskGroup, so window barriers are per shard.
+  ThreadPool pool(config_.pipeline.workers);
+
+  // Drive each shard on its own (lightweight) thread: the driver pulls the
+  // shard's sub-stream, runs the window loop, and parks at that shard's
+  // barriers while the other shards keep the pool busy. Driver failures
+  // (gate factory, stream construction, pipeline errors) are captured and
+  // rethrown after every driver joined, matching the unsharded run's
+  // propagation semantics instead of std::terminate-ing the process.
+  std::vector<PipelineReport> reports(shards);
+  std::vector<std::exception_ptr> failures(shards);
+  std::vector<std::thread> drivers;
+  drivers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    drivers.emplace_back([this, s, shards, &stream_config, &make_gate, &pool,
+                          &reports, &failures] {
+      try {
+        StreamConfig shard_stream = stream_config;
+        shard_stream.shard_count = shards;
+        shard_stream.shard_index = s;
+        FrameStream stream(shard_stream);
+        const StreamingPipeline pipeline(*engines_[s], config_.pipeline);
+        const core::EcoFusionEngine& engine = *engines_[s];
+        reports[s] = pipeline.run(
+            stream, [&make_gate, &engine] { return make_gate(engine); }, pool);
+      } catch (...) {
+        failures[s] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  ShardedReport result;
+
+  // Preserve each shard's control outcome verbatim.
+  result.shards.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardSlice slice;
+    slice.shard_index = s;
+    slice.frames = reports[s].frames;
+    slice.lambda_trace = reports[s].lambda_trace;
+    slice.deadline_trace = reports[s].deadline_trace;
+    slice.final_lambda = reports[s].final_lambda;
+    slice.final_lambda_latency = reports[s].final_lambda_latency;
+    slice.exec = reports[s].exec;
+    slice.wall_seconds = reports[s].wall_seconds;
+    slice.frames_per_second = reports[s].frames_per_second;
+    result.shards.push_back(std::move(slice));
+  }
+
+  // ---- Deterministic merge -------------------------------------------
+  // Shard streams stamp global stream indices, so restoring the unsharded
+  // order is a sort over disjoint index sets. frame_results rides along
+  // under the same permutation, then the merged report runs through the
+  // identical stream-order reduction the single pipeline uses.
+  PipelineReport& merged = result.merged;
+  std::size_t total_frames = 0;
+  bool have_results = true;
+  for (const PipelineReport& report : reports) {
+    total_frames += report.frame_stats.size();
+    if (report.frame_results.size() != report.frame_stats.size()) {
+      have_results = false;
+    }
+    merged.exec.batches += report.exec.batches;
+    merged.exec.max_batch =
+        std::max(merged.exec.max_batch, report.exec.max_batch);
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (shard, pos)
+  order.reserve(total_frames);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t i = 0; i < reports[s].frame_stats.size(); ++i) {
+      order.emplace_back(s, i);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&reports](const auto& a, const auto& b) {
+              return reports[a.first].frame_stats[a.second].stream_index <
+                     reports[b.first].frame_stats[b.second].stream_index;
+            });
+
+  merged.frame_stats.reserve(total_frames);
+  if (have_results) merged.frame_results.reserve(total_frames);
+  for (const auto& [shard, pos] : order) {
+    merged.frame_stats.push_back(reports[shard].frame_stats[pos]);
+    if (have_results) {
+      merged.frame_results.push_back(
+          std::move(reports[shard].frame_results[pos]));
+    }
+  }
+  finalize_report(merged);
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  merged.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (merged.wall_seconds > 0.0) {
+    merged.frames_per_second =
+        static_cast<double>(merged.frames) / merged.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace eco::runtime

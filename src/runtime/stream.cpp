@@ -1,5 +1,7 @@
 #include "runtime/stream.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace eco::runtime {
@@ -9,6 +11,11 @@ namespace {
 std::vector<dataset::SceneType> effective_scenes(const StreamConfig& config) {
   if (!config.scenes.empty()) return config.scenes;
   return dataset::all_scene_types();
+}
+
+std::uint64_t stream_sequence_id(dataset::SceneType scene,
+                                 std::size_t ordinal) {
+  return util::hash_combine(static_cast<std::uint64_t>(scene), ordinal);
 }
 
 }  // namespace
@@ -29,10 +36,32 @@ dataset::SequenceConfig sequence_params(const StreamConfig& config,
   return params;
 }
 
+std::size_t shard_of(std::uint64_t sequence_id,
+                     std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // splitmix64 finalizer: sequence ids are already hashes, but remix so the
+  // modulo sees avalanche bits rather than hash_combine structure.
+  std::uint64_t z = sequence_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % shard_count);
+}
+
 FrameStream::FrameStream(StreamConfig config)
     : config_(std::move(config)), queue_(config_.queue_capacity) {
-  total_ = effective_scenes(config_).size() * config_.sequences_per_scene *
-           config_.sequence.length;
+  const std::vector<dataset::SceneType> scenes = effective_scenes(config_);
+  const std::size_t shard_count = std::max<std::size_t>(1, config_.shard_count);
+  const std::size_t shard_index = config_.shard_index % shard_count;
+  for (dataset::SceneType scene : scenes) {
+    for (std::size_t ordinal = 0; ordinal < config_.sequences_per_scene;
+         ++ordinal) {
+      if (shard_of(stream_sequence_id(scene, ordinal), shard_count) ==
+          shard_index) {
+        total_ += config_.sequence.length;
+      }
+    }
+  }
   producer_ = std::thread([this] { produce(); });
 }
 
@@ -43,53 +72,70 @@ FrameStream::~FrameStream() {
 
 void FrameStream::produce() {
   const std::vector<dataset::SceneType> scenes = effective_scenes(config_);
+  const std::size_t shard_count = std::max<std::size_t>(1, config_.shard_count);
+  const std::size_t shard_index = config_.shard_index % shard_count;
+  const std::size_t length = config_.sequence.length;
 
-  // One lane per scene type. A lane walks its sequences in order,
-  // regenerating lazily; lanes are drained round-robin so consecutive
-  // stream frames come from different contexts (a mixed-scenario stream).
+  // One lane per scene type. A lane walks its sequences in order; lanes are
+  // drained round-robin so consecutive stream frames come from different
+  // contexts (a mixed-scenario stream). Every sequence — owned by this
+  // shard or not — occupies exactly `length` slots of its lane's schedule
+  // (generate_sequence emits one frame per step), so the global index of a
+  // slot is a pure function of the schedule and sequences owned by other
+  // shards advance it without being generated.
   struct Lane {
     dataset::SceneType scene;
     std::size_t next_sequence = 0;   // ordinal of the sequence to open next
-    std::size_t cursor = 0;          // frame cursor within `current`
-    dataset::Sequence current;
+    std::size_t cursor = 0;          // slot cursor within the open sequence
+    std::uint64_t sequence_id = 0;   // id of the open sequence
+    dataset::Sequence current;       // generated only when owned
     bool open = false;
+    bool owned = false;
   };
   std::vector<Lane> lanes;
   lanes.reserve(scenes.size());
-  for (dataset::SceneType scene : scenes) lanes.push_back(Lane{scene, 0, 0, {}, false});
+  for (dataset::SceneType scene : scenes) {
+    lanes.push_back(Lane{scene, 0, 0, 0, {}, false, false});
+  }
 
-  std::size_t emitted = 0;
+  std::size_t global_index = 0;  // position in the *unsharded* stream
   std::size_t exhausted = 0;
   while (exhausted < lanes.size()) {
     exhausted = 0;
     for (Lane& lane : lanes) {
       if (!lane.open) {
-        if (lane.next_sequence >= config_.sequences_per_scene) {
+        if (lane.next_sequence >= config_.sequences_per_scene ||
+            length == 0) {
           ++exhausted;
           continue;
         }
-        lane.current = dataset::generate_sequence(
-            lane.scene, sequence_params(config_, lane.scene, lane.next_sequence),
-            lane.next_sequence);
-        lane.cursor = 0;
-        lane.open = !lane.current.frames.empty();
-        if (!lane.open) {  // zero-length sequence: skip it
-          ++lane.next_sequence;
-          continue;
+        lane.sequence_id =
+            stream_sequence_id(lane.scene, lane.next_sequence);
+        lane.owned = shard_of(lane.sequence_id, shard_count) == shard_index;
+        if (lane.owned) {
+          lane.current = dataset::generate_sequence(
+              lane.scene,
+              sequence_params(config_, lane.scene, lane.next_sequence),
+              lane.next_sequence);
+        } else {
+          lane.current = {};
         }
+        lane.cursor = 0;
+        lane.open = true;
       }
-      StreamFrame out;
-      out.index = emitted;
-      out.sequence_id = util::hash_combine(
-          static_cast<std::uint64_t>(lane.scene), lane.next_sequence);
-      out.scene = lane.scene;
-      out.frame = lane.current.frames[lane.cursor];
-      if (++lane.cursor >= lane.current.frames.size()) {
+      if (lane.owned && lane.cursor < lane.current.frames.size()) {
+        StreamFrame out;
+        out.index = global_index;
+        out.sequence_id = lane.sequence_id;
+        out.scene = lane.scene;
+        out.frame = lane.current.frames[lane.cursor];
+        if (!queue_.push(std::move(out))) return;  // consumers gone
+      }
+      ++global_index;
+      if (++lane.cursor >= length) {
         lane.open = false;
         ++lane.next_sequence;
       }
-      if (!queue_.push(std::move(out))) return;  // consumers gone
-      ++emitted;
     }
   }
   queue_.close();

@@ -88,6 +88,16 @@ struct StreamConfig {
   std::size_t queue_capacity = 32;
   /// Jitter vehicle speed / phantom churn per sequence (mixed severities).
   bool vary_severity = true;
+  /// Deterministic sequence-level sharding. With shard_count > 1 this
+  /// stream delivers only the sequences shard_of() assigns to shard_index —
+  /// but every frame carries its *global* stream index, i.e. its position
+  /// in the unsharded stream. The N per-shard streams of one StreamConfig
+  /// therefore partition the 1-shard stream exactly: same frames, same
+  /// relative order, each frame delivered by exactly one shard. Sequences
+  /// owned by other shards are skipped without being generated, so total
+  /// generation work is independent of the shard count.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
 };
 
 /// One frame of the multiplexed stream.
@@ -130,5 +140,12 @@ class FrameStream {
 /// reproduce individual sequences of a stream.
 [[nodiscard]] dataset::SequenceConfig sequence_params(
     const StreamConfig& config, dataset::SceneType scene, std::size_t ordinal);
+
+/// The shard that owns `sequence_id` in an N-way partition. A pure hash:
+/// stable across runs, machines, and shard/worker topology — which is what
+/// keeps shard routing (and everything derived from it, e.g. temporal stem
+/// cache hit patterns) deterministic.
+[[nodiscard]] std::size_t shard_of(std::uint64_t sequence_id,
+                                   std::size_t shard_count) noexcept;
 
 }  // namespace eco::runtime

@@ -4,6 +4,11 @@
 
 namespace eco::runtime {
 
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   const std::size_t count = std::max<std::size_t>(1, workers);
   threads_.reserve(count);
@@ -24,7 +29,19 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.emplace_back(std::move(task), nullptr);
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::submit(TaskGroup& group, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(group.mutex_);
+    ++group.pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task), &group);
   }
   work_available_.notify_one();
 }
@@ -37,16 +54,22 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop(std::size_t worker_id) {
   for (;;) {
     Task task;
+    TaskGroup* group = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().first);
+      group = queue_.front().second;
       queue_.pop_front();
       ++in_flight_;
     }
     task(worker_id);
+    if (group != nullptr) {
+      std::lock_guard<std::mutex> lock(group->mutex_);
+      if (--group->pending_ == 0) group->done_.notify_all();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -3,8 +3,14 @@
 // Tasks receive the id of the worker executing them (0..size-1), which lets
 // callers keep per-worker state (e.g. one gate instance per worker) without
 // any synchronisation on the hot path. The pool is intentionally small:
-// submit + wait_idle is all the streaming pipeline needs, and the
-// deterministic windowed dispatch lives in the pipeline, not here.
+// submit + wait is all the streaming pipeline needs, and the deterministic
+// windowed dispatch lives in the pipeline, not here.
+//
+// Several independent clients (e.g. the engine shards of a ShardedPipeline)
+// can share one pool through TaskGroups: each client tags its tasks with its
+// own group and waits on that group alone, so one shard's window barrier
+// never stalls on another shard's in-flight work. wait_idle() remains the
+// pool-wide barrier for single-client callers.
 #pragma once
 
 #include <condition_variable>
@@ -13,9 +19,31 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace eco::runtime {
+
+/// Tracks the completion of one client's tasks on a shared ThreadPool.
+/// A group may be reused for successive task batches (submit, wait, submit,
+/// wait ...); it must outlive every task submitted under it.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until every task submitted under this group has finished.
+  /// Safe to call with no tasks pending (returns immediately).
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -36,7 +64,13 @@ class ThreadPool {
   /// Enqueues one task. Never blocks.
   void submit(Task task);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Enqueues one task under `group`; group.wait() blocks until it (and
+  /// every other task of the group) has finished. Tasks may submit further
+  /// tasks into their own group: the submitter is still in flight, so the
+  /// group cannot be observed empty before the children are registered.
+  void submit(TaskGroup& group, Task task);
+
+  /// Blocks until the queue is empty and every worker is idle (all groups).
   void wait_idle();
 
  private:
@@ -45,7 +79,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<Task> queue_;
+  std::deque<std::pair<Task, TaskGroup*>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> threads_;

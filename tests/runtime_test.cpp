@@ -146,6 +146,47 @@ TEST(BudgetControllerTest, LambdaStaysClamped) {
   EXPECT_GE(controller.lambda(), config.lambda_min);
 }
 
+TEST(DeadlineControllerTest, RaisesLambdaOverDeadlineLowersUnder) {
+  DeadlineConfig config;
+  config.target_ms_per_frame = 40.0;
+  config.initial_lambda = 0.5f;
+  DeadlineController controller(config);
+  controller.observe(60.0);  // 50% over deadline
+  EXPECT_GT(controller.lambda(), 0.5f);
+  const float raised = controller.lambda();
+  controller.observe(20.0);  // 50% under deadline
+  EXPECT_LT(controller.lambda(), raised);
+}
+
+TEST(DeadlineControllerTest, LambdaStaysClamped) {
+  DeadlineConfig config;
+  config.target_ms_per_frame = 10.0;
+  config.initial_lambda = 0.9f;
+  DeadlineController controller(config);
+  for (int i = 0; i < 50; ++i) controller.observe(100.0);
+  EXPECT_LE(controller.lambda(), config.lambda_max);
+  for (int i = 0; i < 100; ++i) controller.observe(0.0);
+  EXPECT_GE(controller.lambda(), config.lambda_min);
+}
+
+TEST(ComposeControlWeightsTest, ShrinksLowerPriorityWeightOnly) {
+  // No contention: both pass through.
+  auto [e0, l0] = compose_control_weights(0.3f, 0.4f,
+                                          ControlPriority::kDeadlineFirst);
+  EXPECT_FLOAT_EQ(e0, 0.3f);
+  EXPECT_FLOAT_EQ(l0, 0.4f);
+  // Oversubscribed, deadline first: λ_L keeps its ask, λ_E yields.
+  auto [e1, l1] = compose_control_weights(0.8f, 0.7f,
+                                          ControlPriority::kDeadlineFirst);
+  EXPECT_FLOAT_EQ(l1, 0.7f);
+  EXPECT_FLOAT_EQ(e1, 0.3f);
+  // Oversubscribed, energy first: λ_E keeps its ask, λ_L yields.
+  auto [e2, l2] = compose_control_weights(0.8f, 0.7f,
+                                          ControlPriority::kEnergyFirst);
+  EXPECT_FLOAT_EQ(e2, 0.8f);
+  EXPECT_FLOAT_EQ(l2, 0.2f);
+}
+
 PipelineReport run_pipeline(std::size_t workers, const GateFactory& gates,
                             std::optional<BudgetConfig> budget = std::nullopt,
                             StreamConfig stream_config = small_stream()) {
@@ -205,6 +246,18 @@ TEST(StreamingPipelineTest, ReportAggregatesAreConsistent) {
   EXPECT_EQ(report.per_scene.size(), dataset::kNumSceneTypes);
   EXPECT_GT(report.map, 0.0);
   EXPECT_GT(report.frames_per_second, 0.0);
+  // Modeled latency drives the deterministic aggregates; wall-clock is
+  // reported alongside, per frame, outside the determinism contract.
+  double model_ms = 0.0;
+  for (const FrameStats& stats : report.frame_stats) {
+    EXPECT_GE(stats.wall_ms, 0.0);
+    model_ms += stats.latency_ms;
+  }
+  EXPECT_DOUBLE_EQ(report.mean_latency_ms,
+                   model_ms / static_cast<double>(report.frames));
+  EXPECT_GT(report.mean_wall_ms, 0.0);
+  // Frame results are retained for downstream aggregation.
+  ASSERT_EQ(report.frame_results.size(), report.frame_stats.size());
 }
 
 // Closed-loop λ_E holds a joules-per-frame budget on a mixed stream: the
@@ -264,6 +317,127 @@ TEST(StreamingPipelineTest, BudgetControllerConvergesToTarget) {
   EXPECT_EQ(report.total_energy_j, replay.total_energy_j);
 }
 
+// Mirror of the budget-convergence test for the deadline loop: closed-loop
+// λ_L holds a modeled-ms-per-frame target chosen strictly between the
+// fastest and slowest operating points, converging to within 5%.
+TEST(StreamingPipelineTest, DeadlineControllerConvergesToTarget) {
+  StreamConfig stream_config = small_stream();
+  stream_config.sequence.length = 10;
+  stream_config.sequences_per_scene = 2;  // 160 frames → 10 control windows
+
+  // Calibrate the achievable latency range with fixed λ_L runs.
+  auto fixed_lambda_latency = [&](float lambda) {
+    PipelineConfig config;
+    config.workers = 2;
+    config.window = 16;
+    config.joint.gamma = 2.0f;
+    config.joint.lambda_energy = 0.0f;
+    config.joint.lambda_latency = lambda;
+    config.keep_frame_results = false;
+    StreamingPipeline pipeline(engine(), config);
+    FrameStream stream(stream_config);
+    return pipeline.run(stream, oracle_factory()).mean_latency_ms;
+  };
+  const double slowest = fixed_lambda_latency(0.0f);
+  const double fastest = fixed_lambda_latency(1.0f);
+  ASSERT_LT(fastest, slowest);  // λ_L must have real leverage
+
+  DeadlineConfig deadline;
+  deadline.target_ms_per_frame = 0.5 * (fastest + slowest);
+  deadline.initial_lambda = 0.0f;
+  deadline.gain = 0.5f;
+  deadline.max_step = 0.25f;
+
+  auto run_deadline = [&](std::size_t workers) {
+    PipelineConfig config;
+    config.workers = workers;
+    config.window = 16;
+    config.joint.gamma = 2.0f;
+    config.joint.lambda_energy = 0.0f;
+    config.deadline = deadline;
+    StreamingPipeline pipeline(engine(), config);
+    FrameStream stream(stream_config);
+    return pipeline.run(stream, oracle_factory());
+  };
+  const PipelineReport report = run_deadline(3);
+  ASSERT_GE(report.deadline_trace.size(), 6u);
+
+  // Steady state: mean modeled latency over the final 4 control windows.
+  const std::size_t window = 16;
+  const std::size_t tail = 4 * window;
+  ASSERT_GE(report.frame_stats.size(), tail);
+  double tail_ms = 0.0;
+  for (std::size_t i = report.frame_stats.size() - tail;
+       i < report.frame_stats.size(); ++i) {
+    tail_ms += report.frame_stats[i].latency_ms;
+  }
+  const double steady = tail_ms / static_cast<double>(tail);
+  EXPECT_NEAR(steady, deadline.target_ms_per_frame,
+              0.05 * deadline.target_ms_per_frame);
+
+  // The λ_L trajectory is worker-count invariant (it observes *modeled*
+  // latency, never wall-clock).
+  const PipelineReport replay = run_deadline(1);
+  ASSERT_EQ(report.deadline_trace.size(), replay.deadline_trace.size());
+  for (std::size_t i = 0; i < report.deadline_trace.size(); ++i) {
+    EXPECT_EQ(report.deadline_trace[i], replay.deadline_trace[i]);
+  }
+  EXPECT_EQ(report.mean_latency_ms, replay.mean_latency_ms);
+  for (const FrameStats& stats : report.frame_stats) {
+    EXPECT_EQ(stats.lambda_latency,
+              report.deadline_trace[stats.stream_index / window]);
+  }
+}
+
+// Energy budget and deadline running simultaneously: the applied weights
+// never oversubscribe the scoring budget, both traces advance in lockstep,
+// and the composed trajectories stay worker-count deterministic.
+TEST(StreamingPipelineTest, BudgetAndDeadlineControllersCompose) {
+  StreamConfig stream_config = small_stream();
+  stream_config.sequence.length = 10;
+  stream_config.sequences_per_scene = 2;
+
+  BudgetConfig budget;
+  budget.target_j_per_frame = 1.8;
+  budget.initial_lambda = 0.0f;
+  budget.gain = 0.5f;
+  budget.max_step = 0.25f;
+  DeadlineConfig deadline;
+  deadline.target_ms_per_frame = 38.0;
+  deadline.initial_lambda = 0.0f;
+  deadline.gain = 0.5f;
+  deadline.max_step = 0.25f;
+
+  auto run_both = [&](std::size_t workers) {
+    PipelineConfig config;
+    config.workers = workers;
+    config.window = 16;
+    config.joint.gamma = 2.0f;
+    config.budget = budget;
+    config.deadline = deadline;
+    config.priority = ControlPriority::kDeadlineFirst;
+    StreamingPipeline pipeline(engine(), config);
+    FrameStream stream(stream_config);
+    return pipeline.run(stream, oracle_factory());
+  };
+  const PipelineReport report = run_both(2);
+  ASSERT_EQ(report.lambda_trace.size(), report.deadline_trace.size());
+  ASSERT_GT(report.lambda_trace.size(), 0u);
+  for (std::size_t i = 0; i < report.lambda_trace.size(); ++i) {
+    EXPECT_GE(report.lambda_trace[i], 0.0f);
+    EXPECT_GE(report.deadline_trace[i], 0.0f);
+    EXPECT_LE(report.lambda_trace[i] + report.deadline_trace[i], 1.0f);
+  }
+  const PipelineReport replay = run_both(1);
+  EXPECT_EQ(report.total_energy_j, replay.total_energy_j);
+  EXPECT_EQ(report.mean_latency_ms, replay.mean_latency_ms);
+  ASSERT_EQ(report.lambda_trace.size(), replay.lambda_trace.size());
+  for (std::size_t i = 0; i < report.lambda_trace.size(); ++i) {
+    EXPECT_EQ(report.lambda_trace[i], replay.lambda_trace[i]);
+    EXPECT_EQ(report.deadline_trace[i], replay.deadline_trace[i]);
+  }
+}
+
 PipelineReport run_pipeline_exec(std::size_t workers, const GateFactory& gates,
                                  bool cache, bool batch) {
   PipelineConfig config;
@@ -290,9 +464,14 @@ void expect_reports_equal(const PipelineReport& a, const PipelineReport& b,
   EXPECT_EQ(a.map, b.map);
   EXPECT_EQ(a.total_detections, b.total_detections);
   EXPECT_EQ(a.final_lambda, b.final_lambda);
+  EXPECT_EQ(a.final_lambda_latency, b.final_lambda_latency);
   ASSERT_EQ(a.lambda_trace.size(), b.lambda_trace.size());
   for (std::size_t i = 0; i < a.lambda_trace.size(); ++i) {
     EXPECT_EQ(a.lambda_trace[i], b.lambda_trace[i]);
+  }
+  ASSERT_EQ(a.deadline_trace.size(), b.deadline_trace.size());
+  for (std::size_t i = 0; i < a.deadline_trace.size(); ++i) {
+    EXPECT_EQ(a.deadline_trace[i], b.deadline_trace[i]);
   }
   ASSERT_EQ(a.frame_stats.size(), b.frame_stats.size());
   for (std::size_t i = 0; i < a.frame_stats.size(); ++i) {
@@ -305,6 +484,7 @@ void expect_reports_equal(const PipelineReport& a, const PipelineReport& b,
     EXPECT_EQ(x.energy_j, y.energy_j);  // bitwise
     EXPECT_EQ(x.latency_ms, y.latency_ms);
     EXPECT_EQ(x.lambda_energy, y.lambda_energy);
+    EXPECT_EQ(x.lambda_latency, y.lambda_latency);
     EXPECT_EQ(x.detections, y.detections);
     EXPECT_EQ(x.batch_size, y.batch_size);
     EXPECT_EQ(x.branch_runs, y.branch_runs);
