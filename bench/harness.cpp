@@ -108,10 +108,12 @@ EvalSummary Harness::evaluate_static(std::size_t config_index,
   EvalSummary summary;
   summary.label = std::move(label);
   // Every frame runs the same configuration, so the whole evaluation is one
-  // batch group: the BranchBatcher executes each branch across all frames
-  // (shared anchor generation), then fusion/loss/accounting stay per frame.
-  // Batched execution is bitwise identical to the frame-at-a-time loop this
-  // replaces, so table outputs are unchanged.
+  // batch group: the BranchBatcher executes each unique channel scan the
+  // configuration needs across all frames (shared anchor generation; a
+  // channel shared by several branches is scanned once per frame), then
+  // per-branch merges and fusion/loss/accounting stay per frame. Batched,
+  // scan-shared execution is bitwise identical to the frame-at-a-time loop
+  // this replaces, so table outputs are unchanged.
   std::vector<std::unique_ptr<exec::FrameWorkspace>> workspaces;
   workspaces.reserve(frames.size());
   std::vector<exec::FrameWorkspace*> group;

@@ -45,6 +45,8 @@ struct Row {
   std::size_t workers = 0;
   double frames_per_second = 0.0;
   double speedup = 0.0;
+  std::size_t channel_scans_requested = 0;
+  std::size_t channel_scans_unique = 0;
 };
 
 struct ShardRow {
@@ -52,12 +54,15 @@ struct ShardRow {
   double frames_per_second = 0.0;
   double speedup = 0.0;
   double mean_batch = 0.0;
+  std::size_t channel_scans_requested = 0;
+  std::size_t channel_scans_unique = 0;
   bool merged_invariant = false;  // J/loss/mAP bitwise equal to 1-shard row
 };
 
 bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                 std::size_t frames_per_sequence, const std::vector<Row>& rows,
-                const std::vector<ShardRow>& shard_rows) {
+                const std::vector<ShardRow>& shard_rows, bool share_enabled,
+                bool share_invariant) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -79,17 +84,27 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
   std::fprintf(f, "    \"stem_cache_misses\": %zu,\n",
                report.exec.stem_cache_misses);
   std::fprintf(f, "    \"branch_runs\": %zu,\n", report.exec.branch_runs);
+  std::fprintf(f, "    \"channel_scans_requested\": %zu,\n",
+               report.exec.channel_scans_requested);
+  std::fprintf(f, "    \"channel_scans_unique\": %zu,\n",
+               report.exec.channel_scans_unique);
   std::fprintf(f, "    \"batches\": %zu,\n", report.exec.batches);
   std::fprintf(f, "    \"batched_frames\": %zu,\n", report.exec.batched_frames);
   std::fprintf(f, "    \"max_batch\": %zu,\n", report.exec.max_batch);
   std::fprintf(f, "    \"mean_batch\": %.4f\n", report.exec.mean_batch);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"channel_share_enabled\": %s,\n",
+               share_enabled ? "true" : "false");
+  std::fprintf(f, "  \"share_invariant\": %s,\n",
+               share_invariant ? "true" : "false");
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
                  "    {\"workers\": %zu, \"frames_per_second\": %.2f, "
-                 "\"speedup\": %.3f}%s\n",
+                 "\"speedup\": %.3f, \"channel_scans_requested\": %zu, "
+                 "\"channel_scans_unique\": %zu}%s\n",
                  rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
+                 rows[i].channel_scans_requested, rows[i].channel_scans_unique,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -98,9 +113,13 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
     std::fprintf(f,
                  "    {\"shards\": %zu, \"frames_per_second\": %.2f, "
                  "\"speedup\": %.3f, \"mean_batch\": %.3f, "
+                 "\"channel_scans_requested\": %zu, "
+                 "\"channel_scans_unique\": %zu, "
                  "\"merged_invariant\": %s}%s\n",
                  shard_rows[i].shards, shard_rows[i].frames_per_second,
                  shard_rows[i].speedup, shard_rows[i].mean_batch,
+                 shard_rows[i].channel_scans_requested,
+                 shard_rows[i].channel_scans_unique,
                  shard_rows[i].merged_invariant ? "true" : "false",
                  i + 1 < shard_rows.size() ? "," : "");
   }
@@ -149,21 +168,32 @@ int main(int argc, char** argv) {
   stream_config.sequences_per_scene = 2;
   stream_config.seed = 7102;
 
+  // ECO_CHANNEL_SHARE=0 runs every sweep with cross-branch channel-scan
+  // sharing disabled (the CI smoke uses it to exercise the unshared path;
+  // the invariance check below always compares both paths regardless).
+  const char* share_env = std::getenv("ECO_CHANNEL_SHARE");
+  const bool share_enabled =
+      share_env == nullptr || std::string(share_env) != "0";
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("Streaming-runtime throughput (hardware threads: %u)\n", hw);
+  std::printf("Channel-scan sharing: %s\n",
+              share_enabled ? "enabled" : "DISABLED (ECO_CHANNEL_SHARE=0)");
   std::printf("Stream: 8 scene lanes x %zu sequences x %zu frames = %zu frames\n\n",
               stream_config.sequences_per_scene, frames_per_sequence,
               8 * stream_config.sequences_per_scene * frames_per_sequence);
 
   util::Table table({"Workers", "Frames/s", "Speedup", "J/frame",
-                     "Model ms/frame", "Mean loss", "mAP (%)"});
+                     "Model ms/frame", "Mean loss", "mAP (%)", "Scans u/r"});
   std::vector<Row> rows;
   runtime::PipelineReport last_report;
+  runtime::PipelineReport four_worker_report;  // reused by the sharing gate
   double base_fps = 0.0;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
     runtime::PipelineConfig config;
     config.workers = workers;
     config.window = 16;
+    config.share_channel_scans = share_enabled;
     runtime::StreamingPipeline pipeline(engine, config);
     runtime::FrameStream stream(stream_config);
     runtime::PipelineReport report = pipeline.run(stream, gate_factory);
@@ -174,12 +204,64 @@ int main(int argc, char** argv) {
                    util::fmt(report.mean_energy_j),
                    util::fmt(report.mean_latency_ms, 2),
                    util::fmt(report.mean_loss),
-                   util::fmt_pct(report.map)});
+                   util::fmt_pct(report.map),
+                   std::to_string(report.exec.channel_scans_unique) + "/" +
+                       std::to_string(report.exec.channel_scans_requested)});
     rows.push_back({workers, report.frames_per_second,
-                    report.frames_per_second / base_fps});
+                    report.frames_per_second / base_fps,
+                    report.exec.channel_scans_requested,
+                    report.exec.channel_scans_unique});
+    if (workers == 4) four_worker_report = report;
     last_report = std::move(report);
   }
   std::printf("%s\n", table.render().c_str());
+
+  // ---- Channel-scan sharing invariance gate -----------------------------
+  // One run per toggle state on the identical stream: everything except the
+  // unique-scan count must match bitwise (the dedup must be invisible in
+  // results), and on this ensemble-bearing stream sharing must actually
+  // dedup (unique < requested). Runs regardless of ECO_CHANNEL_SHARE so the
+  // disabled smoke still verifies divergence against the shared path. The
+  // sweep's 4-worker run already covers the env's toggle state (reports are
+  // deterministic), so only the opposite state runs here.
+  bool share_invariant = true;
+  {
+    auto run_once = [&](bool share) {
+      runtime::PipelineConfig config;
+      config.workers = 4;
+      config.window = 16;
+      config.share_channel_scans = share;
+      runtime::StreamingPipeline pipeline(engine, config);
+      runtime::FrameStream stream(stream_config);
+      return pipeline.run(stream, gate_factory);
+    };
+    const runtime::PipelineReport shared =
+        share_enabled ? four_worker_report : run_once(true);
+    const runtime::PipelineReport unshared =
+        share_enabled ? run_once(false) : four_worker_report;
+    share_invariant =
+        shared.mean_energy_j == unshared.mean_energy_j &&
+        shared.mean_latency_ms == unshared.mean_latency_ms &&
+        shared.mean_loss == unshared.mean_loss &&
+        shared.map == unshared.map &&
+        shared.total_detections == unshared.total_detections &&
+        shared.exec.branch_runs == unshared.exec.branch_runs &&
+        shared.exec.channel_scans_requested ==
+            unshared.exec.channel_scans_requested &&
+        shared.exec.channel_scans_unique <
+            shared.exec.channel_scans_requested &&
+        unshared.exec.channel_scans_unique ==
+            unshared.exec.channel_scans_requested;
+    std::printf("Channel-scan sharing: %zu/%zu unique/requested scans "
+                "(%.2fx dedup); unshared path %s bitwise.\n\n",
+                shared.exec.channel_scans_unique,
+                shared.exec.channel_scans_requested,
+                shared.exec.channel_scans_unique > 0
+                    ? static_cast<double>(shared.exec.channel_scans_requested) /
+                          static_cast<double>(shared.exec.channel_scans_unique)
+                    : 0.0,
+                share_invariant ? "matches" : "DIVERGES FROM");
+  }
 
   // ---- Shard sweep: N engine shards on one 4-worker pool ----------------
   util::Table shard_table({"Shards", "Frames/s", "Speedup", "J/frame",
@@ -193,6 +275,7 @@ int main(int argc, char** argv) {
     config.shards = shards;
     config.pipeline.workers = 4;
     config.pipeline.window = 16;
+    config.pipeline.share_channel_scans = share_enabled;
     runtime::ShardedPipeline pipeline(config);
     const runtime::ShardedReport report =
         pipeline.run(stream_config, shard_gate_factory);
@@ -216,25 +299,32 @@ int main(int argc, char** argv) {
          invariant ? "yes" : "NO"});
     shard_rows.push_back({shards, merged.frames_per_second,
                           merged.frames_per_second / shard_base_fps,
-                          merged.exec.mean_batch, invariant});
+                          merged.exec.mean_batch,
+                          merged.exec.channel_scans_requested,
+                          merged.exec.channel_scans_unique, invariant});
   }
   std::printf("Sharded front-end at 4 shared workers (sequences hashed "
               "across shards,\nmerged report restored to stream order):\n");
   std::printf("%s\n", shard_table.render().c_str());
 
-  std::printf("Exec layer: %zu branch runs over %zu frames; stems skipped on "
-              "%zu frames;\n%zu/%zu stem-cache hits/misses; mean batch %.2f "
+  std::printf("Exec layer: %zu branch runs over %zu frames (%zu/%zu "
+              "unique/requested channel scans);\nstems skipped on %zu frames; "
+              "%zu/%zu stem-cache hits/misses; mean batch %.2f "
               "(max %zu, %zu frames batched).\n",
               last_report.exec.branch_runs, last_report.frames,
+              last_report.exec.channel_scans_unique,
+              last_report.exec.channel_scans_requested,
               last_report.exec.stems_skipped, last_report.exec.stem_cache_hits,
               last_report.exec.stem_cache_misses, last_report.exec.mean_batch,
               last_report.exec.max_batch, last_report.exec.batched_frames);
   std::printf("J/frame, loss, and mAP are worker- AND shard-count invariant\n"
               "by the runtime's determinism contract; only wall-clock moves.\n");
   const bool wrote =
-      write_json(json_path, last_report, frames_per_sequence, rows, shard_rows);
-  // The bench is its own gate: a merged-report invariance violation (or a
-  // lost artifact) must fail the run, not depend on downstream grepping.
+      write_json(json_path, last_report, frames_per_sequence, rows, shard_rows,
+                 share_enabled, share_invariant);
+  // The bench is its own gate: a merged-report or sharing invariance
+  // violation (or a lost artifact) must fail the run, not depend on
+  // downstream grepping.
   bool all_invariant = true;
   for (const ShardRow& row : shard_rows) {
     all_invariant = all_invariant && row.merged_invariant;
@@ -244,5 +334,10 @@ int main(int argc, char** argv) {
                  "error: merged report not bitwise invariant across shard "
                  "counts\n");
   }
-  return (all_invariant && wrote) ? 0 : 1;
+  if (!share_invariant) {
+    std::fprintf(stderr,
+                 "error: channel-scan sharing not bitwise invariant (or no "
+                 "dedup on the ensemble-bearing stream)\n");
+  }
+  return (all_invariant && share_invariant && wrote) ? 0 : 1;
 }

@@ -93,6 +93,37 @@ EcoFusionEngine::EcoFusionEngine(EngineConfig config)
     branches_.push_back(std::make_unique<detect::BranchDetector>(
         make_branch_config(id), std::move(prototypes)));
   }
+
+  // Build the channel-scan plan: walk every (branch, channel) in branch
+  // order and assign scan ids by exact equivalence against the unique scans
+  // found so far. Two channels share an id only when they read the same
+  // sensor grid and their detectors' scans are identical (scan_equivalent
+  // compares RPN + ROI configs and prototypes field-by-field), so sharing a
+  // memoized scan is bitwise invisible by construction.
+  for (std::size_t b = 0; b < kNumBranches; ++b) {
+    const auto id = static_cast<BranchId>(b);
+    const auto inputs = branch_inputs(id);
+    scan_plan_.first_flat[b] = scan_plan_.total_channels;
+    scan_plan_.ids[b].reserve(inputs.size());
+    for (std::size_t c = 0; c < inputs.size(); ++c) {
+      std::size_t scan = scan_plan_.scans.size();
+      for (std::size_t s = 0; s < scan_plan_.scans.size(); ++s) {
+        const ChannelScanPlan::Scan& rep = scan_plan_.scans[s];
+        if (rep.sensor == inputs[c] &&
+            branches_[b]->scan_equivalent(
+                c, *branches_[static_cast<std::size_t>(rep.branch)],
+                rep.channel)) {
+          scan = s;
+          break;
+        }
+      }
+      if (scan == scan_plan_.scans.size()) {
+        scan_plan_.scans.push_back({id, c, inputs[c]});
+      }
+      scan_plan_.ids[b].push_back(scan);
+      ++scan_plan_.total_channels;
+    }
+  }
 }
 
 const std::vector<float>& EcoFusionEngine::adaptive_energy_table(

@@ -73,6 +73,47 @@ struct SelectionResult {
   std::vector<std::size_t> candidates;   // Φ* indices
 };
 
+/// Cross-branch channel-scan plan, built once at engine construction.
+///
+/// Every (branch, input-channel) pair maps to a *scan id* such that two
+/// pairs share an id iff their per-channel scans are interchangeable: they
+/// read the same sensor grid AND run an identical RPN + ROI head (configs
+/// and prototypes compared exactly via BranchDetector::scan_equivalent, not
+/// assumed from construction). The exec layer's per-frame scan cache keys on
+/// these ids, so a channel shared by several branches in one frame — an
+/// ensemble configuration re-reads up to 7 channels of which only 4 are
+/// unique — is scanned exactly once.
+struct ChannelScanPlan {
+  /// Representative (branch, channel) defining one unique scan.
+  struct Scan {
+    BranchId branch = BranchId::kCameraLeft;
+    std::size_t channel = 0;
+    dataset::SensorKind sensor = dataset::SensorKind::kCameraLeft;
+  };
+
+  /// scan id per branch input channel: ids[branch][channel].
+  std::array<std::vector<std::size_t>, kNumBranches> ids;
+  /// Flat offset of each branch's first channel (for per-channel slots in
+  /// unshared mode); flat index = first_flat[branch] + channel.
+  std::array<std::size_t, kNumBranches> first_flat{};
+  /// Unique scans, indexed by scan id.
+  std::vector<Scan> scans;
+  /// Sum of input counts over all branches (the flat slot count).
+  std::size_t total_channels = 0;
+
+  [[nodiscard]] std::size_t scan_id(BranchId branch,
+                                    std::size_t channel) const {
+    return ids[static_cast<std::size_t>(branch)][channel];
+  }
+  [[nodiscard]] std::size_t flat_index(BranchId branch,
+                                       std::size_t channel) const noexcept {
+    return first_flat[static_cast<std::size_t>(branch)] + channel;
+  }
+  [[nodiscard]] std::size_t num_scans() const noexcept {
+    return scans.size();
+  }
+};
+
 /// The engine. Construction builds all seven branch detectors, the stem
 /// bank, the fusion block and the PX2 model; it is immutable afterwards and
 /// safe to share across read-only callers.
@@ -97,6 +138,11 @@ class EcoFusionEngine {
   [[nodiscard]] const detect::BranchDetector& branch_detector(
       BranchId branch) const {
     return *branches_[static_cast<std::size_t>(branch)];
+  }
+
+  /// The cross-branch channel-scan plan (see ChannelScanPlan).
+  [[nodiscard]] const ChannelScanPlan& scan_plan() const noexcept {
+    return scan_plan_;
   }
 
   /// Offline per-configuration energy table E(Φ) with EcoFusion (adaptive)
@@ -199,6 +245,7 @@ class EcoFusionEngine {
   energy::Px2Model px2_;
   fusion::FusionBlock fusion_block_;
   std::vector<std::unique_ptr<detect::BranchDetector>> branches_;
+  ChannelScanPlan scan_plan_;
   // E(Φ) and T(Φ) tables per gate complexity (lazily built, cached). Both
   // tables of a complexity are built together exactly once under its flag
   // so concurrent read-only callers (the runtime worker pool) never observe

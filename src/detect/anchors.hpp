@@ -15,6 +15,8 @@ namespace eco::detect {
 struct AnchorShape {
   float width = 4.0f;
   float height = 3.0f;
+
+  friend bool operator==(const AnchorShape&, const AnchorShape&) = default;
 };
 
 /// Anchor tiling configuration.
@@ -25,6 +27,8 @@ struct AnchorConfig {
   std::vector<AnchorShape> shapes = default_shapes();
 
   [[nodiscard]] static std::vector<AnchorShape> default_shapes();
+
+  friend bool operator==(const AnchorConfig&, const AnchorConfig&) = default;
 };
 
 /// Generates all anchors for a height x width grid, clipped to bounds.

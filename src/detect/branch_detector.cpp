@@ -60,6 +60,58 @@ tensor::Tensor BranchDetector::fuse_inputs(
   return fused;
 }
 
+std::vector<Detection> BranchDetector::scan_channel(
+    std::size_t channel, const tensor::Tensor& grid,
+    ScanScratch* scratch) const {
+  return roi_heads_.at(channel).run(grid, rpn_.propose(grid, scratch));
+}
+
+std::vector<std::vector<Detection>> BranchDetector::scan_channel_batch(
+    std::size_t channel,
+    const std::vector<const tensor::Tensor*>& grids) const {
+  const RoiHead& head = roi_heads_.at(channel);
+  const std::vector<std::vector<Proposal>> proposals =
+      rpn_.propose_batch(grids);
+  std::vector<std::vector<Detection>> results;
+  results.reserve(grids.size());
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    results.push_back(head.run(*grids[i], proposals[i]));
+  }
+  return results;
+}
+
+std::vector<Detection> BranchDetector::merge_channel_scans(
+    std::vector<std::vector<Detection>> per_channel) const {
+  if (per_channel.size() != config_.input_count) {
+    throw std::invalid_argument("BranchDetector '" + config_.name +
+                                "': merge arity mismatch");
+  }
+  // A single-channel branch's scan IS its detection list (no union NMS —
+  // matching the pre-decomposition behaviour bitwise).
+  if (per_channel.size() == 1) return std::move(per_channel.front());
+  // Early fusion: per-channel detection, merged as a plain union. No
+  // cross-channel confidence calibration (see header).
+  std::vector<Detection> merged;
+  for (std::vector<Detection>& channel : per_channel) {
+    merged.insert(merged.end(), std::make_move_iterator(channel.begin()),
+                  std::make_move_iterator(channel.end()));
+  }
+  return nms(std::move(merged), config_.channel_merge_iou,
+             /*class_aware=*/false);
+}
+
+bool BranchDetector::scan_equivalent(std::size_t channel,
+                                     const BranchDetector& other,
+                                     std::size_t other_channel) const {
+  const RoiHead& ha = roi_heads_.at(channel);
+  const RoiHead& hb = other.roi_heads_.at(other_channel);
+  // Defaulted field-wise equality on the config structs: a field added to
+  // any of them participates automatically, so the plan can never declare
+  // two diverging scans interchangeable.
+  return rpn_.config() == other.rpn_.config() &&
+         ha.config() == hb.config() && ha.prototypes() == hb.prototypes();
+}
+
 std::vector<Detection> BranchDetector::detect(
     const std::vector<tensor::Tensor>& grids) const {
   const std::vector<const std::vector<tensor::Tensor>*> batch = {&grids};
@@ -69,10 +121,6 @@ std::vector<Detection> BranchDetector::detect(
 std::vector<std::vector<Detection>> BranchDetector::detect_batch(
     const std::vector<const std::vector<tensor::Tensor>*>& grids_per_frame)
     const {
-  // Flatten every frame's channels into one proposal batch so the RPN
-  // generates anchors once for the whole batch.
-  std::vector<const tensor::Tensor*> channels;
-  channels.reserve(grids_per_frame.size() * config_.input_count);
   for (const std::vector<tensor::Tensor>* grids : grids_per_frame) {
     if (grids == nullptr || grids->size() != config_.input_count) {
       throw std::invalid_argument(
@@ -80,33 +128,30 @@ std::vector<std::vector<Detection>> BranchDetector::detect_batch(
           std::to_string(config_.input_count) + " grids, got " +
           std::to_string(grids == nullptr ? 0 : grids->size()));
     }
-    for (const tensor::Tensor& grid : *grids) channels.push_back(&grid);
   }
-  const std::vector<std::vector<Proposal>> proposals =
-      rpn_.propose_batch(channels);
-
+  // Scan channel-by-channel across the whole batch (one anchor generation
+  // per channel sweep), then merge per frame. Identical arithmetic to the
+  // flattened all-channels batch this replaces: anchors depend only on the
+  // grid extent, and each (frame, channel) pair still runs one
+  // propose + ROI pass on its own grid.
+  std::vector<std::vector<std::vector<Detection>>> scans(
+      grids_per_frame.size());
+  for (auto& frame_scans : scans) frame_scans.resize(config_.input_count);
+  std::vector<const tensor::Tensor*> channel_grids(grids_per_frame.size());
+  for (std::size_t c = 0; c < config_.input_count; ++c) {
+    for (std::size_t f = 0; f < grids_per_frame.size(); ++f) {
+      channel_grids[f] = &(*grids_per_frame[f])[c];
+    }
+    std::vector<std::vector<Detection>> channel_results =
+        scan_channel_batch(c, channel_grids);
+    for (std::size_t f = 0; f < grids_per_frame.size(); ++f) {
+      scans[f][c] = std::move(channel_results[f]);
+    }
+  }
   std::vector<std::vector<Detection>> results;
   results.reserve(grids_per_frame.size());
-  std::size_t flat = 0;
-  for (const std::vector<tensor::Tensor>* grids : grids_per_frame) {
-    if (config_.input_count == 1) {
-      results.push_back(
-          roi_heads_.front().run(grids->front(), proposals[flat]));
-      ++flat;
-      continue;
-    }
-    // Early fusion: per-channel detection, merged as a plain union. No
-    // cross-channel confidence calibration (see header).
-    std::vector<Detection> merged;
-    for (std::size_t i = 0; i < grids->size(); ++i) {
-      std::vector<Detection> channel =
-          roi_heads_[i].run((*grids)[i], proposals[flat]);
-      ++flat;
-      merged.insert(merged.end(), std::make_move_iterator(channel.begin()),
-                    std::make_move_iterator(channel.end()));
-    }
-    results.push_back(nms(std::move(merged), config_.channel_merge_iou,
-                          /*class_aware=*/false));
+  for (auto& frame_scans : scans) {
+    results.push_back(merge_channel_scans(std::move(frame_scans)));
   }
   return results;
 }

@@ -47,7 +47,16 @@ struct BranchConfig {
   float channel_merge_iou = 0.50f;
 };
 
-/// One detector branch.
+/// One detector branch, decomposed into two stages the execution layer can
+/// schedule independently:
+///   * a pure per-channel *scan* — RPN proposals + that channel's ROI head
+///     on one grid (scan_channel / scan_channel_batch); and
+///   * a cheap per-branch *merge* — union + class-agnostic NMS of the
+///     channels' scan results (merge_channel_scans; a single-channel branch
+///     passes its scan through untouched).
+/// detect()/detect_batch() are exactly scan-then-merge, so callers that
+/// memoize scans across branches (exec/channel_scan_cache) produce bitwise
+/// identical detections to a whole-branch call.
 class BranchDetector {
  public:
   /// `prototypes_per_input` supplies the ROI prototypes for each input
@@ -67,6 +76,34 @@ class BranchDetector {
   [[nodiscard]] std::vector<std::vector<Detection>> detect_batch(
       const std::vector<const std::vector<tensor::Tensor>*>& grids_per_frame)
       const;
+
+  /// The per-channel scan: RPN proposals + channel `channel`'s ROI head on
+  /// `grid`. `scratch`, when supplied, provides reusable scan buffers.
+  [[nodiscard]] std::vector<Detection> scan_channel(
+      std::size_t channel, const tensor::Tensor& grid,
+      ScanScratch* scratch = nullptr) const;
+
+  /// Batched scan of channel `channel` across many grids of one extent,
+  /// sharing one anchor generation. Per-grid results are bitwise identical
+  /// to scan_channel().
+  [[nodiscard]] std::vector<std::vector<Detection>> scan_channel_batch(
+      std::size_t channel,
+      const std::vector<const tensor::Tensor*>& grids) const;
+
+  /// The per-branch merge of the channels' scan results, in channel order:
+  /// plain union + class-agnostic NMS (see header comment); a
+  /// single-channel branch's scan passes through unchanged.
+  [[nodiscard]] std::vector<Detection> merge_channel_scans(
+      std::vector<std::vector<Detection>> per_channel) const;
+
+  /// True when channel `channel` of this branch and channel `other_channel`
+  /// of `other` run the identical scan — same RPN configuration, same ROI
+  /// head configuration and same prototypes, compared exactly. Callers that
+  /// additionally feed both channels the same grid may share one scan's
+  /// result between them.
+  [[nodiscard]] bool scan_equivalent(std::size_t channel,
+                                     const BranchDetector& other,
+                                     std::size_t other_channel) const;
 
   /// The composited input grid (exposed for tests and visualisation).
   [[nodiscard]] tensor::Tensor fuse_inputs(

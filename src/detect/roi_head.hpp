@@ -28,6 +28,9 @@ struct ClassPrototype {
   float amplitude = 0.5f;  // expected mean in-box signal
   float width = 4.0f;      // expected box extent (cells)
   float height = 3.0f;
+
+  friend bool operator==(const ClassPrototype&,
+                         const ClassPrototype&) = default;
 };
 
 /// ROI head configuration.
@@ -57,6 +60,11 @@ struct RoiHeadConfig {
   float nms_iou = 0.45f;
   /// Minimum final detection score.
   float min_score = 0.38f;
+
+  /// Exact equality over every field — the channel-scan plan uses this to
+  /// prove two channels' scans interchangeable, so new fields participate
+  /// automatically.
+  friend bool operator==(const RoiHeadConfig&, const RoiHeadConfig&) = default;
 };
 
 /// The ROI head. Stateless apart from configuration + prototypes.

@@ -8,7 +8,7 @@
 
 namespace eco::detect {
 
-IntegralImage::IntegralImage(const tensor::Tensor& grid) {
+void IntegralImage::reset(const tensor::Tensor& grid) {
   const bool chw = grid.dim() == 3;
   if (chw && grid.size(0) != 1) {
     throw std::invalid_argument("IntegralImage: expected single channel");
@@ -56,8 +56,16 @@ double IntegralImage::box_mean(const Box& box) const noexcept {
 }
 
 tensor::Tensor box_blur3(const tensor::Tensor& grid) {
+  tensor::Tensor out;
+  box_blur3_into(grid, out);
+  return out;
+}
+
+void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out) {
   const std::size_t h = grid.size(1), w = grid.size(2);
-  tensor::Tensor out({1, h, w});
+  if (out.shape() != tensor::Shape{1, h, w}) {
+    out = tensor::Tensor({1, h, w});
+  }
   for (std::size_t y = 0; y < h; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
       float acc = 0.0f;
@@ -76,17 +84,18 @@ tensor::Tensor box_blur3(const tensor::Tensor& grid) {
       out.at(0, y, x) = n > 0 ? acc / static_cast<float>(n) : 0.0f;
     }
   }
-  return out;
 }
 
 Rpn::Rpn(RpnConfig config) : config_(std::move(config)) {}
 
-std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid) const {
+std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid,
+                                   ScanScratch* scratch) const {
   if (grid.dim() != 3 || grid.size(0) != 1) {
     throw std::invalid_argument("Rpn::propose: expected (1,H,W) grid");
   }
   return propose_with_anchors(
-      grid, generate_anchors(grid.size(1), grid.size(2), config_.anchors));
+      grid, generate_anchors(grid.size(1), grid.size(2), config_.anchors),
+      scratch);
 }
 
 std::vector<std::vector<Proposal>> Rpn::propose_batch(
@@ -111,11 +120,17 @@ std::vector<std::vector<Proposal>> Rpn::propose_batch(
 }
 
 std::vector<Proposal> Rpn::propose_with_anchors(
-    const tensor::Tensor& grid, const std::vector<Box>& anchors) const {
+    const tensor::Tensor& grid, const std::vector<Box>& anchors,
+    ScanScratch* scratch) const {
   const std::size_t h = grid.size(1), w = grid.size(2);
 
-  const tensor::Tensor smoothed = box_blur3(grid);
-  const IntegralImage integral(smoothed);
+  // With scratch, the smoothed grid and the integral table reuse the
+  // caller's buffers; the arithmetic is identical either way.
+  ScanScratch local;
+  ScanScratch& buffers = scratch != nullptr ? *scratch : local;
+  box_blur3_into(grid, buffers.smoothed);
+  buffers.integral.reset(buffers.smoothed);
+  const IntegralImage& integral = buffers.integral;
 
   std::vector<Detection> raw;
   raw.reserve(anchors.size() / 4);

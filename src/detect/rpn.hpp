@@ -26,7 +26,15 @@ struct Proposal {
 /// Integral image over a (1,H,W) or (H,W) grid for O(1) box sums.
 class IntegralImage {
  public:
-  explicit IntegralImage(const tensor::Tensor& grid);
+  /// Empty image; reset() before use. Lets scan scratch buffers keep the
+  /// accumulator's capacity across scans instead of reallocating per scan.
+  IntegralImage() = default;
+
+  explicit IntegralImage(const tensor::Tensor& grid) { reset(grid); }
+
+  /// Rebuilds the cumulative table for `grid`, reusing existing storage
+  /// when the extent is unchanged.
+  void reset(const tensor::Tensor& grid);
 
   /// Sum of grid values over [x1,x2) x [y1,y2) clamped to bounds.
   [[nodiscard]] double box_sum(const Box& box) const noexcept;
@@ -56,6 +64,22 @@ struct RpnConfig {
   std::size_t top_k = 48;
   /// Contrast scale mapping to objectness (sigmoid temperature).
   float contrast_scale = 9.0f;
+
+  /// Exact equality over every field — the channel-scan plan uses this to
+  /// prove two channels' scans interchangeable, so new fields participate
+  /// automatically.
+  friend bool operator==(const RpnConfig&, const RpnConfig&) = default;
+};
+
+/// Reusable storage for per-scan intermediates (the smoothed grid and the
+/// integral image are the two allocations a proposal pass makes). A caller
+/// that scans many channels per frame — the exec layer's channel-scan cache
+/// — hands the same scratch to every scan so the buffers are allocated once
+/// per frame workspace instead of once per scan. Purely an allocation
+/// optimization: results are bitwise identical with or without scratch.
+struct ScanScratch {
+  tensor::Tensor smoothed;   // box_blur3 output
+  IntegralImage integral;    // cumulative table (capacity reused)
 };
 
 /// The proposal network. Stateless apart from configuration.
@@ -64,13 +88,16 @@ class Rpn {
   explicit Rpn(RpnConfig config = {});
 
   /// Proposes regions on a single-channel observation/feature grid (1,H,W).
-  [[nodiscard]] std::vector<Proposal> propose(const tensor::Tensor& grid) const;
+  /// `scratch`, when supplied, provides reusable intermediate buffers.
+  [[nodiscard]] std::vector<Proposal> propose(
+      const tensor::Tensor& grid, ScanScratch* scratch = nullptr) const;
 
   /// Same as propose(), with the anchor grid supplied by the caller.
   /// Anchors depend only on the grid extent, so batched executors generate
   /// them once per batch instead of once per grid; results are identical.
   [[nodiscard]] std::vector<Proposal> propose_with_anchors(
-      const tensor::Tensor& grid, const std::vector<Box>& anchors) const;
+      const tensor::Tensor& grid, const std::vector<Box>& anchors,
+      ScanScratch* scratch = nullptr) const;
 
   /// Batched proposal entry point: proposes on every grid (all the same
   /// extent) sharing one anchor generation. Bitwise identical to per-grid
@@ -86,5 +113,9 @@ class Rpn {
 
 /// 3x3 box blur used as the fixed smoothing "convolution" ahead of scoring.
 [[nodiscard]] tensor::Tensor box_blur3(const tensor::Tensor& grid);
+
+/// Same blur into a caller-owned output tensor (reshaped when needed), so
+/// repeated scans can reuse the allocation. Bitwise identical to box_blur3.
+void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out);
 
 }  // namespace eco::detect

@@ -1,38 +1,77 @@
 #include "exec/batcher.hpp"
 
+#include <map>
+#include <set>
+#include <utility>
+
 #include "core/engine.hpp"
 #include "detect/branch_detector.hpp"
 
 namespace eco::exec {
+
+namespace {
+
+/// One frame's claim on one channel scan.
+struct PendingScan {
+  std::size_t frame = 0;  // index into the group
+  core::BranchId branch = core::BranchId::kCameraLeft;
+  std::size_t channel = 0;
+};
+
+}  // namespace
 
 BranchBatcher::BranchBatcher(const core::EcoFusionEngine& engine)
     : engine_(engine) {}
 
 void BranchBatcher::execute(std::size_t config_index,
                             const std::vector<FrameWorkspace*>& group) const {
-  const core::ModelConfig& config =
-      engine_.config_space().at(config_index);
+  const core::ModelConfig& config = engine_.config_space().at(config_index);
+  const core::ChannelScanPlan& plan = engine_.scan_plan();
+
+  // Collect the scans each frame still needs, walking branches/channels in
+  // plan order and frames in group order (deterministic). Within a frame,
+  // two (branch, channel) pairs that resolve to the same cache slot are
+  // claimed once when sharing is on — that is exactly the cross-branch
+  // dedup — and separately when sharing is off (the unshared path must pay
+  // for every scan so the on/off invariance check stays honest).
+  std::map<std::size_t, std::vector<PendingScan>> by_scan;  // scan id -> work
+  std::set<std::pair<std::size_t, std::size_t>> claimed;    // (frame, slot)
   for (core::BranchId branch : config.branches) {
-    std::vector<FrameWorkspace*> pending;
-    pending.reserve(group.size());
-    for (FrameWorkspace* ws : group) {
-      if (!ws->has_branch(branch)) pending.push_back(ws);
+    const std::size_t channels =
+        engine_.branch_detector(branch).config().input_count;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t scan_id = plan.scan_id(branch, c);
+      for (std::size_t f = 0; f < group.size(); ++f) {
+        FrameWorkspace* ws = group[f];
+        if (ws->has_branch(branch)) continue;
+        ChannelScanCache& cache = ws->channel_scans();
+        if (cache.has(branch, c)) continue;
+        const std::size_t slot =
+            cache.sharing() ? scan_id : plan.flat_index(branch, c);
+        if (!claimed.insert({f, slot}).second) continue;
+        by_scan[scan_id].push_back({f, branch, c});
+      }
     }
-    if (pending.empty()) continue;
+  }
 
-    std::vector<std::vector<tensor::Tensor>> grids;
+  // One batched detector call per unique scan, spanning every frame that
+  // claimed it (shared anchor generation); per-grid results are bitwise
+  // identical to per-frame scan_channel calls, and the deposit path counts
+  // them exactly as locally executed scans.
+  for (const auto& [scan_id, pending] : by_scan) {
+    const dataset::SensorKind sensor = plan.scans[scan_id].sensor;
+    std::vector<const tensor::Tensor*> grids;
     grids.reserve(pending.size());
-    for (FrameWorkspace* ws : pending) {
-      grids.push_back(engine_.branch_grids(branch, ws->frame()));
+    for (const PendingScan& p : pending) {
+      grids.push_back(&group[p.frame]->frame().grid(sensor));
     }
-    std::vector<const std::vector<tensor::Tensor>*> grid_ptrs;
-    grid_ptrs.reserve(grids.size());
-    for (const auto& g : grids) grid_ptrs.push_back(&g);
-
-    std::vector<std::vector<detect::Detection>> detections =
-        engine_.branch_detector(branch).detect_batch(grid_ptrs);
+    const PendingScan& rep = pending.front();
+    std::vector<std::vector<detect::Detection>> results =
+        engine_.branch_detector(rep.branch)
+            .scan_channel_batch(rep.channel, grids);
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      pending[i]->adopt_branch_detections(branch, std::move(detections[i]));
+      group[pending[i].frame]->channel_scans().adopt(
+          pending[i].branch, pending[i].channel, std::move(results[i]));
     }
   }
 }

@@ -1,12 +1,16 @@
-// Batched branch execution.
+// Batched channel-scan execution.
 //
 // When several in-flight frames of a control window select the same
-// configuration φ, their branches can execute together: one batched
-// detector call per branch shares the per-call setup (anchor generation,
-// dispatch) across the whole group and keeps each branch's code and data
-// hot instead of interleaving seven branches per frame. The batcher only
-// *seeds* workspaces with detections — fusion, losses and accounting stay
-// per-frame — so batched execution is bitwise identical to per-frame
+// configuration φ, their detector work can execute together. The batcher
+// used to run whole branch calls across the group; with the channel-scan
+// decomposition it batches one level deeper: it collects the *unique
+// channel scans* each frame still needs for φ's branches (a channel shared
+// by several branches counts once per frame when scan sharing is on), and
+// runs each unique scan as ONE batched detector call across every frame
+// that needs it — sharing the per-call setup (anchor generation) and
+// keeping each scan's code and data hot. The batcher only *seeds* the
+// frames' scan caches — per-branch merges, fusion, losses and accounting
+// stay per-frame — so batched execution is bitwise identical to per-frame
 // execution and purely a throughput optimization.
 #pragma once
 
@@ -21,10 +25,11 @@ class BranchBatcher {
  public:
   explicit BranchBatcher(const core::EcoFusionEngine& engine);
 
-  /// Executes configuration `config_index`'s branches for every workspace
-  /// in `group` (frames that selected the same φ) and deposits the
-  /// per-frame detections into the workspaces. Branches a workspace already
-  /// memoized (e.g. from an oracle pass) are skipped for that frame.
+  /// Executes the channel scans configuration `config_index`'s branches
+  /// need for every workspace in `group` (frames that selected the same φ)
+  /// and deposits the per-frame scan results into the workspaces' caches.
+  /// Scans a workspace already holds (e.g. from an oracle pass) — and
+  /// branches it already memoized — are skipped for that frame.
   void execute(std::size_t config_index,
                const std::vector<FrameWorkspace*>& group) const;
 

@@ -1,0 +1,51 @@
+#include "exec/channel_scan_cache.hpp"
+
+#include "core/engine.hpp"
+
+namespace eco::exec {
+
+ChannelScanCache::ChannelScanCache(const core::EcoFusionEngine& engine,
+                                   const dataset::Frame& frame, bool share)
+    : engine_(engine), frame_(frame), share_(share) {
+  const core::ChannelScanPlan& plan = engine_.scan_plan();
+  slots_.resize(share_ ? plan.num_scans() : plan.total_channels);
+}
+
+std::size_t ChannelScanCache::slot_of(core::BranchId branch,
+                                      std::size_t channel) const {
+  const core::ChannelScanPlan& plan = engine_.scan_plan();
+  return share_ ? plan.scan_id(branch, channel)
+                : plan.flat_index(branch, channel);
+}
+
+const std::vector<detect::Detection>& ChannelScanCache::scan(
+    core::BranchId branch, std::size_t channel) {
+  ++requested_;
+  auto& slot = slots_[slot_of(branch, channel)];
+  if (!slot) {
+    // The plan pins the channel's sensor (shared slots verified to read the
+    // same grid), so scanning through the requesting branch's detector is
+    // exact for every consumer of the slot.
+    const core::ChannelScanPlan& plan = engine_.scan_plan();
+    const dataset::SensorKind sensor =
+        plan.scans[plan.scan_id(branch, channel)].sensor;
+    slot = engine_.branch_detector(branch).scan_channel(
+        channel, frame_.grid(sensor), &scratch_);
+    ++executed_;
+  }
+  return *slot;
+}
+
+bool ChannelScanCache::has(core::BranchId branch, std::size_t channel) const {
+  return slots_[slot_of(branch, channel)].has_value();
+}
+
+void ChannelScanCache::adopt(core::BranchId branch, std::size_t channel,
+                             std::vector<detect::Detection> detections) {
+  auto& slot = slots_[slot_of(branch, channel)];
+  if (slot) return;
+  slot = std::move(detections);
+  ++executed_;
+}
+
+}  // namespace eco::exec

@@ -7,15 +7,20 @@
 namespace eco::exec {
 
 FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
-                               const dataset::Frame& frame)
-    : engine_(engine), frame_(frame) {}
+                               const dataset::Frame& frame,
+                               bool share_channel_scans)
+    : engine_(engine),
+      frame_(frame),
+      scans_(engine, frame, share_channel_scans) {}
 
 FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
                                const dataset::Frame& frame,
                                TemporalStemCache* cache,
-                               std::uint64_t sequence_id)
+                               std::uint64_t sequence_id,
+                               bool share_channel_scans)
     : engine_(engine),
       frame_(frame),
+      scans_(engine, frame, share_channel_scans),
       stem_cache_(cache),
       sequence_id_(sequence_id) {}
 
@@ -37,18 +42,21 @@ const fusion::DetectionList& FrameWorkspace::branch_detections(
     core::BranchId branch) {
   auto& slot = branches_[static_cast<std::size_t>(branch)];
   if (!slot) {
-    slot = engine_.run_branch(branch, frame_);
+    // Materialize the branch from its per-channel scans (any scan already
+    // cached — pulled by an earlier branch or deposited by the batcher —
+    // is reused) and the branch's own merge. Identical arithmetic to
+    // engine().run_branch, per the detector's scan decomposition contract.
+    const detect::BranchDetector& detector = engine_.branch_detector(branch);
+    const std::size_t channels = detector.config().input_count;
+    std::vector<std::vector<detect::Detection>> per_channel;
+    per_channel.reserve(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      per_channel.push_back(scans_.scan(branch, c));
+    }
+    slot = detector.merge_channel_scans(std::move(per_channel));
     ++branch_executions_;
   }
   return *slot;
-}
-
-void FrameWorkspace::adopt_branch_detections(core::BranchId branch,
-                                             fusion::DetectionList detections) {
-  auto& slot = branches_[static_cast<std::size_t>(branch)];
-  if (slot) return;
-  slot = std::move(detections);
-  ++branch_executions_;
 }
 
 const std::vector<float>& FrameWorkspace::config_losses() {

@@ -12,6 +12,11 @@
 // code paths the unmemoized engine used, so routing through a workspace is
 // bitwise invisible in results.
 //
+// Branch detections resolve through a per-frame ChannelScanCache: each
+// branch decomposes into per-channel scans plus a cheap merge, and a channel
+// shared by several branches is scanned once per frame (bitwise invisible —
+// see exec/channel_scan_cache.hpp; `share_channel_scans` pins the toggle).
+//
 // A workspace is single-threaded state: one workspace per (frame, task).
 // Attach a TemporalStemCache to resolve F through the cross-frame cache.
 #pragma once
@@ -23,6 +28,7 @@
 
 #include "core/config_space.hpp"
 #include "dataset/generator.hpp"
+#include "exec/channel_scan_cache.hpp"
 #include "fusion/wbf.hpp"
 #include "gating/gate.hpp"
 #include "tensor/tensor.hpp"
@@ -45,14 +51,17 @@ enum class StemSource : std::uint8_t {
 
 class FrameWorkspace final : public gating::FeatureSource {
  public:
-  FrameWorkspace(const core::EcoFusionEngine& engine,
-                 const dataset::Frame& frame);
+  /// `share_channel_scans` controls cross-branch scan reuse within this
+  /// frame (on by default; results are bitwise identical either way).
+  explicit FrameWorkspace(const core::EcoFusionEngine& engine,
+                          const dataset::Frame& frame,
+                          bool share_channel_scans = true);
 
   /// Attaches temporal stem caching: F resolves through `cache` under
   /// `sequence_id` (frames of one sequence share cache state).
   FrameWorkspace(const core::EcoFusionEngine& engine,
                  const dataset::Frame& frame, TemporalStemCache* cache,
-                 std::uint64_t sequence_id);
+                 std::uint64_t sequence_id, bool share_channel_scans = true);
 
   [[nodiscard]] const dataset::Frame& frame() const noexcept { return frame_; }
   [[nodiscard]] const core::EcoFusionEngine& engine() const noexcept {
@@ -70,20 +79,27 @@ class FrameWorkspace final : public gating::FeatureSource {
     return branches_[static_cast<std::size_t>(branch)].has_value();
   }
 
-  /// Deposits externally computed detections (the BranchBatcher runs a
-  /// branch for many frames in one batched call). No-op when already
-  /// memoized; counts as one execution for this frame otherwise.
-  void adopt_branch_detections(core::BranchId branch,
-                               fusion::DetectionList detections);
-
   /// Ground-truth fusion loss L_f(φ) of every configuration; each branch
   /// executes at most once (shared with any later branch consumer).
   [[nodiscard]] const std::vector<float>& config_losses();
+
+  /// The frame's channel-scan cache (the BranchBatcher deposits batched
+  /// scan results through it).
+  [[nodiscard]] ChannelScanCache& channel_scans() noexcept { return scans_; }
 
   // ---- observability --------------------------------------------------
   /// Branch executions attributed to this frame (memoized reuse is free).
   [[nodiscard]] std::size_t branch_executions() const noexcept {
     return branch_executions_;
+  }
+  /// Channel scans consumed / actually executed for this frame. With scan
+  /// sharing on, executed < consumed whenever branches overlapped on a
+  /// channel; with sharing off the two are equal.
+  [[nodiscard]] std::size_t channel_scans_requested() const noexcept {
+    return scans_.requested();
+  }
+  [[nodiscard]] std::size_t channel_scans_unique() const noexcept {
+    return scans_.executed();
   }
   [[nodiscard]] StemSource stem_source() const noexcept {
     return stem_source_;
@@ -92,6 +108,7 @@ class FrameWorkspace final : public gating::FeatureSource {
  private:
   const core::EcoFusionEngine& engine_;
   const dataset::Frame& frame_;
+  ChannelScanCache scans_;
   TemporalStemCache* stem_cache_ = nullptr;
   std::uint64_t sequence_id_ = 0;
 

@@ -120,7 +120,7 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           const StreamFrame& sf = window[slot];
           workspaces[slot] = std::make_unique<exec::FrameWorkspace>(
               engine_, sf.frame, stem_cache ? &*stem_cache : nullptr,
-              sf.sequence_id);
+              sf.sequence_id, config_.share_channel_scans);
           selections[slot] =
               engine_
                   .select_adaptive(*workspaces[slot], *gates[worker], params)
@@ -169,6 +169,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         stats.stem_source = ws.stem_source();
         stats.batch_size = batch;
         stats.branch_runs = ws.branch_executions();
+        stats.channel_scans_requested = ws.channel_scans_requested();
+        stats.channel_scans_unique = ws.channel_scans_unique();
         stats.wall_ms = shared_wall_ms + elapsed_ms(frame_start);
         slot_stats[slot] = stats;
         if (config_.keep_frame_results) {
@@ -280,6 +282,8 @@ void finalize_report(PipelineReport& report) {
   report.exec.stem_cache_hits = 0;
   report.exec.stem_cache_misses = 0;
   report.exec.branch_runs = 0;
+  report.exec.channel_scans_requested = 0;
+  report.exec.channel_scans_unique = 0;
   report.exec.batched_frames = 0;
   report.exec.mean_batch = 0.0;
 
@@ -291,6 +295,8 @@ void finalize_report(PipelineReport& report) {
     report.mean_wall_ms += stats.wall_ms;
     report.total_detections += stats.detections;
     report.exec.branch_runs += stats.branch_runs;
+    report.exec.channel_scans_requested += stats.channel_scans_requested;
+    report.exec.channel_scans_unique += stats.channel_scans_unique;
     if (stats.batch_size > 1) report.exec.batched_frames += 1;
     switch (stats.stem_source) {
       case exec::StemSource::kSkipped: report.exec.stems_skipped += 1; break;

@@ -15,10 +15,14 @@
 //      sees each sequence's frames in order) and Algorithm 1 steps 1–4 run
 //      per frame against a FrameWorkspace;
 //   B) *execute* — frames that selected the same configuration φ* form one
-//      batch, and the BranchBatcher runs each branch of φ* across the
-//      whole batch before per-frame fusion/loss/accounting.
+//      batch, and the BranchBatcher runs each *unique channel scan* of φ*'s
+//      branches across the whole batch (a channel shared by several
+//      branches is scanned once per frame; see exec/channel_scan_cache.hpp)
+//      before per-frame merge/fusion/loss/accounting.
 // Both phases are pure optimizations: results are bitwise identical with
-// caching and batching on or off, and with any worker count.
+// caching, batching and channel-scan sharing on or off, and with any worker
+// count (the scan counters' unique/requested split is the one field that
+// legitimately moves with the sharing toggle).
 //
 // The pipeline can run on a pool it owns (run/2) or as one client of a
 // shared pool (run/3): the sharded front-end (runtime/shard.hpp) drives one
@@ -87,6 +91,10 @@ struct PipelineConfig {
   /// Batch branch execution across a window's frames that selected the
   /// same configuration (bitwise-invisible; see exec/batcher.hpp).
   bool batch_branches = true;
+  /// Share channel scans across branches within a frame (bitwise-invisible;
+  /// see exec/channel_scan_cache.hpp). Off = every branch re-scans its own
+  /// channels — the verification path the CI bench smoke pins against.
+  bool share_channel_scans = true;
   /// Minimum sequence entries the temporal stem cache may hold. The
   /// pipeline sizes the cache to at least 2×window and prunes it
   /// deterministically at every window barrier, so hit/miss counters stay
@@ -116,6 +124,12 @@ struct FrameStats {
   std::size_t batch_size = 1;
   /// Branch executions attributed to this frame (reuse is free).
   std::size_t branch_runs = 0;
+  /// Channel scans the frame's branches consumed (one per branch input
+  /// channel) and the subset actually executed. Identical when scan
+  /// sharing is off; unique < requested whenever branches overlapped on a
+  /// channel (e.g. ensemble configurations: 7 requested, 4 unique).
+  std::size_t channel_scans_requested = 0;
+  std::size_t channel_scans_unique = 0;
 };
 
 /// Execution-layer counters for one run (all deterministic).
@@ -125,6 +139,8 @@ struct ExecCounters {
   std::size_t stem_cache_hits = 0;   // F resolved against cached sequence state
   std::size_t stem_cache_misses = 0; // F recomputed + stored (new sequence)
   std::size_t branch_runs = 0;       // total branch executions
+  std::size_t channel_scans_requested = 0;  // channel scans consumed
+  std::size_t channel_scans_unique = 0;     // channel scans executed
   std::size_t batches = 0;           // phase-B execution groups
   std::size_t batched_frames = 0;    // frames in groups of size > 1
   std::size_t max_batch = 0;         // largest group

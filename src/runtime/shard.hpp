@@ -18,7 +18,9 @@
 // carry global indices), re-runs the exact same stream-order reduction the
 // single pipeline uses (finalize_report), and keeps the scene table in
 // enum order — so loss, energy, modeled latency, mAP, detections, the
-// per-scene table and the stem counters all match the 1-shard run exactly.
+// per-scene table, the stem counters and the channel-scan counters
+// (requested/unique, summed from the per-frame records) all match the
+// 1-shard run exactly.
 //
 // Two report families are intentionally *not* merged into that invariant:
 //   * control traces (λ_E/λ_L per window) — each shard holds its own

@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -108,6 +110,105 @@ TEST(FrameWorkspaceTest, ConfigLossesMatchEngineWrapper) {
   }
 }
 
+// ---- cross-branch channel sharing -----------------------------------
+
+const core::ModelConfig& ensemble_config() {
+  for (const core::ModelConfig& c : engine().config_space()) {
+    if (c.name == "E(CL+CR+L)+CL+CR+L+R") return c;
+  }
+  throw std::logic_error("ensemble config missing");
+}
+
+// The engine's scan plan proves cross-branch equivalence structurally: the
+// paper's ensemble configuration reads 7 input channels of which only 4
+// are unique, and every branch set of the substrate collapses to the 4
+// sensor scans (same RPN, per-sensor ROI heads/prototypes).
+TEST(ChannelScanPlanTest, EnsembleConfigHasSevenChannelsFourUniqueScans) {
+  const core::ChannelScanPlan& plan = engine().scan_plan();
+  const core::ModelConfig& config = ensemble_config();
+  std::size_t channels = 0;
+  std::set<std::size_t> unique;
+  for (core::BranchId branch : config.branches) {
+    const std::size_t inputs =
+        engine().branch_detector(branch).config().input_count;
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ++channels;
+      unique.insert(plan.scan_id(branch, c));
+    }
+  }
+  EXPECT_EQ(channels, 7u);
+  EXPECT_EQ(unique.size(), 4u);
+  // Whole branch set: 11 channels over 7 branches, 4 unique scans, and
+  // every shared id pins the same sensor grid.
+  EXPECT_EQ(plan.total_channels, 11u);
+  EXPECT_EQ(plan.num_scans(), 4u);
+  for (std::size_t b = 0; b < core::kNumBranches; ++b) {
+    const auto id = static_cast<core::BranchId>(b);
+    const auto inputs = core::branch_inputs(id);
+    for (std::size_t c = 0; c < inputs.size(); ++c) {
+      EXPECT_EQ(plan.scans[plan.scan_id(id, c)].sensor, inputs[c]);
+    }
+  }
+}
+
+// The scan decomposition is exact: per-channel scans merged by the branch
+// reproduce detect() bitwise, for single- and multi-channel branches.
+TEST(ChannelScanTest, ScanThenMergeMatchesDetect) {
+  const auto seq = test_sequence(dataset::SceneType::kFog, 1);
+  for (core::BranchId branch : {core::BranchId::kEarlyCamerasLidar,
+                                core::BranchId::kLidar}) {
+    const auto& detector = engine().branch_detector(branch);
+    const std::vector<tensor::Tensor> grids =
+        engine().branch_grids(branch, seq.frames[0]);
+    std::vector<std::vector<detect::Detection>> scans;
+    detect::ScanScratch scratch;
+    for (std::size_t c = 0; c < grids.size(); ++c) {
+      scans.push_back(detector.scan_channel(c, grids[c], &scratch));
+      // Scratch reuse is bitwise invisible.
+      expect_same_detections(scans.back(),
+                             detector.scan_channel(c, grids[c]));
+    }
+    expect_same_detections(detector.merge_channel_scans(std::move(scans)),
+                           detector.detect(grids));
+  }
+}
+
+// A workspace materializing the ensemble configuration's branches performs
+// exactly 4 scans for the 7 requested channels — and the merged branch
+// detections are bitwise identical to unshared and to engine-level runs.
+TEST(ChannelScanTest, EnsembleConfigPerformsFourScansForSevenChannels) {
+  const auto seq = test_sequence(dataset::SceneType::kSnow, 1);
+  const core::ModelConfig& config = ensemble_config();
+
+  FrameWorkspace shared(engine(), seq.frames[0], /*share_channel_scans=*/true);
+  FrameWorkspace unshared(engine(), seq.frames[0],
+                          /*share_channel_scans=*/false);
+  for (core::BranchId branch : config.branches) {
+    expect_same_detections(shared.branch_detections(branch),
+                           unshared.branch_detections(branch));
+    expect_same_detections(shared.branch_detections(branch),
+                           engine().run_branch(branch, seq.frames[0]));
+  }
+  EXPECT_EQ(shared.channel_scans_requested(), 7u);
+  EXPECT_EQ(shared.channel_scans_unique(), 4u);
+  EXPECT_EQ(unshared.channel_scans_requested(), 7u);
+  EXPECT_EQ(unshared.channel_scans_unique(), 7u);
+  EXPECT_EQ(shared.branch_executions(), config.branches.size());
+  EXPECT_EQ(unshared.branch_executions(), config.branches.size());
+}
+
+// An oracle pass (all 7 branches) collapses the branch set's 11 channel
+// scans to the 4 sensors.
+TEST(ChannelScanTest, OraclePassScansElevenChannelsFourTimes) {
+  const auto seq = test_sequence(dataset::SceneType::kRain, 1);
+  gating::LossBasedGate oracle(engine().config_space().size());
+  FrameWorkspace ws(engine(), seq.frames[0]);
+  (void)engine().run_adaptive(ws, oracle);
+  EXPECT_EQ(ws.branch_executions(), core::kNumBranches);
+  EXPECT_EQ(ws.channel_scans_requested(), 11u);
+  EXPECT_EQ(ws.channel_scans_unique(), 4u);
+}
+
 // Cache-resolved features must be bitwise equal to a fresh stem pass for
 // every frame of a sequence — this is the exactness contract that makes the
 // cache legal under the pipeline's determinism guarantee.
@@ -183,9 +284,10 @@ TEST(TemporalStemCacheTest, EvictionFallsBackToExactRecompute) {
   }
 }
 
-// Batched branch execution deposits per-frame detections identical to
-// per-frame runs.
-TEST(BranchBatcherTest, BatchedDetectionsMatchPerFrameRuns) {
+// Batched execution seeds each frame's scan cache with every channel scan
+// the configuration needs; materializing the branches afterwards runs no
+// further scans and yields detections identical to per-frame runs.
+TEST(BranchBatcherTest, BatchedScansMatchPerFrameRuns) {
   const auto seq = test_sequence(dataset::SceneType::kJunction, 4);
   const std::size_t config_index = engine().baselines().late;
 
@@ -200,11 +302,55 @@ TEST(BranchBatcherTest, BatchedDetectionsMatchPerFrameRuns) {
 
   const auto& config = engine().config_space()[config_index];
   for (std::size_t f = 0; f < seq.frames.size(); ++f) {
+    const std::size_t scans_after_batch =
+        workspaces[f]->channel_scans_unique();
+    EXPECT_GT(scans_after_batch, 0u);
     for (core::BranchId branch : config.branches) {
-      ASSERT_TRUE(workspaces[f]->has_branch(branch));
       expect_same_detections(workspaces[f]->branch_detections(branch),
                              engine().run_branch(branch, seq.frames[f]));
     }
+    // The merges consumed only deposited scans.
+    EXPECT_EQ(workspaces[f]->channel_scans_unique(), scans_after_batch);
+  }
+}
+
+// The batcher honours the unshared mode: every (branch, channel) pair pays
+// for its own scan, so the on/off invariance check stays honest even on the
+// batched path — while detections remain identical.
+TEST(BranchBatcherTest, UnsharedBatchedScansMatchSharedOnes) {
+  const auto seq = test_sequence(dataset::SceneType::kSnow, 3);
+  // The 7-channel/4-unique ensemble configuration exercises the dedup.
+  std::size_t config_index = engine().config_space().size();
+  for (const core::ModelConfig& c : engine().config_space()) {
+    if (c.name == "E(CL+CR+L)+CL+CR+L+R") config_index = c.index;
+  }
+  ASSERT_LT(config_index, engine().config_space().size());
+
+  auto run_group = [&](bool share) {
+    std::vector<std::unique_ptr<FrameWorkspace>> workspaces;
+    std::vector<FrameWorkspace*> group;
+    for (const dataset::Frame& frame : seq.frames) {
+      workspaces.push_back(
+          std::make_unique<FrameWorkspace>(engine(), frame, share));
+      group.push_back(workspaces.back().get());
+    }
+    const BranchBatcher batcher(engine());
+    batcher.execute(config_index, group);
+    return workspaces;
+  };
+  auto shared = run_group(true);
+  auto unshared = run_group(false);
+
+  const auto& config = engine().config_space()[config_index];
+  for (std::size_t f = 0; f < seq.frames.size(); ++f) {
+    for (core::BranchId branch : config.branches) {
+      expect_same_detections(shared[f]->branch_detections(branch),
+                             unshared[f]->branch_detections(branch));
+    }
+    EXPECT_EQ(shared[f]->channel_scans_requested(), 7u);
+    EXPECT_EQ(shared[f]->channel_scans_unique(), 4u);
+    EXPECT_EQ(unshared[f]->channel_scans_requested(), 7u);
+    EXPECT_EQ(unshared[f]->channel_scans_unique(), 7u);
   }
 }
 

@@ -488,6 +488,8 @@ void expect_reports_equal(const PipelineReport& a, const PipelineReport& b,
     EXPECT_EQ(x.detections, y.detections);
     EXPECT_EQ(x.batch_size, y.batch_size);
     EXPECT_EQ(x.branch_runs, y.branch_runs);
+    EXPECT_EQ(x.channel_scans_requested, y.channel_scans_requested);
+    EXPECT_EQ(x.channel_scans_unique, y.channel_scans_unique);
     if (compare_stem_source) {
       EXPECT_EQ(x.stem_source, y.stem_source);
     }
@@ -507,6 +509,8 @@ void expect_reports_equal(const PipelineReport& a, const PipelineReport& b,
     }
   }
   EXPECT_EQ(a.exec.branch_runs, b.exec.branch_runs);
+  EXPECT_EQ(a.exec.channel_scans_requested, b.exec.channel_scans_requested);
+  EXPECT_EQ(a.exec.channel_scans_unique, b.exec.channel_scans_unique);
   EXPECT_EQ(a.exec.batches, b.exec.batches);
   EXPECT_EQ(a.exec.batched_frames, b.exec.batched_frames);
   EXPECT_EQ(a.exec.max_batch, b.exec.max_batch);

@@ -56,7 +56,8 @@ ShardedReport run_sharded(std::size_t shards, std::size_t workers,
                           StreamConfig stream_config = small_stream(),
                           std::optional<BudgetConfig> budget = std::nullopt,
                           std::optional<DeadlineConfig> deadline =
-                              std::nullopt) {
+                              std::nullopt,
+                          bool share_channel_scans = true) {
   ShardedConfig config;
   config.shards = shards;
   config.pipeline.workers = workers;
@@ -64,6 +65,7 @@ ShardedReport run_sharded(std::size_t shards, std::size_t workers,
   config.pipeline.joint.gamma = 2.0f;
   config.pipeline.budget = budget;
   config.pipeline.deadline = deadline;
+  config.pipeline.share_channel_scans = share_channel_scans;
   ShardedPipeline pipeline(config);
   return pipeline.run(stream_config, gates);
 }
@@ -73,8 +75,12 @@ ShardedReport run_sharded(std::size_t shards, std::size_t workers,
 /// shard counts*: phase-B groups form within a shard's window, so group
 /// sizes legitimately depend on the shard topology. `compare_lambdas` is
 /// off when closed-loop controllers run (per-shard trajectories).
+/// `compare_scan_unique` is off when comparing channel-sharing on vs off
+/// runs: the unique-scan count is the one field the toggle legitimately
+/// moves (requested counts must still match bitwise).
 void expect_merged_equal(const PipelineReport& a, const PipelineReport& b,
-                         bool compare_batching, bool compare_lambdas = true) {
+                         bool compare_batching, bool compare_lambdas = true,
+                         bool compare_scan_unique = true) {
   ASSERT_EQ(a.frames, b.frames);
   EXPECT_EQ(a.total_energy_j, b.total_energy_j);
   EXPECT_EQ(a.mean_energy_j, b.mean_energy_j);
@@ -95,6 +101,10 @@ void expect_merged_equal(const PipelineReport& a, const PipelineReport& b,
     EXPECT_EQ(x.detections, y.detections);
     EXPECT_EQ(x.stem_source, y.stem_source);
     EXPECT_EQ(x.branch_runs, y.branch_runs);
+    EXPECT_EQ(x.channel_scans_requested, y.channel_scans_requested);
+    if (compare_scan_unique) {
+      EXPECT_EQ(x.channel_scans_unique, y.channel_scans_unique);
+    }
     if (compare_lambdas) {
       EXPECT_EQ(x.lambda_energy, y.lambda_energy);
       EXPECT_EQ(x.lambda_latency, y.lambda_latency);
@@ -123,6 +133,10 @@ void expect_merged_equal(const PipelineReport& a, const PipelineReport& b,
   EXPECT_EQ(a.exec.stem_cache_hits, b.exec.stem_cache_hits);
   EXPECT_EQ(a.exec.stem_cache_misses, b.exec.stem_cache_misses);
   EXPECT_EQ(a.exec.branch_runs, b.exec.branch_runs);
+  EXPECT_EQ(a.exec.channel_scans_requested, b.exec.channel_scans_requested);
+  if (compare_scan_unique) {
+    EXPECT_EQ(a.exec.channel_scans_unique, b.exec.channel_scans_unique);
+  }
   if (compare_batching) {
     EXPECT_EQ(a.exec.batches, b.exec.batches);
     EXPECT_EQ(a.exec.batched_frames, b.exec.batched_frames);
@@ -218,6 +232,48 @@ TEST(ShardedPipelineTest, MergedReportBitwiseInvariantAcrossShardsAndWorkers) {
   EXPECT_EQ(reference.exec.stem_cache_misses, dataset::kNumSceneTypes);
   EXPECT_EQ(reference.exec.stem_cache_hits,
             reference.frames - dataset::kNumSceneTypes);
+}
+
+// Channel-scan sharing is bitwise invisible end to end: across 1/2 shards
+// × 1/4 workers × sharing on/off, merged reports are identical in every
+// contract field — the unique-scan counter is the only one the toggle may
+// move, and on this stream (whose fog/snow lanes select the 7-channel/
+// 4-unique ensemble configuration) sharing genuinely dedups while the
+// unshared path pays full price.
+TEST(ShardedPipelineTest, ChannelShareOnOffBitwiseInvariantAcrossTopologies) {
+  std::vector<ShardedReport> shared_runs;
+  std::vector<ShardedReport> unshared_runs;
+  for (std::size_t shards : {1u, 2u}) {
+    for (std::size_t workers : {1u, 4u}) {
+      shared_runs.push_back(run_sharded(shards, workers, knowledge_factory(),
+                                        small_stream(), std::nullopt,
+                                        std::nullopt,
+                                        /*share_channel_scans=*/true));
+      unshared_runs.push_back(run_sharded(shards, workers, knowledge_factory(),
+                                          small_stream(), std::nullopt,
+                                          std::nullopt,
+                                          /*share_channel_scans=*/false));
+    }
+  }
+  const PipelineReport& reference = shared_runs.front().merged;
+  ASSERT_GT(reference.frames, 0u);
+  EXPECT_LT(reference.exec.channel_scans_unique,
+            reference.exec.channel_scans_requested);
+  for (std::size_t r = 0; r < shared_runs.size(); ++r) {
+    const bool same_shards = r < 2;  // runs 0,1 are 1-shard like reference
+    // Same toggle: full equality including the unique counters.
+    expect_merged_equal(reference, shared_runs[r].merged,
+                        /*compare_batching=*/same_shards,
+                        /*compare_lambdas=*/true,
+                        /*compare_scan_unique=*/true);
+    // Across the toggle: everything but the unique counters.
+    expect_merged_equal(reference, unshared_runs[r].merged,
+                        /*compare_batching=*/same_shards,
+                        /*compare_lambdas=*/true,
+                        /*compare_scan_unique=*/false);
+    EXPECT_EQ(unshared_runs[r].merged.exec.channel_scans_unique,
+              unshared_runs[r].merged.exec.channel_scans_requested);
+  }
 }
 
 // A 1-shard ShardedPipeline is the StreamingPipeline: the merged report
