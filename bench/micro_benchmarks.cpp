@@ -1,14 +1,24 @@
-// Google-benchmark microbenchmarks of the hot paths: tensor primitives,
-// RPN proposal generation, ROI region extraction, weighted box fusion, the
-// full branch detector, gate inference, and a complete adaptive pass.
-// These quantify the simulator's own CPU cost (not the modelled PX2 cost).
+// Microbenchmarks of the hot paths: tensor primitives (fast vs reference
+// conv kernels, blur, integral image, arena acquisition), RPN proposal
+// generation, ROI region extraction, weighted box fusion, the full branch
+// detector, gate inference, and a complete adaptive pass. These quantify
+// the simulator's own CPU cost (not the modelled PX2 cost).
+//
+// Builds against Google Benchmark when available; otherwise CMake selects
+// the header-only shim (bench/bench_shim.hpp) with the same macros.
+#ifdef ECO_BENCH_SHIM
+#include "bench_shim.hpp"
+#else
 #include <benchmark/benchmark.h>
+#endif
 
 #include "core/engine.hpp"
 #include "dataset/generator.hpp"
 #include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
 #include "fusion/wbf.hpp"
 #include "gating/learned_gate.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/nn.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -36,6 +46,116 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward);
+
+// Fast vs reference conv kernel on a stem-shaped workload (the ratio is the
+// interior/border split's payoff; equivalence is pinned bitwise in tests).
+void conv_kernel_inputs(tensor::Tensor& input, tensor::Tensor& weight,
+                        tensor::Tensor& bias, tensor::Conv2dSpec& spec) {
+  util::Rng rng(11);
+  spec.in_channels = 8;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  input = tensor::Tensor({8, 48, 48});
+  weight = tensor::Tensor({8, 8, 3, 3});
+  bias = tensor::Tensor({8});
+  for (auto& v : input.vec()) v = rng.uniform_f(0.0f, 1.0f);
+  for (auto& v : weight.vec()) v = rng.uniform_f(-0.5f, 0.5f);
+}
+
+void BM_Conv2dRowsFast(benchmark::State& state) {
+  tensor::Tensor input, weight, bias;
+  tensor::Conv2dSpec spec;
+  conv_kernel_inputs(input, weight, bias, spec);
+  tensor::Tensor out({8, 48, 48});
+  for (auto _ : state) {
+    tensor::conv2d_rows_fast(input, weight, bias, spec, 0, 48, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dRowsFast);
+
+void BM_Conv2dRowsReference(benchmark::State& state) {
+  tensor::Tensor input, weight, bias;
+  tensor::Conv2dSpec spec;
+  conv_kernel_inputs(input, weight, bias, spec);
+  tensor::Tensor out({8, 48, 48});
+  for (auto _ : state) {
+    tensor::conv2d_rows_reference(input, weight, bias, spec, 0, 48, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dRowsReference);
+
+void BM_BoxBlur3Fast(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  tensor::Tensor out;
+  for (auto _ : state) {
+    detect::box_blur3_into_fast(grid, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BoxBlur3Fast);
+
+void BM_BoxBlur3Reference(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  tensor::Tensor out;
+  for (auto _ : state) {
+    detect::box_blur3_into_reference(grid, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BoxBlur3Reference);
+
+void BM_IntegralImageReset(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kLidar);
+  detect::IntegralImage integral;
+  for (auto _ : state) {
+    integral.reset(grid);
+    benchmark::DoNotOptimize(integral.height());
+  }
+}
+BENCHMARK(BM_IntegralImageReset);
+
+// Warmed-arena acquisition vs fresh tensor construction — the allocation
+// cost the per-slot FrameArena removes from every steady-state frame.
+void BM_ArenaAcquire(benchmark::State& state) {
+  tensor::TensorArena arena;
+  const tensor::Shape shape{8, 48, 48};
+  for (auto _ : state) {
+    arena.reset();
+    benchmark::DoNotOptimize(arena.acquire(shape).data());
+  }
+}
+BENCHMARK(BM_ArenaAcquire);
+
+void BM_FreshTensorAlloc(benchmark::State& state) {
+  const tensor::Shape shape{8, 48, 48};
+  for (auto _ : state) {
+    tensor::Tensor t(shape);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_FreshTensorAlloc);
+
+// One full channel scan through a warmed scratch — the per-frame unit of
+// detector work after the kernel/arena overhaul.
+void BM_ScanChannelScratch(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const core::EcoFusionEngine engine;
+  const auto& detector =
+      engine.branch_detector(core::BranchId::kCameraRight);
+  detect::ScanScratch scratch;
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.scan_channel(0, grid, &scratch));
+  }
+}
+BENCHMARK(BM_ScanChannelScratch);
 
 void BM_Matmul64(benchmark::State& state) {
   util::Rng rng(2);

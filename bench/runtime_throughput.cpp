@@ -33,13 +33,62 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "dataset/generator.hpp"
+#include "detect/rpn.hpp"
 #include "gating/knowledge_gate.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+/// Self-gate: the fast kernels must agree bitwise with their reference
+/// implementations on a sampled frame — a stem-shaped conv over every
+/// sensor grid plus the RPN blur. Runs regardless of ECO_REFERENCE_KERNELS
+/// (both entry points are called explicitly), so the reference-path CI
+/// smoke still verifies the fast code it is not otherwise executing.
+bool kernels_match_reference() {
+  using namespace eco;
+  dataset::DatasetConfig config;
+  const dataset::Frame frame =
+      dataset::generate_frame(dataset::SceneType::kSnow, config, 1234);
+  util::Rng rng(99);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  tensor::Tensor weight({8, 1, 3, 3});
+  tensor::Tensor bias({8});
+  for (auto& v : weight.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto& v : bias.vec()) v = rng.uniform_f(-0.1f, 0.1f);
+
+  bool ok = true;
+  for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
+    const tensor::Tensor& grid = frame.grid(kind);
+    const std::size_t oh = spec.out_extent(grid.size(1));
+    const std::size_t ow = spec.out_extent(grid.size(2));
+    tensor::Tensor fast({8, oh, ow}), reference({8, oh, ow});
+    tensor::conv2d_rows_fast(grid, weight, bias, spec, 0, oh, fast);
+    tensor::conv2d_rows_reference(grid, weight, bias, spec, 0, oh, reference);
+    ok = ok && fast.equals(reference);
+
+    tensor::Tensor blur_fast, blur_reference;
+    detect::box_blur3_into_fast(grid, blur_fast);
+    detect::box_blur3_into_reference(grid, blur_reference);
+    ok = ok && blur_fast.equals(blur_reference);
+  }
+  return ok;
+}
+
+/// Control-window size used by every sweep below; the steady-state
+/// zero-alloc gate derives its warm-up cutoff from this (slot arenas warm
+/// during window 0).
+constexpr std::size_t kBenchWindow = 16;
 
 struct Row {
   std::size_t workers = 0;
@@ -47,6 +96,8 @@ struct Row {
   double speedup = 0.0;
   std::size_t channel_scans_requested = 0;
   std::size_t channel_scans_unique = 0;
+  std::size_t tensor_allocs = 0;
+  std::size_t arena_bytes_high_water = 0;
 };
 
 struct ShardRow {
@@ -56,6 +107,8 @@ struct ShardRow {
   double mean_batch = 0.0;
   std::size_t channel_scans_requested = 0;
   std::size_t channel_scans_unique = 0;
+  std::size_t tensor_allocs = 0;
+  std::size_t arena_bytes_high_water = 0;
   bool merged_invariant = false;  // J/loss/mAP bitwise equal to 1-shard row
 };
 
@@ -91,7 +144,12 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
   std::fprintf(f, "    \"batches\": %zu,\n", report.exec.batches);
   std::fprintf(f, "    \"batched_frames\": %zu,\n", report.exec.batched_frames);
   std::fprintf(f, "    \"max_batch\": %zu,\n", report.exec.max_batch);
-  std::fprintf(f, "    \"mean_batch\": %.4f\n", report.exec.mean_batch);
+  std::fprintf(f, "    \"mean_batch\": %.4f,\n", report.exec.mean_batch);
+  std::fprintf(f, "    \"tensor_allocs\": %zu,\n", report.exec.tensor_allocs);
+  std::fprintf(f, "    \"arena_bytes_high_water\": %zu,\n",
+               report.exec.arena_bytes_high_water);
+  std::fprintf(f, "    \"zero_alloc_frames\": %zu\n",
+               report.exec.zero_alloc_frames);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"channel_share_enabled\": %s,\n",
                share_enabled ? "true" : "false");
@@ -102,9 +160,11 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
     std::fprintf(f,
                  "    {\"workers\": %zu, \"frames_per_second\": %.2f, "
                  "\"speedup\": %.3f, \"channel_scans_requested\": %zu, "
-                 "\"channel_scans_unique\": %zu}%s\n",
+                 "\"channel_scans_unique\": %zu, \"tensor_allocs\": %zu, "
+                 "\"arena_bytes_high_water\": %zu}%s\n",
                  rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
                  rows[i].channel_scans_requested, rows[i].channel_scans_unique,
+                 rows[i].tensor_allocs, rows[i].arena_bytes_high_water,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -115,11 +175,15 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  "\"speedup\": %.3f, \"mean_batch\": %.3f, "
                  "\"channel_scans_requested\": %zu, "
                  "\"channel_scans_unique\": %zu, "
+                 "\"tensor_allocs\": %zu, "
+                 "\"arena_bytes_high_water\": %zu, "
                  "\"merged_invariant\": %s}%s\n",
                  shard_rows[i].shards, shard_rows[i].frames_per_second,
                  shard_rows[i].speedup, shard_rows[i].mean_batch,
                  shard_rows[i].channel_scans_requested,
                  shard_rows[i].channel_scans_unique,
+                 shard_rows[i].tensor_allocs,
+                 shard_rows[i].arena_bytes_high_water,
                  shard_rows[i].merged_invariant ? "true" : "false",
                  i + 1 < shard_rows.size() ? "," : "");
   }
@@ -192,7 +256,7 @@ int main(int argc, char** argv) {
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
     runtime::PipelineConfig config;
     config.workers = workers;
-    config.window = 16;
+    config.window = kBenchWindow;
     config.share_channel_scans = share_enabled;
     runtime::StreamingPipeline pipeline(engine, config);
     runtime::FrameStream stream(stream_config);
@@ -210,7 +274,9 @@ int main(int argc, char** argv) {
     rows.push_back({workers, report.frames_per_second,
                     report.frames_per_second / base_fps,
                     report.exec.channel_scans_requested,
-                    report.exec.channel_scans_unique});
+                    report.exec.channel_scans_unique,
+                    report.exec.tensor_allocs,
+                    report.exec.arena_bytes_high_water});
     if (workers == 4) four_worker_report = report;
     last_report = std::move(report);
   }
@@ -229,7 +295,7 @@ int main(int argc, char** argv) {
     auto run_once = [&](bool share) {
       runtime::PipelineConfig config;
       config.workers = 4;
-      config.window = 16;
+      config.window = kBenchWindow;
       config.share_channel_scans = share;
       runtime::StreamingPipeline pipeline(engine, config);
       runtime::FrameStream stream(stream_config);
@@ -274,7 +340,7 @@ int main(int argc, char** argv) {
     runtime::ShardedConfig config;
     config.shards = shards;
     config.pipeline.workers = 4;
-    config.pipeline.window = 16;
+    config.pipeline.window = kBenchWindow;
     config.pipeline.share_channel_scans = share_enabled;
     runtime::ShardedPipeline pipeline(config);
     const runtime::ShardedReport report =
@@ -301,7 +367,9 @@ int main(int argc, char** argv) {
                           merged.frames_per_second / shard_base_fps,
                           merged.exec.mean_batch,
                           merged.exec.channel_scans_requested,
-                          merged.exec.channel_scans_unique, invariant});
+                          merged.exec.channel_scans_unique,
+                          merged.exec.tensor_allocs,
+                          merged.exec.arena_bytes_high_water, invariant});
   }
   std::printf("Sharded front-end at 4 shared workers (sequences hashed "
               "across shards,\nmerged report restored to stream order):\n");
@@ -323,8 +391,9 @@ int main(int argc, char** argv) {
       write_json(json_path, last_report, frames_per_sequence, rows, shard_rows,
                  share_enabled, share_invariant);
   // The bench is its own gate: a merged-report or sharing invariance
-  // violation (or a lost artifact) must fail the run, not depend on
-  // downstream grepping.
+  // violation, a fast-vs-reference kernel mismatch, a steady-state frame
+  // that still heap-allocates tensors, or a lost artifact must fail the
+  // run, not depend on downstream grepping.
   bool all_invariant = true;
   for (const ShardRow& row : shard_rows) {
     all_invariant = all_invariant && row.merged_invariant;
@@ -339,5 +408,34 @@ int main(int argc, char** argv) {
                  "error: channel-scan sharing not bitwise invariant (or no "
                  "dedup on the ensemble-bearing stream)\n");
   }
-  return (all_invariant && share_invariant && wrote) ? 0 : 1;
+  const bool kernels_ok = kernels_match_reference();
+  if (!kernels_ok) {
+    std::fprintf(stderr,
+                 "error: fast kernels diverge bitwise from the reference "
+                 "implementations on the sampled frame\n");
+  }
+  // Steady state = every frame past the first control window (slot arenas
+  // warm in window 0); those frames must report zero tensor allocations.
+  bool steady_state_zero_allocs = true;
+  for (const runtime::FrameStats& stats : last_report.frame_stats) {
+    if (stats.stream_index >= kBenchWindow && stats.tensor_allocs != 0) {
+      steady_state_zero_allocs = false;
+      std::fprintf(stderr,
+                   "error: steady-state frame %zu made %zu tensor "
+                   "allocations (arena should have absorbed them)\n",
+                   stats.stream_index, stats.tensor_allocs);
+      break;
+    }
+  }
+  std::printf("Kernel self-gate: fast conv/blur %s reference bitwise; "
+              "%zu tensor allocs over %zu frames (%zu zero-alloc frames, "
+              "arena high water %zu bytes).\n",
+              kernels_ok ? "match" : "DIVERGE FROM",
+              last_report.exec.tensor_allocs, last_report.frames,
+              last_report.exec.zero_alloc_frames,
+              last_report.exec.arena_bytes_high_water);
+  return (all_invariant && share_invariant && kernels_ok &&
+          steady_state_zero_allocs && wrote)
+             ? 0
+             : 1;
 }

@@ -183,13 +183,15 @@ void EcoFusionEngine::fuse_and_score(exec::FrameWorkspace& ws,
                                      std::size_t config_index,
                                      RunResult& result) const {
   const ModelConfig& config = space_.at(config_index);
-  std::vector<fusion::DetectionList> per_branch;
+  // Non-owning views over the workspace's memoized lists — fusing a frame
+  // must not copy every branch's detections first.
+  std::vector<const fusion::DetectionList*> per_branch;
   per_branch.reserve(config.branches.size());
   for (BranchId branch : config.branches) {
-    per_branch.push_back(ws.branch_detections(branch));
+    per_branch.push_back(&ws.branch_detections(branch));
   }
   result.config_index = config_index;
-  result.detections = fusion_block_.fuse(per_branch);
+  result.detections = fusion_block_.fuse_views(per_branch);
   result.loss = detect::detection_loss(result.detections, ws.frame().objects,
                                        config_.loss);
 }

@@ -54,25 +54,6 @@ void relu_rows(tensor::Tensor& t, std::size_t row_begin, std::size_t row_end) {
   }
 }
 
-/// 2x2/stride-2 max pooling of output rows [row_begin, row_end); the
-/// per-cell max matches tensor::maxpool2x2 exactly.
-void maxpool_rows(const tensor::Tensor& in, std::size_t row_begin,
-                  std::size_t row_end, tensor::Tensor& out) {
-  const std::size_t c = out.size(0), ow = out.size(2);
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        const std::size_t iy = oy * 2, ix = ox * 2;
-        float m = in.at(ch, iy, ix);
-        m = std::max(m, in.at(ch, iy, ix + 1));
-        m = std::max(m, in.at(ch, iy + 1, ix));
-        m = std::max(m, in.at(ch, iy + 1, ix + 1));
-        out.at(ch, oy, ox) = m;
-      }
-    }
-  }
-}
-
 }  // namespace
 
 StemBank::StemBank(StemConfig config) : config_(config) {
@@ -103,21 +84,47 @@ tensor::Tensor StemBank::features(dataset::SensorKind kind,
 }
 
 tensor::Tensor StemBank::gate_features(const dataset::Frame& frame) const {
-  std::array<tensor::Tensor, dataset::kNumSensors> conv_out;
+  tensor::TensorArena arena;
+  return gate_features_into(frame, arena);
+}
+
+const tensor::Tensor& StemBank::gate_features_into(
+    const dataset::Frame& frame, tensor::TensorArena& arena) const {
+  // Conv outputs are acquired with their exact shapes up front so
+  // conv2d_batch never resizes them, then rectified in place and pooled /
+  // concatenated into further arena tensors. Each step runs the identical
+  // per-cell arithmetic as the allocating pipeline (relu_in_place ==
+  // relu, maxpool2x2_into == maxpool2x2, concat_channels_into ==
+  // concat_channels), so F is bitwise unchanged.
+  std::array<tensor::Tensor*, dataset::kNumSensors> conv_out{};
   std::vector<tensor::Conv2dBatchItem> batch;
   batch.reserve(dataset::kNumSensors);
+  const tensor::Conv2dSpec& spec = stems_.front().spec;
   for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
     const auto s = static_cast<std::size_t>(kind);
-    batch.push_back({&frame.grid(kind), &stems_[s].weight, &stems_[s].bias,
-                     &conv_out[s]});
+    const tensor::Tensor& grid = frame.grid(kind);
+    conv_out[s] = &arena.acquire({spec.out_channels,
+                                  spec.out_extent(grid.size(1)),
+                                  spec.out_extent(grid.size(2))});
+    batch.push_back({&grid, &stems_[s].weight, &stems_[s].bias, conv_out[s]});
   }
-  tensor::conv2d_batch(batch, stems_.front().spec);
-  std::vector<tensor::Tensor> parts;
+  tensor::conv2d_batch(batch, spec);
+  std::vector<const tensor::Tensor*> parts;
   parts.reserve(dataset::kNumSensors);
   for (std::size_t s = 0; s < dataset::kNumSensors; ++s) {
-    parts.push_back(tensor::maxpool2x2(tensor::relu(conv_out[s])));
+    tensor::relu_in_place(*conv_out[s]);
+    tensor::Tensor& pooled = arena.acquire(
+        {conv_out[s]->size(0), conv_out[s]->size(1) / 2,
+         conv_out[s]->size(2) / 2});
+    tensor::maxpool2x2_into(*conv_out[s], pooled);
+    parts.push_back(&pooled);
   }
-  return tensor::concat_channels(parts);
+  std::size_t channels = 0;
+  for (const tensor::Tensor* p : parts) channels += p->size(0);
+  tensor::Tensor& features =
+      arena.acquire({channels, parts.front()->size(1), parts.front()->size(2)});
+  tensor::concat_channels_into(parts, features);
+  return features;
 }
 
 void StemBank::refresh_feature_rows(dataset::SensorKind kind,
@@ -135,7 +142,7 @@ void StemBank::refresh_feature_rows(dataset::SensorKind kind,
   tensor::conv2d_rows(grid, stem.weight, stem.bias, stem.spec, conv_begin,
                       conv_end, conv);
   relu_rows(conv, conv_begin, conv_end);
-  maxpool_rows(conv, row_begin, row_end, pooled);
+  tensor::maxpool2x2_rows(conv, row_begin, row_end, pooled);
 }
 
 }  // namespace eco::core

@@ -22,6 +22,7 @@
 
 #include "dataset/generator.hpp"
 #include "dataset/sensor_model.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -48,6 +49,14 @@ class StemBank {
   /// batched tensor-op call.
   [[nodiscard]] tensor::Tensor gate_features(
       const dataset::Frame& frame) const;
+
+  /// Arena-backed gate features: every intermediate (conv outputs, pooled
+  /// maps) and the returned concatenation live in `arena`, so a warmed
+  /// arena computes F with zero heap allocations. The returned reference is
+  /// valid until the arena's next reset(). Bitwise identical to
+  /// gate_features().
+  [[nodiscard]] const tensor::Tensor& gate_features_into(
+      const dataset::Frame& frame, tensor::TensorArena& arena) const;
 
   /// Recomputes pooled feature rows [row_begin, row_end) of `kind`'s stem
   /// for `grid` into `pooled` (shape (out_channels, H/2, W/2)); other rows

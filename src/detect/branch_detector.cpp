@@ -63,19 +63,20 @@ tensor::Tensor BranchDetector::fuse_inputs(
 std::vector<Detection> BranchDetector::scan_channel(
     std::size_t channel, const tensor::Tensor& grid,
     ScanScratch* scratch) const {
-  return roi_heads_.at(channel).run(grid, rpn_.propose(grid, scratch));
+  return roi_heads_.at(channel).run(grid, rpn_.propose(grid, scratch),
+                                    scratch);
 }
 
 std::vector<std::vector<Detection>> BranchDetector::scan_channel_batch(
-    std::size_t channel,
-    const std::vector<const tensor::Tensor*>& grids) const {
+    std::size_t channel, const std::vector<const tensor::Tensor*>& grids,
+    ScanScratch* scratch) const {
   const RoiHead& head = roi_heads_.at(channel);
   const std::vector<std::vector<Proposal>> proposals =
-      rpn_.propose_batch(grids);
+      rpn_.propose_batch(grids, scratch);
   std::vector<std::vector<Detection>> results;
   results.reserve(grids.size());
   for (std::size_t i = 0; i < grids.size(); ++i) {
-    results.push_back(head.run(*grids[i], proposals[i]));
+    results.push_back(head.run(*grids[i], proposals[i], scratch));
   }
   return results;
 }

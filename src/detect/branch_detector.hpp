@@ -84,11 +84,11 @@ class BranchDetector {
       ScanScratch* scratch = nullptr) const;
 
   /// Batched scan of channel `channel` across many grids of one extent,
-  /// sharing one anchor generation. Per-grid results are bitwise identical
-  /// to scan_channel().
+  /// sharing one anchor generation; `scratch` is reused sequentially across
+  /// the batch. Per-grid results are bitwise identical to scan_channel().
   [[nodiscard]] std::vector<std::vector<Detection>> scan_channel_batch(
-      std::size_t channel,
-      const std::vector<const tensor::Tensor*>& grids) const;
+      std::size_t channel, const std::vector<const tensor::Tensor*>& grids,
+      ScanScratch* scratch = nullptr) const;
 
   /// The per-branch merge of the channels' scan results, in channel order:
   /// plain union + class-agnostic NMS (see header comment); a

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/ops.hpp"
-
 namespace eco::detect {
 
 std::vector<int> match_detections(const std::vector<Detection>& detections,
@@ -40,6 +38,34 @@ std::vector<int> match_detections(const std::vector<Detection>& detections,
   return matches;
 }
 
+namespace {
+
+/// tensor::smooth_l1 over the 4 box coordinates without materializing
+/// tensors — the identical per-element Huber terms folded into the same
+/// double accumulator, divided by the same float element count, so the
+/// result is bitwise equal to the tensor form this replaces (the two
+/// 4-element tensors per match were the execution layer's last steady-state
+/// heap allocations).
+float smooth_l1_box(const Box& pred, const Box& target, float inv_scale) {
+  const float p[4] = {pred.x1 * inv_scale, pred.y1 * inv_scale,
+                      pred.x2 * inv_scale, pred.y2 * inv_scale};
+  const float t[4] = {target.x1 * inv_scale, target.y1 * inv_scale,
+                      target.x2 * inv_scale, target.y2 * inv_scale};
+  double loss = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float diff = p[i] - t[i];
+    const float ad = std::fabs(diff);
+    if (ad < 1.0f) {
+      loss += 0.5 * diff * diff;
+    } else {
+      loss += ad - 0.5;
+    }
+  }
+  return static_cast<float>(loss) / 4.0f;
+}
+
+}  // namespace
+
 DetectionLoss detection_loss(const std::vector<Detection>& detections,
                              const std::vector<GroundTruth>& ground_truth,
                              const LossConfig& config) {
@@ -61,13 +87,8 @@ DetectionLoss detection_loss(const std::vector<Detection>& detections,
 
     // Smooth-L1 over the 4 box coordinates, normalised by coordinate_scale.
     const float inv = 1.0f / config.coordinate_scale;
-    const tensor::Tensor pred = tensor::Tensor::from_vector(
-        {det.box.x1 * inv, det.box.y1 * inv, det.box.x2 * inv,
-         det.box.y2 * inv});
-    const tensor::Tensor target = tensor::Tensor::from_vector(
-        {gt.box.x1 * inv, gt.box.y1 * inv, gt.box.x2 * inv, gt.box.y2 * inv});
     loss.regression +=
-        config.regression_weight * tensor::smooth_l1(pred, target);
+        config.regression_weight * smooth_l1_box(det.box, gt.box, inv);
 
     // Cross-entropy of the predicted class distribution vs the true class.
     const auto target_cls = static_cast<std::size_t>(gt.cls);

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "detect/nms.hpp"
+#include "detect/scan_scratch.hpp"
 
 namespace eco::detect {
 
@@ -13,15 +14,27 @@ RoiHead::RoiHead(RoiHeadConfig config, std::vector<ClassPrototype> prototypes)
 
 std::vector<Region> extract_regions(const tensor::Tensor& grid,
                                     float threshold, std::size_t min_area) {
+  ScanScratch local;
+  return extract_regions(grid, threshold, min_area, local);
+}
+
+const std::vector<Region>& extract_regions(const tensor::Tensor& grid,
+                                           float threshold,
+                                           std::size_t min_area,
+                                           ScanScratch& scratch) {
   const std::size_t h = grid.size(1), w = grid.size(2);
-  std::vector<std::uint8_t> mask(h * w, 0);
+  std::vector<std::uint8_t>& mask = scratch.mask;
+  mask.assign(h * w, 0);
   for (std::size_t i = 0; i < h * w; ++i) {
     mask[i] = grid.data()[i] >= threshold;
   }
 
-  std::vector<Region> regions;
-  std::vector<std::uint8_t> visited(h * w, 0);
-  std::vector<std::size_t> stack;
+  std::vector<Region>& regions = scratch.regions;
+  regions.clear();
+  std::vector<std::uint8_t>& visited = scratch.visited;
+  visited.assign(h * w, 0);
+  std::vector<std::size_t>& stack = scratch.stack;
+  stack.clear();
   for (std::size_t start = 0; start < h * w; ++start) {
     if (!mask[start] || visited[start]) continue;
     // Flood fill one component.
@@ -76,14 +89,21 @@ std::vector<Region> extract_regions(const tensor::Tensor& grid,
   return regions;
 }
 
-std::vector<Detection> RoiHead::run(
-    const tensor::Tensor& grid, const std::vector<Proposal>& proposals) const {
+std::vector<Detection> RoiHead::run(const tensor::Tensor& grid,
+                                    const std::vector<Proposal>& proposals,
+                                    ScanScratch* scratch) const {
+  // Without caller scratch, a local one provides the same buffers for this
+  // call only; the arithmetic is identical either way.
+  ScanScratch local;
+  ScanScratch& buffers = scratch != nullptr ? *scratch : local;
+
   // Threshold the raw grid adaptively: background level from the grid mean,
   // signal level from the 95th percentile. In a degraded context (camera in
   // fog) the percentile sits barely above the noise floor, so the component
   // analysis degrades naturally — clutter components appear and true
   // objects fragment.
-  std::vector<float> values(grid.vec());
+  std::vector<float>& values = buffers.values;
+  values.assign(grid.vec().begin(), grid.vec().end());
   const std::size_t p95_index = (values.size() * 95) / 100;
   std::nth_element(values.begin(),
                    values.begin() + static_cast<std::ptrdiff_t>(p95_index),
@@ -100,10 +120,11 @@ std::vector<Detection> RoiHead::run(
   const float threshold =
       background + config_.mask_fraction * (signal - background);
 
-  const std::vector<Region> regions =
-      extract_regions(grid, threshold, config_.min_component_area);
+  const std::vector<Region>& regions = extract_regions(
+      grid, threshold, config_.min_component_area, buffers);
 
-  const IntegralImage integral(grid);
+  buffers.region_integral.reset(grid);
+  const IntegralImage& integral = buffers.region_integral;
   std::vector<Detection> detections;
   detections.reserve(regions.size());
 

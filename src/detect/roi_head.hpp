@@ -73,9 +73,13 @@ class RoiHead {
   RoiHead(RoiHeadConfig config, std::vector<ClassPrototype> prototypes);
 
   /// Extracts and classifies regions on the observation grid (1,H,W),
-  /// validated against the RPN proposals.
+  /// validated against the RPN proposals. `scratch`, when supplied,
+  /// provides the percentile buffer, component-analysis masks and the
+  /// amplitude integral image (see detect/scan_scratch.hpp); results are
+  /// bitwise identical with or without it.
   [[nodiscard]] std::vector<Detection> run(
-      const tensor::Tensor& grid, const std::vector<Proposal>& proposals) const;
+      const tensor::Tensor& grid, const std::vector<Proposal>& proposals,
+      ScanScratch* scratch = nullptr) const;
 
   [[nodiscard]] const RoiHeadConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::vector<ClassPrototype>& prototypes() const noexcept {
@@ -100,5 +104,13 @@ struct Region {
 [[nodiscard]] std::vector<Region> extract_regions(const tensor::Tensor& grid,
                                                   float threshold,
                                                   std::size_t min_area);
+
+/// Scratch-backed variant: identical component walk over the scratch's
+/// mask/visited/stack buffers, results deposited in (and referenced from)
+/// scratch.regions. One allocation-free call per scan once the buffers are
+/// warm.
+[[nodiscard]] const std::vector<Region>& extract_regions(
+    const tensor::Tensor& grid, float threshold, std::size_t min_area,
+    ScanScratch& scratch);
 
 }  // namespace eco::detect

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "detect/nms.hpp"
+#include "detect/scan_scratch.hpp"
+#include "tensor/ops.hpp"
 
 namespace eco::detect {
 
@@ -18,15 +20,21 @@ void IntegralImage::reset(const tensor::Tensor& grid) {
   }
   height_ = chw ? grid.size(1) : grid.size(0);
   width_ = chw ? grid.size(2) : grid.size(1);
+  // assign() zero-fills row 0 / column 0 and reuses capacity on rebuilds.
   cumulative_.assign((height_ + 1) * (width_ + 1), 0.0);
   const float* data = grid.data();
+  const std::size_t w1 = width_ + 1;
+  const double* above = cumulative_.data();  // row y of the table
+  double* current = cumulative_.data() + w1;  // row y + 1
   for (std::size_t y = 0; y < height_; ++y) {
+    const float* grid_row = data + y * width_;
     double row = 0.0;
     for (std::size_t x = 0; x < width_; ++x) {
-      row += data[y * width_ + x];
-      cumulative_[(y + 1) * (width_ + 1) + (x + 1)] =
-          cumulative_[y * (width_ + 1) + (x + 1)] + row;
+      row += grid_row[x];
+      current[x + 1] = above[x + 1] + row;
     }
+    above = current;
+    current += w1;
   }
 }
 
@@ -61,10 +69,11 @@ tensor::Tensor box_blur3(const tensor::Tensor& grid) {
   return out;
 }
 
-void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out) {
+void box_blur3_into_reference(const tensor::Tensor& grid,
+                              tensor::Tensor& out) {
   const std::size_t h = grid.size(1), w = grid.size(2);
   if (out.shape() != tensor::Shape{1, h, w}) {
-    out = tensor::Tensor({1, h, w});
+    out.resize({1, h, w});
   }
   for (std::size_t y = 0; y < h; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
@@ -86,6 +95,75 @@ void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out) {
   }
 }
 
+namespace {
+
+/// Guarded blur of one cell; taps visited in the reference's dy→dx order.
+inline float blur_cell_guarded(const float* g, std::size_t h, std::size_t w,
+                               std::size_t y, std::size_t x) {
+  float acc = 0.0f;
+  int n = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + dy;
+    if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+    const float* row = g + static_cast<std::size_t>(yy) * w;
+    for (int dx = -1; dx <= 1; ++dx) {
+      const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + dx;
+      if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+      acc += row[static_cast<std::size_t>(xx)];
+      ++n;
+    }
+  }
+  return n > 0 ? acc / static_cast<float>(n) : 0.0f;
+}
+
+}  // namespace
+
+void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out) {
+  const std::size_t h = grid.size(1), w = grid.size(2);
+  if (out.shape() != tensor::Shape{1, h, w}) {
+    out.resize({1, h, w});
+  }
+  const float* g = grid.data();
+  float* o = out.data();
+  for (std::size_t y = 0; y < h; ++y) {
+    float* out_row = o + y * w;
+    const bool row_interior = y > 0 && y + 1 < h;
+    if (!row_interior || w < 3) {
+      for (std::size_t x = 0; x < w; ++x) {
+        out_row[x] = blur_cell_guarded(g, h, w, y, x);
+      }
+      continue;
+    }
+    const float* rm = g + (y - 1) * w;
+    const float* r0 = rm + w;
+    const float* rp = r0 + w;
+    out_row[0] = blur_cell_guarded(g, h, w, y, 0);
+    for (std::size_t x = 1; x + 1 < w; ++x) {
+      // Nine taps in the reference's row-major order, one accumulator.
+      float acc = 0.0f;
+      acc += rm[x - 1];
+      acc += rm[x];
+      acc += rm[x + 1];
+      acc += r0[x - 1];
+      acc += r0[x];
+      acc += r0[x + 1];
+      acc += rp[x - 1];
+      acc += rp[x];
+      acc += rp[x + 1];
+      out_row[x] = acc / 9.0f;
+    }
+    out_row[w - 1] = blur_cell_guarded(g, h, w, y, w - 1);
+  }
+}
+
+void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out) {
+  if (tensor::use_reference_kernels()) {
+    box_blur3_into_reference(grid, out);
+  } else {
+    box_blur3_into_fast(grid, out);
+  }
+}
+
 Rpn::Rpn(RpnConfig config) : config_(std::move(config)) {}
 
 std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid,
@@ -93,13 +171,22 @@ std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid,
   if (grid.dim() != 3 || grid.size(0) != 1) {
     throw std::invalid_argument("Rpn::propose: expected (1,H,W) grid");
   }
+  // With scratch, the anchor grid is memoized on (extent, config) — the
+  // values are exactly what a fresh generation returns.
+  if (scratch != nullptr) {
+    return propose_with_anchors(
+        grid,
+        scratch->anchors_for(grid.size(1), grid.size(2), config_.anchors),
+        scratch);
+  }
   return propose_with_anchors(
       grid, generate_anchors(grid.size(1), grid.size(2), config_.anchors),
       scratch);
 }
 
 std::vector<std::vector<Proposal>> Rpn::propose_batch(
-    const std::vector<const tensor::Tensor*>& grids) const {
+    const std::vector<const tensor::Tensor*>& grids,
+    ScanScratch* scratch) const {
   std::vector<std::vector<Proposal>> proposals;
   proposals.reserve(grids.size());
   std::vector<Box> anchors;
@@ -108,13 +195,22 @@ std::vector<std::vector<Proposal>> Rpn::propose_batch(
     if (grid == nullptr || grid->dim() != 3 || grid->size(0) != 1) {
       throw std::invalid_argument("Rpn::propose_batch: expected (1,H,W) grid");
     }
+    if (scratch != nullptr) {
+      // Memoized anchors (and, transitively, the precomputed scoring
+      // geometry) — identical values to a per-batch generation.
+      proposals.push_back(propose_with_anchors(
+          *grid,
+          scratch->anchors_for(grid->size(1), grid->size(2), config_.anchors),
+          scratch));
+      continue;
+    }
     if (anchors.empty() || grid->size(1) != anchor_h ||
         grid->size(2) != anchor_w) {
       anchor_h = grid->size(1);
       anchor_w = grid->size(2);
       anchors = generate_anchors(anchor_h, anchor_w, config_.anchors);
     }
-    proposals.push_back(propose_with_anchors(*grid, anchors));
+    proposals.push_back(propose_with_anchors(*grid, anchors, scratch));
   }
   return proposals;
 }
@@ -135,31 +231,63 @@ std::vector<Proposal> Rpn::propose_with_anchors(
   std::vector<Detection> raw;
   raw.reserve(anchors.size() / 4);
 
-  for (const Box& anchor : anchors) {
-    const double inside = integral.box_mean(anchor);
-    Box ring = anchor;
-    ring.x1 -= config_.ring;
-    ring.y1 -= config_.ring;
-    ring.x2 += config_.ring;
-    ring.y2 += config_.ring;
-    ring = ring.clipped(static_cast<float>(w), static_cast<float>(h));
-    const double ring_sum = integral.box_sum(ring);
-    const double inner_sum = integral.box_sum(
-        anchor.clipped(static_cast<float>(w), static_cast<float>(h)));
-    const double ring_area =
-        ring.area() -
-        anchor.clipped(static_cast<float>(w), static_cast<float>(h)).area();
+  const auto score_anchor = [&](const Box& anchor, double inner_sum,
+                                float inner_area, double ring_sum,
+                                double ring_area) {
+    const double inside = inner_area > 0.0f ? inner_sum / inner_area : 0.0;
     const double background =
         ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
     const double contrast = inside - background;
-    if (contrast < config_.min_contrast) continue;
-
+    if (contrast < config_.min_contrast) return;
     Detection d;
     d.box = anchor;
     // Sigmoid squashing of the contrast to [0,1] objectness.
     d.score = static_cast<float>(
         1.0 / (1.0 + std::exp(-config_.contrast_scale * contrast)));
     raw.push_back(d);
+  };
+
+  if (scratch != nullptr && &anchors == &scratch->anchors) {
+    // Scoring against the scratch's memoized anchors: the clipped boxes,
+    // areas and clamped table offsets are precomputed once per (extent,
+    // config), so each anchor costs eight table lookups plus the scoring
+    // arithmetic — the identical numbers the clip/clamp path produces.
+    const std::vector<AnchorGeometry>& geometry =
+        buffers.anchor_geometry_for(h, w, config_);
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const AnchorGeometry& g = geometry[i];
+      const double inner_sum =
+          g.inner_valid
+              ? integral.flat_sum(g.inner00, g.inner01, g.inner10, g.inner11)
+              : 0.0;
+      const double ring_sum =
+          g.ring_valid
+              ? integral.flat_sum(g.ring00, g.ring01, g.ring10, g.ring11)
+              : 0.0;
+      score_anchor(anchors[i], inner_sum, g.inner_area, ring_sum,
+                   g.ring_area);
+    }
+  } else {
+    const auto limit_w = static_cast<float>(w);
+    const auto limit_h = static_cast<float>(h);
+    for (const Box& anchor : anchors) {
+      // The clipped anchor and its sum feed three places (inside mean, the
+      // ring background, the ring area); compute them once. Identical
+      // values and operation order as the box_mean/box_sum calls this
+      // replaces.
+      const Box inner = anchor.clipped(limit_w, limit_h);
+      const float inner_area = inner.area();
+      const double inner_sum = integral.box_sum(inner);
+      Box ring = anchor;
+      ring.x1 -= config_.ring;
+      ring.y1 -= config_.ring;
+      ring.x2 += config_.ring;
+      ring.y2 += config_.ring;
+      ring = ring.clipped(limit_w, limit_h);
+      const double ring_sum = integral.box_sum(ring);
+      const double ring_area = ring.area() - inner_area;
+      score_anchor(anchor, inner_sum, inner_area, ring_sum, ring_area);
+    }
   }
 
   raw = nms(std::move(raw), config_.nms_iou, /*class_aware=*/false);

@@ -33,17 +33,34 @@ class IntegralImage {
   explicit IntegralImage(const tensor::Tensor& grid) { reset(grid); }
 
   /// Rebuilds the cumulative table for `grid`, reusing existing storage
-  /// when the extent is unchanged.
+  /// when it suffices (a same-extent rebuild never touches the heap). The
+  /// accumulation walks raw row pointers in the same left-to-right,
+  /// top-to-bottom order as ever, so tables are bitwise stable.
   void reset(const tensor::Tensor& grid);
 
   /// Sum of grid values over [x1,x2) x [y1,y2) clamped to bounds.
   [[nodiscard]] double box_sum(const Box& box) const noexcept;
+
+  /// box_sum with the four clamped table offsets precomputed by the caller
+  /// (see ScanScratch's anchor geometry): the identical four lookups and
+  /// add/subtract order, minus the per-call clamping.
+  [[nodiscard]] double flat_sum(std::size_t i00, std::size_t i01,
+                                std::size_t i10,
+                                std::size_t i11) const noexcept {
+    return cumulative_[i11] - cumulative_[i01] - cumulative_[i10] +
+           cumulative_[i00];
+  }
 
   /// Mean of grid values over the box (0 if empty).
   [[nodiscard]] double box_mean(const Box& box) const noexcept;
 
   [[nodiscard]] std::size_t height() const noexcept { return height_; }
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+  /// Bytes of retained accumulator capacity (arena accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return cumulative_.capacity() * sizeof(double);
+  }
 
  private:
   std::size_t height_ = 0;
@@ -71,16 +88,12 @@ struct RpnConfig {
   friend bool operator==(const RpnConfig&, const RpnConfig&) = default;
 };
 
-/// Reusable storage for per-scan intermediates (the smoothed grid and the
-/// integral image are the two allocations a proposal pass makes). A caller
-/// that scans many channels per frame — the exec layer's channel-scan cache
-/// — hands the same scratch to every scan so the buffers are allocated once
-/// per frame workspace instead of once per scan. Purely an allocation
-/// optimization: results are bitwise identical with or without scratch.
-struct ScanScratch {
-  tensor::Tensor smoothed;   // box_blur3 output
-  IntegralImage integral;    // cumulative table (capacity reused)
-};
+/// Reusable storage for every per-scan intermediate of the RPN + ROI-head
+/// path; defined in detect/scan_scratch.hpp (the exec layer's FrameArena
+/// owns one per pipeline slot so buffers persist across frames). Purely an
+/// allocation optimization: results are bitwise identical with or without
+/// scratch.
+struct ScanScratch;
 
 /// The proposal network. Stateless apart from configuration.
 class Rpn {
@@ -100,10 +113,12 @@ class Rpn {
       ScanScratch* scratch = nullptr) const;
 
   /// Batched proposal entry point: proposes on every grid (all the same
-  /// extent) sharing one anchor generation. Bitwise identical to per-grid
-  /// propose() calls.
+  /// extent) sharing one anchor generation. `scratch`, when supplied, is
+  /// reused sequentially across the whole batch. Bitwise identical to
+  /// per-grid propose() calls.
   [[nodiscard]] std::vector<std::vector<Proposal>> propose_batch(
-      const std::vector<const tensor::Tensor*>& grids) const;
+      const std::vector<const tensor::Tensor*>& grids,
+      ScanScratch* scratch = nullptr) const;
 
   [[nodiscard]] const RpnConfig& config() const noexcept { return config_; }
 
@@ -116,6 +131,16 @@ class Rpn {
 
 /// Same blur into a caller-owned output tensor (reshaped when needed), so
 /// repeated scans can reuse the allocation. Bitwise identical to box_blur3.
+/// Dispatches to the fast kernel (or the reference under
+/// ECO_REFERENCE_KERNELS=1, like tensor::conv2d_rows).
 void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out);
+
+/// The original guarded per-tap loop, kept as the blur's ground truth.
+void box_blur3_into_reference(const tensor::Tensor& grid, tensor::Tensor& out);
+
+/// Raw-pointer blur with an interior/border split: interior cells sum three
+/// contiguous row triples in the reference's tap order; the one-cell border
+/// keeps the guarded path. Bitwise identical to the reference.
+void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out);
 
 }  // namespace eco::detect

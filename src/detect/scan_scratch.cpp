@@ -1,0 +1,91 @@
+#include "detect/scan_scratch.hpp"
+
+#include <algorithm>
+
+namespace eco::detect {
+
+const std::vector<Box>& ScanScratch::anchors_for(std::size_t grid_height,
+                                                 std::size_t grid_width,
+                                                 const AnchorConfig& config) {
+  if (!anchors_valid_ || grid_height != anchor_height_ ||
+      grid_width != anchor_width_ || !(config == anchor_config_)) {
+    anchors = generate_anchors(grid_height, grid_width, config);
+    anchor_height_ = grid_height;
+    anchor_width_ = grid_width;
+    anchor_config_ = config;
+    anchors_valid_ = true;
+  }
+  return anchors;
+}
+
+const std::vector<AnchorGeometry>& ScanScratch::anchor_geometry_for(
+    std::size_t grid_height, std::size_t grid_width, const RpnConfig& config) {
+  if (geometry_valid_ && grid_height == geometry_height_ &&
+      grid_width == geometry_width_ && config == geometry_config_) {
+    return anchor_geometry;
+  }
+  // Replicates exactly what the per-scan path computes from each anchor:
+  // the clipped inner box and padded ring, their areas, and the integral
+  // table's clamped corner offsets (IntegralImage::box_sum's clamp + cast,
+  // with the table stride w + 1).
+  const auto limit_w = static_cast<float>(grid_width);
+  const auto limit_h = static_cast<float>(grid_height);
+  const std::size_t w1 = grid_width + 1;
+  const auto clamp_x = [&](float v) {
+    return static_cast<std::size_t>(std::clamp(v, 0.0f, limit_w));
+  };
+  const auto clamp_y = [&](float v) {
+    return static_cast<std::size_t>(std::clamp(v, 0.0f, limit_h));
+  };
+  anchor_geometry.clear();
+  anchor_geometry.reserve(anchors.size());
+  for (const Box& anchor : anchors) {
+    AnchorGeometry g;
+    const Box inner = anchor.clipped(limit_w, limit_h);
+    g.inner_area = inner.area();
+    {
+      const std::size_t x1 = clamp_x(inner.x1), x2 = clamp_x(inner.x2);
+      const std::size_t y1 = clamp_y(inner.y1), y2 = clamp_y(inner.y2);
+      g.inner_valid = x2 > x1 && y2 > y1;
+      g.inner00 = y1 * w1 + x1;
+      g.inner01 = y1 * w1 + x2;
+      g.inner10 = y2 * w1 + x1;
+      g.inner11 = y2 * w1 + x2;
+    }
+    Box ring = anchor;
+    ring.x1 -= config.ring;
+    ring.y1 -= config.ring;
+    ring.x2 += config.ring;
+    ring.y2 += config.ring;
+    ring = ring.clipped(limit_w, limit_h);
+    g.ring_area = ring.area() - g.inner_area;
+    {
+      const std::size_t x1 = clamp_x(ring.x1), x2 = clamp_x(ring.x2);
+      const std::size_t y1 = clamp_y(ring.y1), y2 = clamp_y(ring.y2);
+      g.ring_valid = x2 > x1 && y2 > y1;
+      g.ring00 = y1 * w1 + x1;
+      g.ring01 = y1 * w1 + x2;
+      g.ring10 = y2 * w1 + x1;
+      g.ring11 = y2 * w1 + x2;
+    }
+    anchor_geometry.push_back(g);
+  }
+  geometry_height_ = grid_height;
+  geometry_width_ = grid_width;
+  geometry_config_ = config;
+  geometry_valid_ = true;
+  return anchor_geometry;
+}
+
+std::size_t ScanScratch::capacity_bytes() const noexcept {
+  return smoothed.vec().capacity() * sizeof(float) +
+         integral.capacity_bytes() + anchors.capacity() * sizeof(Box) +
+         anchor_geometry.capacity() * sizeof(AnchorGeometry) +
+         values.capacity() * sizeof(float) + region_integral.capacity_bytes() +
+         mask.capacity() * sizeof(std::uint8_t) +
+         visited.capacity() * sizeof(std::uint8_t) +
+         stack.capacity() * sizeof(std::size_t) +
+         regions.capacity() * sizeof(Region);
+}
+
+}  // namespace eco::detect

@@ -1,0 +1,97 @@
+// Reusable per-scan buffers for the RPN + ROI-head channel scan.
+//
+// A channel scan makes a fixed family of intermediate allocations: the
+// smoothed grid and its integral image (RPN scoring), the anchor grid, the
+// percentile copy of the raw grid, the component-analysis mask/visited/stack
+// buffers and the region list, and the amplitude integral image (ROI head).
+// Before this struct existed each scan allocated them afresh; a ScanScratch
+// owns them all, and the exec layer keeps one per pipeline slot inside a
+// FrameArena so they persist across scans AND frames — a steady-state frame
+// scans every channel without touching the heap.
+//
+// Threading scratch through is purely an allocation optimization: every
+// consumer runs the identical arithmetic over the reused buffers, so results
+// are bitwise identical with or without scratch (pinned by tests and the
+// bench self-gate).
+//
+// Single-threaded state: one scratch per (frame slot, task).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "detect/anchors.hpp"
+#include "detect/box.hpp"
+#include "detect/roi_head.hpp"
+#include "detect/rpn.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::detect {
+
+/// Precomputed scoring geometry of one anchor: the clamped integral-table
+/// offsets and areas of its inner box and background ring. These depend
+/// only on (anchor, grid extent, RpnConfig), never on grid *values*, so the
+/// RPN's inner loop reduces to eight table lookups and a handful of
+/// floating-point ops per anchor — producing the identical numbers the
+/// clip/clamp path computes per scan.
+struct AnchorGeometry {
+  std::size_t inner00 = 0, inner01 = 0, inner10 = 0, inner11 = 0;
+  std::size_t ring00 = 0, ring01 = 0, ring10 = 0, ring11 = 0;
+  float inner_area = 0.0f;
+  float ring_area = 0.0f;  // ring.area() - inner_area, as the float the
+                           // scoring formula widens to double
+  bool inner_valid = false;  // inner has positive-extent clamped coords
+  bool ring_valid = false;
+};
+
+struct ScanScratch {
+  // ---- RPN stage ------------------------------------------------------
+  tensor::Tensor smoothed;  // box_blur3 output
+  IntegralImage integral;   // cumulative table over the smoothed grid
+
+  /// Anchor memo: anchors depend only on (extent, AnchorConfig), so scans
+  /// repeating the same geometry — every scan of a stream in practice —
+  /// reuse one generation. anchors_for() regenerates only when the key
+  /// changes.
+  std::vector<Box> anchors;
+  /// Scoring geometry aligned with `anchors` (own key: extent + RpnConfig).
+  std::vector<AnchorGeometry> anchor_geometry;
+
+  // ---- ROI-head stage -------------------------------------------------
+  std::vector<float> values;        // percentile copy of the raw grid
+  IntegralImage region_integral;    // amplitude lookups inside regions
+  std::vector<std::uint8_t> mask;     // threshold mask
+  std::vector<std::uint8_t> visited;  // flood-fill bookkeeping
+  std::vector<std::size_t> stack;     // flood-fill stack
+  std::vector<Region> regions;        // component output
+
+  /// Cached anchors for (grid_height, grid_width, config); regenerated via
+  /// generate_anchors() only when the key differs from the previous call,
+  /// so the values are always exactly what a fresh generation would return.
+  [[nodiscard]] const std::vector<Box>& anchors_for(std::size_t grid_height,
+                                                    std::size_t grid_width,
+                                                    const AnchorConfig& config);
+
+  /// Cached scoring geometry for `anchors` under (extent, rpn config);
+  /// rebuilt only when that key changes. Callers must pass the extent the
+  /// current `anchors` were generated for.
+  [[nodiscard]] const std::vector<AnchorGeometry>& anchor_geometry_for(
+      std::size_t grid_height, std::size_t grid_width,
+      const RpnConfig& config);
+
+  /// Bytes of buffer capacity this scratch retains (arena accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept;
+
+ private:
+  std::size_t anchor_height_ = 0;
+  std::size_t anchor_width_ = 0;
+  AnchorConfig anchor_config_;
+  bool anchors_valid_ = false;
+  std::size_t geometry_height_ = 0;
+  std::size_t geometry_width_ = 0;
+  RpnConfig geometry_config_;
+  bool geometry_valid_ = false;
+};
+
+}  // namespace eco::detect

@@ -57,7 +57,12 @@ void BranchBatcher::execute(std::size_t config_index,
   // One batched detector call per unique scan, spanning every frame that
   // claimed it (shared anchor generation); per-grid results are bitwise
   // identical to per-frame scan_channel calls, and the deposit path counts
-  // them exactly as locally executed scans.
+  // them exactly as locally executed scans. The whole batch writes through
+  // the first workspace's scan scratch — the batch runs on one thread, so
+  // borrowing one frame's buffers for the group is safe and keeps batched
+  // steady-state frames allocation-free.
+  detect::ScanScratch* scratch =
+      group.empty() ? nullptr : &group.front()->arena().scan;
   for (const auto& [scan_id, pending] : by_scan) {
     const dataset::SensorKind sensor = plan.scans[scan_id].sensor;
     std::vector<const tensor::Tensor*> grids;
@@ -68,7 +73,7 @@ void BranchBatcher::execute(std::size_t config_index,
     const PendingScan& rep = pending.front();
     std::vector<std::vector<detect::Detection>> results =
         engine_.branch_detector(rep.branch)
-            .scan_channel_batch(rep.channel, grids);
+            .scan_channel_batch(rep.channel, grids, scratch);
     for (std::size_t i = 0; i < pending.size(); ++i) {
       group[pending[i].frame]->channel_scans().adopt(
           pending[i].branch, pending[i].channel, std::move(results[i]));

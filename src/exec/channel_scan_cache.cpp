@@ -5,8 +5,9 @@
 namespace eco::exec {
 
 ChannelScanCache::ChannelScanCache(const core::EcoFusionEngine& engine,
-                                   const dataset::Frame& frame, bool share)
-    : engine_(engine), frame_(frame), share_(share) {
+                                   const dataset::Frame& frame, bool share,
+                                   detect::ScanScratch& scratch)
+    : engine_(engine), frame_(frame), share_(share), scratch_(&scratch) {
   const core::ChannelScanPlan& plan = engine_.scan_plan();
   slots_.resize(share_ ? plan.num_scans() : plan.total_channels);
 }
@@ -30,7 +31,7 @@ const std::vector<detect::Detection>& ChannelScanCache::scan(
     const dataset::SensorKind sensor =
         plan.scans[plan.scan_id(branch, channel)].sensor;
     slot = engine_.branch_detector(branch).scan_channel(
-        channel, frame_.grid(sensor), &scratch_);
+        channel, frame_.grid(sensor), scratch_);
     ++executed_;
   }
   return *slot;

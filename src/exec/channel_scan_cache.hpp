@@ -16,9 +16,10 @@
 // can pin that invariance: with sharing off every request runs its own scan
 // (slots degrade to per-(branch, channel)), and reports must not move.
 //
-// The cache also owns the frame's ScanScratch — the reusable blur/integral
-// buffers every scan of the frame writes through (the seed of the arena
-// allocator direction: per-frame scratch instead of per-scan allocation).
+// Every scan of the frame writes through the workspace FrameArena's
+// ScanScratch — the reusable blur/integral/ROI buffers that persist across
+// frames of a pipeline slot (PR 4 owned a per-frame scratch here; the arena
+// generalized it so steady-state frames make zero tensor heap allocations).
 //
 // A cache is single-threaded state owned by one FrameWorkspace.
 #pragma once
@@ -30,7 +31,7 @@
 #include "core/config_space.hpp"
 #include "dataset/generator.hpp"
 #include "detect/box.hpp"
-#include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
 
 namespace eco::core {
 class EcoFusionEngine;
@@ -40,8 +41,11 @@ namespace eco::exec {
 
 class ChannelScanCache {
  public:
+  /// `scratch` provides the reusable scan buffers (typically the workspace
+  /// FrameArena's; must outlive the cache).
   ChannelScanCache(const core::EcoFusionEngine& engine,
-                   const dataset::Frame& frame, bool share);
+                   const dataset::Frame& frame, bool share,
+                   detect::ScanScratch& scratch);
 
   /// The scan result for input channel `channel` of `branch`; the scan runs
   /// on first use of its slot (the unique scan when sharing, the
@@ -74,7 +78,7 @@ class ChannelScanCache {
   const dataset::Frame& frame_;
   bool share_;
   std::vector<std::optional<std::vector<detect::Detection>>> slots_;
-  detect::ScanScratch scratch_;
+  detect::ScanScratch* scratch_;
   std::size_t requested_ = 0;
   std::size_t executed_ = 0;
 };

@@ -8,31 +8,43 @@ namespace eco::exec {
 
 FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
                                const dataset::Frame& frame,
-                               bool share_channel_scans)
+                               bool share_channel_scans, FrameArena* arena)
     : engine_(engine),
       frame_(frame),
-      scans_(engine, frame, share_channel_scans) {}
+      arena_(arena != nullptr ? arena : &owned_arena_),
+      scans_(engine, frame, share_channel_scans, arena_->scan) {
+  arena_->begin_frame();
+}
 
 FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
                                const dataset::Frame& frame,
                                TemporalStemCache* cache,
                                std::uint64_t sequence_id,
-                               bool share_channel_scans)
+                               bool share_channel_scans, FrameArena* arena)
     : engine_(engine),
       frame_(frame),
-      scans_(engine, frame, share_channel_scans),
+      arena_(arena != nullptr ? arena : &owned_arena_),
+      scans_(engine, frame, share_channel_scans, arena_->scan),
       stem_cache_(cache),
-      sequence_id_(sequence_id) {}
+      sequence_id_(sequence_id) {
+  arena_->begin_frame();
+}
 
 const tensor::Tensor& FrameWorkspace::gate_features() const {
+  if (features_view_ != nullptr) return *features_view_;
   if (!features_) {
     if (stem_cache_ != nullptr) {
       bool hit = false;
       features_ = stem_cache_->gate_features(sequence_id_, frame_, &hit);
       stem_source_ = hit ? StemSource::kCacheHit : StemSource::kCacheMiss;
     } else {
-      features_ = engine_.stems().gate_features(frame_);
+      // Direct stem pass: compute into the frame arena (bitwise equal to
+      // StemBank::gate_features) and keep a view — the arena outlives the
+      // workspace, and its slots are only recycled at the next frame.
+      features_view_ =
+          &engine_.stems().gate_features_into(frame_, arena_->tensors);
       stem_source_ = StemSource::kComputed;
+      return *features_view_;
     }
   }
   return *features_;
@@ -67,13 +79,13 @@ const std::vector<float>& FrameWorkspace::config_losses() {
     std::vector<float> losses;
     losses.reserve(engine_.config_space().size());
     for (const core::ModelConfig& config : engine_.config_space()) {
-      std::vector<fusion::DetectionList> per_branch;
+      std::vector<const fusion::DetectionList*> per_branch;
       per_branch.reserve(config.branches.size());
       for (core::BranchId branch : config.branches) {
-        per_branch.push_back(branch_detections(branch));
+        per_branch.push_back(&branch_detections(branch));
       }
       const std::vector<detect::Detection> fused =
-          engine_.fusion().fuse(per_branch);
+          engine_.fusion().fuse_views(per_branch);
       losses.push_back(
           detect::detection_loss(fused, frame_.objects, engine_.config().loss)
               .total());

@@ -29,6 +29,7 @@
 #include "core/config_space.hpp"
 #include "dataset/generator.hpp"
 #include "exec/channel_scan_cache.hpp"
+#include "exec/frame_arena.hpp"
 #include "fusion/wbf.hpp"
 #include "gating/gate.hpp"
 #include "tensor/tensor.hpp"
@@ -53,15 +54,23 @@ class FrameWorkspace final : public gating::FeatureSource {
  public:
   /// `share_channel_scans` controls cross-branch scan reuse within this
   /// frame (on by default; results are bitwise identical either way).
+  /// `arena`, when supplied, provides the frame's reusable memory (tensor
+  /// pool + scan scratch) so repeated frames through one arena stop
+  /// allocating; the workspace resets its tensor slots at construction.
+  /// Without one, the workspace owns a private arena with the same
+  /// semantics for this frame only. Results are bitwise identical either
+  /// way.
   explicit FrameWorkspace(const core::EcoFusionEngine& engine,
                           const dataset::Frame& frame,
-                          bool share_channel_scans = true);
+                          bool share_channel_scans = true,
+                          FrameArena* arena = nullptr);
 
   /// Attaches temporal stem caching: F resolves through `cache` under
   /// `sequence_id` (frames of one sequence share cache state).
   FrameWorkspace(const core::EcoFusionEngine& engine,
                  const dataset::Frame& frame, TemporalStemCache* cache,
-                 std::uint64_t sequence_id, bool share_channel_scans = true);
+                 std::uint64_t sequence_id, bool share_channel_scans = true,
+                 FrameArena* arena = nullptr);
 
   [[nodiscard]] const dataset::Frame& frame() const noexcept { return frame_; }
   [[nodiscard]] const core::EcoFusionEngine& engine() const noexcept {
@@ -87,6 +96,10 @@ class FrameWorkspace final : public gating::FeatureSource {
   /// scan results through it).
   [[nodiscard]] ChannelScanCache& channel_scans() noexcept { return scans_; }
 
+  /// The frame's arena (external when one was supplied, else the private
+  /// one). The batcher borrows its scan scratch for batched scans.
+  [[nodiscard]] FrameArena& arena() noexcept { return *arena_; }
+
   // ---- observability --------------------------------------------------
   /// Branch executions attributed to this frame (memoized reuse is free).
   [[nodiscard]] std::size_t branch_executions() const noexcept {
@@ -104,22 +117,42 @@ class FrameWorkspace final : public gating::FeatureSource {
   [[nodiscard]] StemSource stem_source() const noexcept {
     return stem_source_;
   }
+  /// Tensor-buffer heap allocations attributed to this frame's work (the
+  /// pipeline samples tensor::tensor_alloc_count deltas around each
+  /// single-threaded stretch of the frame's execution and deposits them
+  /// here). A steady-state frame on a warmed arena reports zero.
+  [[nodiscard]] std::size_t tensor_allocs() const noexcept {
+    return tensor_allocs_;
+  }
+  void note_tensor_allocs(std::size_t count) noexcept {
+    tensor_allocs_ += count;
+  }
+  /// Bytes of reusable buffer capacity the frame's arena retains.
+  [[nodiscard]] std::size_t arena_bytes_high_water() const noexcept {
+    return arena_->bytes_high_water();
+  }
 
  private:
   const core::EcoFusionEngine& engine_;
   const dataset::Frame& frame_;
+  FrameArena owned_arena_;  // used only when no external arena is supplied
+  FrameArena* arena_;
   ChannelScanCache scans_;
   TemporalStemCache* stem_cache_ = nullptr;
   std::uint64_t sequence_id_ = 0;
 
   // Memoized intermediates. `mutable` because FeatureSource::gate_features
   // is const for gate consumers; memoization is the workspace's job.
+  // Arena-computed features live in the arena (features_view_); cache- or
+  // stem-computed ones are owned (features_).
   mutable std::optional<tensor::Tensor> features_;
+  mutable const tensor::Tensor* features_view_ = nullptr;
   mutable StemSource stem_source_ = StemSource::kSkipped;
   std::array<std::optional<fusion::DetectionList>, core::kNumBranches>
       branches_;
   std::optional<std::vector<float>> config_losses_;
   std::size_t branch_executions_ = 0;
+  std::size_t tensor_allocs_ = 0;
 };
 
 }  // namespace eco::exec

@@ -11,32 +11,45 @@ FusionBlock::FusionBlock(FusionBlockConfig config) : config_(config) {}
 std::vector<detect::Detection> FusionBlock::fuse(
     const std::vector<DetectionList>& per_branch,
     const std::vector<AffineTransform2d>& transforms) const {
+  std::vector<const DetectionList*> views;
+  views.reserve(per_branch.size());
+  for (const DetectionList& list : per_branch) views.push_back(&list);
+  return fuse_views(views, transforms);
+}
+
+std::vector<detect::Detection> FusionBlock::fuse_views(
+    const std::vector<const DetectionList*>& per_branch,
+    const std::vector<AffineTransform2d>& transforms) const {
   if (!transforms.empty() && transforms.size() != per_branch.size()) {
     throw std::invalid_argument("FusionBlock::fuse: transform arity mismatch");
   }
 
-  // Unify coordinates.
-  std::vector<DetectionList> unified = per_branch;
+  // Unify coordinates; only a non-trivial transform forces a copy.
+  std::vector<DetectionList> unified;
+  std::vector<const DetectionList*> sources = per_branch;
   if (!transforms.empty()) {
-    for (std::size_t b = 0; b < unified.size(); ++b) {
+    unified.reserve(per_branch.size());
+    for (std::size_t b = 0; b < per_branch.size(); ++b) {
+      unified.push_back(*per_branch[b]);
       for (detect::Detection& d : unified[b]) {
         d.box = transforms[b].apply(d.box);
       }
+      sources[b] = &unified[b];
     }
   }
 
   std::vector<detect::Detection> fused;
   switch (config_.algorithm) {
     case FusionAlgorithm::kWeightedBoxFusion:
-      fused = weighted_boxes_fusion(unified, config_.wbf);
+      fused = weighted_boxes_fusion_views(sources, config_.wbf);
       // WBF clusters per class; a residual class-agnostic NMS removes
       // cross-class duplicates when branches disagree on the label.
       fused = detect::nms(std::move(fused), 0.55f, /*class_aware=*/false);
       break;
     case FusionAlgorithm::kNmsMerge: {
       DetectionList flat;
-      for (const auto& list : unified) {
-        flat.insert(flat.end(), list.begin(), list.end());
+      for (const DetectionList* list : sources) {
+        flat.insert(flat.end(), list->begin(), list->end());
       }
       fused = detect::nms(std::move(flat), config_.nms_iou,
                           /*class_aware=*/true);

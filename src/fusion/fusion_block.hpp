@@ -35,6 +35,13 @@ class FusionBlock {
       const std::vector<DetectionList>& per_branch,
       const std::vector<AffineTransform2d>& transforms = {}) const;
 
+  /// View-based fusion — the per-frame hot path: fuses memoized branch
+  /// lists in place without copying them (copies appear only when
+  /// `transforms` require rewritten boxes). Bitwise identical to fuse().
+  [[nodiscard]] std::vector<detect::Detection> fuse_views(
+      const std::vector<const DetectionList*>& per_branch,
+      const std::vector<AffineTransform2d>& transforms = {}) const;
+
   [[nodiscard]] const FusionBlockConfig& config() const noexcept {
     return config_;
   }

@@ -69,6 +69,17 @@ struct Cluster {
 std::vector<detect::Detection> weighted_boxes_fusion(
     const std::vector<DetectionList>& per_model_detections,
     const WbfConfig& config, const std::vector<float>& model_weights) {
+  std::vector<const DetectionList*> views;
+  views.reserve(per_model_detections.size());
+  for (const DetectionList& list : per_model_detections) {
+    views.push_back(&list);
+  }
+  return weighted_boxes_fusion_views(views, config, model_weights);
+}
+
+std::vector<detect::Detection> weighted_boxes_fusion_views(
+    const std::vector<const DetectionList*>& per_model_detections,
+    const WbfConfig& config, const std::vector<float>& model_weights) {
   if (!model_weights.empty() &&
       model_weights.size() != per_model_detections.size()) {
     throw std::invalid_argument(
@@ -79,7 +90,7 @@ std::vector<detect::Detection> weighted_boxes_fusion(
   std::vector<detect::Detection> all;
   for (std::size_t m = 0; m < per_model_detections.size(); ++m) {
     const float w = model_weights.empty() ? 1.0f : model_weights[m];
-    for (detect::Detection d : per_model_detections[m]) {
+    for (detect::Detection d : *per_model_detections[m]) {
       d.score *= w;
       if (d.score >= config.skip_box_threshold) all.push_back(std::move(d));
     }

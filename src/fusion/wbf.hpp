@@ -35,4 +35,12 @@ using DetectionList = std::vector<detect::Detection>;
     const WbfConfig& config = {},
     const std::vector<float>& model_weights = {});
 
+/// Same fusion over non-owning views — the hot-path form: per-frame callers
+/// (engine run paths, workspace config losses) fuse memoized branch lists
+/// without copying them first. Bitwise identical to the owning overload.
+[[nodiscard]] std::vector<detect::Detection> weighted_boxes_fusion_views(
+    const std::vector<const DetectionList*>& per_model_detections,
+    const WbfConfig& config = {},
+    const std::vector<float>& model_weights = {});
+
 }  // namespace eco::fusion

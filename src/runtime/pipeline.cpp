@@ -1,5 +1,6 @@
 #include "runtime/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -74,10 +75,16 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   std::vector<eval::FrameResult> frame_results;
 
   // Window slots, reused across windows. Workers write disjoint slots; the
-  // main thread reduces them in stream order after the barrier.
+  // main thread reduces them in stream order after the barrier. Each slot
+  // owns a persistent FrameArena: the slot's first frame warms the arena's
+  // buffers and every later frame through the slot executes with zero
+  // tensor heap allocations (slot→frame assignment is a pure function of
+  // stream order, so the per-frame alloc counters stay worker-count
+  // deterministic).
   std::vector<FrameStats> slot_stats(config_.window);
   std::vector<eval::FrameResult> slot_results(config_.window);
   std::vector<std::unique_ptr<exec::FrameWorkspace>> workspaces(config_.window);
+  std::vector<exec::FrameArena> arenas(config_.window);
   std::vector<std::size_t> selections(config_.window, 0);
 
   for (;;) {
@@ -115,16 +122,24 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     }
     for (const std::vector<std::size_t>& lane : lanes) {
       pool.submit(group, [this, &lane, &window, params, &gates, &workspaces,
-                          &selections, &stem_cache](std::size_t worker) {
+                          &selections, &stem_cache,
+                          &arenas](std::size_t worker) {
         for (std::size_t slot : lane) {
           const StreamFrame& sf = window[slot];
+          // A lane task is a single-threaded stretch, so the thread-local
+          // alloc counter delta is exactly this slot's selection-phase
+          // tensor allocations.
+          const std::uint64_t allocs_before = tensor::tensor_alloc_count();
           workspaces[slot] = std::make_unique<exec::FrameWorkspace>(
               engine_, sf.frame, stem_cache ? &*stem_cache : nullptr,
-              sf.sequence_id, config_.share_channel_scans);
+              sf.sequence_id, config_.share_channel_scans, &arenas[slot]);
           selections[slot] =
               engine_
                   .select_adaptive(*workspaces[slot], *gates[worker], params)
                   .config_index;
+          workspaces[slot]->note_tensor_allocs(
+              static_cast<std::size_t>(tensor::tensor_alloc_count() -
+                                       allocs_before));
         }
       });
     }
@@ -153,8 +168,11 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
                                                        double shared_wall_ms) {
         const auto frame_start = std::chrono::steady_clock::now();
         exec::FrameWorkspace& ws = *workspaces[slot];
+        const std::uint64_t allocs_before = tensor::tensor_alloc_count();
         const core::RunResult run =
             engine_.run_selected(ws, selected, complexity);
+        ws.note_tensor_allocs(static_cast<std::size_t>(
+            tensor::tensor_alloc_count() - allocs_before));
         const StreamFrame& sf = window[slot];
         FrameStats stats;
         stats.stream_index = sf.index;
@@ -171,6 +189,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         stats.branch_runs = ws.branch_executions();
         stats.channel_scans_requested = ws.channel_scans_requested();
         stats.channel_scans_unique = ws.channel_scans_unique();
+        stats.tensor_allocs = ws.tensor_allocs();
+        stats.arena_bytes_high_water = ws.arena_bytes_high_water();
         stats.wall_ms = shared_wall_ms + elapsed_ms(frame_start);
         slot_stats[slot] = stats;
         if (config_.keep_frame_results) {
@@ -191,7 +211,15 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           for (std::size_t slot : slots) {
             batch_group.push_back(workspaces[slot].get());
           }
+          // Batched-scan allocations are attributed to the group's first
+          // frame (the batch writes through that frame's scratch); group
+          // composition is deterministic, so the attribution is too. The
+          // per-frame finish tasks fan out only after this note, so no one
+          // reads the counter concurrently.
+          const std::uint64_t allocs_before = tensor::tensor_alloc_count();
           batcher.execute(selected, batch_group);
+          batch_group.front()->note_tensor_allocs(static_cast<std::size_t>(
+              tensor::tensor_alloc_count() - allocs_before));
           const double shared_ms =
               elapsed_ms(batch_start) / static_cast<double>(slots.size());
           for (std::size_t slot : slots) {
@@ -286,6 +314,9 @@ void finalize_report(PipelineReport& report) {
   report.exec.channel_scans_unique = 0;
   report.exec.batched_frames = 0;
   report.exec.mean_batch = 0.0;
+  report.exec.tensor_allocs = 0;
+  report.exec.arena_bytes_high_water = 0;
+  report.exec.zero_alloc_frames = 0;
 
   std::map<dataset::SceneType, SceneReport> scenes;
   for (const FrameStats& stats : report.frame_stats) {
@@ -297,6 +328,10 @@ void finalize_report(PipelineReport& report) {
     report.exec.branch_runs += stats.branch_runs;
     report.exec.channel_scans_requested += stats.channel_scans_requested;
     report.exec.channel_scans_unique += stats.channel_scans_unique;
+    report.exec.tensor_allocs += stats.tensor_allocs;
+    report.exec.arena_bytes_high_water = std::max(
+        report.exec.arena_bytes_high_water, stats.arena_bytes_high_water);
+    if (stats.tensor_allocs == 0) report.exec.zero_alloc_frames += 1;
     if (stats.batch_size > 1) report.exec.batched_frames += 1;
     switch (stats.stem_source) {
       case exec::StemSource::kSkipped: report.exec.stems_skipped += 1; break;

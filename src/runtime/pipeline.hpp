@@ -130,6 +130,17 @@ struct FrameStats {
   /// channel (e.g. ensemble configurations: 7 requested, 4 unique).
   std::size_t channel_scans_requested = 0;
   std::size_t channel_scans_unique = 0;
+  /// Tensor-buffer heap allocations attributed to this frame's execution
+  /// (tensor::tensor_alloc_count deltas over the frame's selection,
+  /// batched-scan and execution stretches). Frames through a warmed slot
+  /// arena report 0 — the first window per slot pays the warm-up.
+  /// Deterministic for a fixed shard count; warm-up attribution shifts with
+  /// shard count (different slot histories), so it is intentionally not
+  /// part of the cross-shard invariance comparisons.
+  std::size_t tensor_allocs = 0;
+  /// Reusable buffer capacity the frame's slot arena retained at frame
+  /// completion (tensor pool high water + scan scratch buffers).
+  std::size_t arena_bytes_high_water = 0;
 };
 
 /// Execution-layer counters for one run (all deterministic).
@@ -145,6 +156,12 @@ struct ExecCounters {
   std::size_t batched_frames = 0;    // frames in groups of size > 1
   std::size_t max_batch = 0;         // largest group
   double mean_batch = 0.0;           // frames / batches
+  std::size_t tensor_allocs = 0;     // sum of per-frame tensor allocations
+  std::size_t arena_bytes_high_water = 0;  // max per-frame arena footprint
+  /// Frames that executed with zero tensor heap allocations. Steady state
+  /// is every frame past its slot's warm-up window, so this must cover all
+  /// but (at most) the first window per shard; the bench gates on it.
+  std::size_t zero_alloc_frames = 0;
 };
 
 /// Aggregates for one scene type.

@@ -1,0 +1,31 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+
+namespace eco::tensor {
+
+Tensor& TensorArena::acquire(const Shape& shape) {
+  const std::uint64_t before = tensor_alloc_count();
+  if (next_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>());
+  }
+  Tensor& slot = *slots_[next_++];
+  slot.resize(shape);
+  heap_allocs_ += tensor_alloc_count() - before;
+  bytes_live_ += slot.numel() * sizeof(float);
+  high_water_ = std::max(high_water_, bytes_live_);
+  return slot;
+}
+
+Tensor& TensorArena::acquire_zeroed(const Shape& shape) {
+  Tensor& slot = acquire(shape);
+  slot.zero();
+  return slot;
+}
+
+void TensorArena::reset() noexcept {
+  next_ = 0;
+  bytes_live_ = 0;
+}
+
+}  // namespace eco::tensor

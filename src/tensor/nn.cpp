@@ -124,7 +124,10 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
 }
 
 Tensor Linear::forward(const Tensor& input) {
-  cached_input_ = input.dim() == 1 ? input : input.reshaped({input.numel()});
+  // One copy for the backward cache; flattening is a metadata-only reshape
+  // of that copy (the old reshaped() path copied the buffer twice).
+  cached_input_ = input;
+  if (cached_input_.dim() != 1) cached_input_.reshape({input.numel()});
   return linear(cached_input_, weight_.value, bias_.value);
 }
 
@@ -165,10 +168,11 @@ Tensor SelfAttention2d::forward(const Tensor& input) {
   const std::size_t n = h * w;
 
   // Token matrix: rows are spatial positions, columns are channels.
-  x_tokens_ = Tensor({n, channels_});
+  x_tokens_.resize({n, channels_});
+  float* xt = x_tokens_.data();
   for (std::size_t c = 0; c < channels_; ++c) {
     const float* plane = input.data() + c * n;
-    for (std::size_t t = 0; t < n; ++t) x_tokens_.at(t, c) = plane[t];
+    for (std::size_t t = 0; t < n; ++t) xt[t * channels_ + c] = plane[t];
   }
 
   q_ = matmul(x_tokens_, transpose2d(wq_.value));  // (n, d)
@@ -179,19 +183,21 @@ Tensor SelfAttention2d::forward(const Tensor& input) {
   Tensor scores = matmul(q_, transpose2d(k_));  // (n, n)
   scores *= scale;
 
-  // Row-wise softmax.
-  attn_ = Tensor({n, n});
+  // Row-wise softmax over raw row pointers (same arithmetic order).
+  attn_.resize({n, n});
   for (std::size_t i = 0; i < n; ++i) {
-    float row_max = scores.at(i, 0);
-    for (std::size_t j = 1; j < n; ++j) row_max = std::max(row_max, scores.at(i, j));
+    const float* score_row = scores.data() + i * n;
+    float* attn_row = attn_.data() + i * n;
+    float row_max = score_row[0];
+    for (std::size_t j = 1; j < n; ++j) row_max = std::max(row_max, score_row[j]);
     double total = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
-      const float e = std::exp(scores.at(i, j) - row_max);
-      attn_.at(i, j) = e;
+      const float e = std::exp(score_row[j] - row_max);
+      attn_row[j] = e;
       total += e;
     }
     const float inv = static_cast<float>(1.0 / total);
-    for (std::size_t j = 0; j < n; ++j) attn_.at(i, j) *= inv;
+    for (std::size_t j = 0; j < n; ++j) attn_row[j] *= inv;
   }
 
   y_ = matmul(attn_, v_);                            // (n, d)
@@ -230,13 +236,15 @@ Tensor SelfAttention2d::backward(const Tensor& grad_output) {
   // Row-wise softmax backward: dS_i = A_i ∘ (dA_i − <dA_i, A_i>).
   Tensor d_scores({n, n});
   for (std::size_t i = 0; i < n; ++i) {
+    const float* da_row = d_attn.data() + i * n;
+    const float* a_row = attn_.data() + i * n;
+    float* ds_row = d_scores.data() + i * n;
     double dot = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
-      dot += static_cast<double>(d_attn.at(i, j)) * attn_.at(i, j);
+      dot += static_cast<double>(da_row[j]) * a_row[j];
     }
     for (std::size_t j = 0; j < n; ++j) {
-      d_scores.at(i, j) =
-          attn_.at(i, j) * (d_attn.at(i, j) - static_cast<float>(dot));
+      ds_row[j] = a_row[j] * (da_row[j] - static_cast<float>(dot));
     }
   }
   const float scale = 1.0f / std::sqrt(static_cast<float>(attn_dim_));

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace eco::tensor {
+
+bool use_reference_kernels() noexcept {
+  static const bool enabled = [] {
+    const char* env = std::getenv("ECO_REFERENCE_KERNELS");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
 
 namespace {
 void require(bool condition, const char* message) {
@@ -26,9 +35,10 @@ void require_conv_args(const Tensor& input, const Tensor& weight,
 }
 }  // namespace
 
-void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                 const Conv2dSpec& spec, std::size_t row_begin,
-                 std::size_t row_end, Tensor& out) {
+void conv2d_rows_reference(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec,
+                           std::size_t row_begin, std::size_t row_end,
+                           Tensor& out) {
   require_conv_args(input, weight, bias, spec);
   const std::size_t h = input.size(1), w = input.size(2);
   const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
@@ -70,6 +80,156 @@ void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
   }
 }
 
+namespace {
+
+/// One guarded (border) output cell: the exact per-cell loop of the
+/// reference kernel over raw pointers — same tap-skip conditions, same
+/// ic→ky→kx accumulation chain, so border cells are bitwise identical too.
+inline float conv_cell_guarded(const float* in, const float* w_oc,
+                               float bias_value, std::size_t in_channels,
+                               std::size_t h, std::size_t w, std::size_t k,
+                               std::ptrdiff_t iy0, std::ptrdiff_t ix0) {
+  float acc = bias_value;
+  const std::size_t in_plane = h * w;
+  for (std::size_t ic = 0; ic < in_channels; ++ic) {
+    const float* in_c = in + ic * in_plane;
+    const float* w_ic = w_oc + ic * k * k;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+      if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+      const float* in_row = in_c + static_cast<std::size_t>(iy) * w;
+      const float* w_row = w_ic + ky * k;
+      for (std::size_t kx = 0; kx < k; ++kx) {
+        const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+        if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+        acc += in_row[static_cast<std::size_t>(ix)] * w_row[kx];
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+void conv2d_rows_fast(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      std::size_t row_begin, std::size_t row_end, Tensor& out) {
+  require_conv_args(input, weight, bias, spec);
+  const std::size_t h = input.size(1), w = input.size(2);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t k = spec.kernel, s = spec.stride, p = spec.padding;
+  require(out.dim() == 3 && out.size(0) == spec.out_channels &&
+              out.size(1) == oh && out.size(2) == ow,
+          "conv2d_rows: output shape mismatch");
+  require(row_begin <= row_end && row_end <= oh,
+          "conv2d_rows: row range out of bounds");
+
+  // Interior output ranges: cells whose k×k window lies fully inside the
+  // input, i.e. o*s - p >= 0 and o*s - p + k <= extent. Everything outside
+  // is border and runs the guarded path.
+  const std::size_t oy_lo = std::min(oh, (p + s - 1) / s);
+  const std::size_t oy_hi =
+      (h + p >= k) ? std::min(oh, (h + p - k) / s + 1) : 0;
+  const std::size_t ox_lo = std::min(ow, (p + s - 1) / s);
+  const std::size_t ox_hi =
+      (w + p >= k) ? std::min(ow, (w + p - k) / s + 1) : 0;
+
+  const float* in = input.data();
+  const float* wt = weight.data();
+  float* out_data = out.data();
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  const std::size_t w_oc_stride = spec.in_channels * k * k;
+
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    const float b = bias[oc];
+    const float* w_oc = wt + oc * w_oc_stride;
+    float* out_c = out_data + oc * out_plane;
+    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
+      float* out_row = out_c + oy * ow;
+      const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy * s) -
+                                 static_cast<std::ptrdiff_t>(p);
+      if (oy < oy_lo || oy >= oy_hi) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * s) -
+                                     static_cast<std::ptrdiff_t>(p);
+          out_row[ox] = conv_cell_guarded(in, w_oc, b, spec.in_channels, h, w,
+                                          k, iy0, ix0);
+        }
+        continue;
+      }
+      std::size_t ox = 0;
+      for (; ox < ox_lo; ++ox) {
+        const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * s) -
+                                   static_cast<std::ptrdiff_t>(p);
+        out_row[ox] = conv_cell_guarded(in, w_oc, b, spec.in_channels, h, w, k,
+                                        iy0, ix0);
+      }
+      const float* in_y = in + static_cast<std::size_t>(iy0) * w;
+      if (k == 3) {
+        // Fully unrolled 3×3 taps per input channel; the += chain visits
+        // taps in the reference's ky→kx order.
+        for (; ox < ox_hi; ++ox) {
+          const std::size_t ix0 = ox * s - p;
+          float acc = b;
+          const float* in_c = in_y + ix0;
+          const float* w9 = w_oc;
+          for (std::size_t ic = 0; ic < spec.in_channels;
+               ++ic, in_c += in_plane, w9 += 9) {
+            const float* r0 = in_c;
+            const float* r1 = in_c + w;
+            const float* r2 = in_c + 2 * w;
+            acc += r0[0] * w9[0];
+            acc += r0[1] * w9[1];
+            acc += r0[2] * w9[2];
+            acc += r1[0] * w9[3];
+            acc += r1[1] * w9[4];
+            acc += r1[2] * w9[5];
+            acc += r2[0] * w9[6];
+            acc += r2[1] * w9[7];
+            acc += r2[2] * w9[8];
+          }
+          out_row[ox] = acc;
+        }
+      } else {
+        for (; ox < ox_hi; ++ox) {
+          const std::size_t ix0 = ox * s - p;
+          float acc = b;
+          const float* in_c = in_y + ix0;
+          const float* w_ic = w_oc;
+          for (std::size_t ic = 0; ic < spec.in_channels;
+               ++ic, in_c += in_plane, w_ic += k * k) {
+            const float* in_row = in_c;
+            const float* w_row = w_ic;
+            for (std::size_t ky = 0; ky < k; ++ky, in_row += w, w_row += k) {
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                acc += in_row[kx] * w_row[kx];
+              }
+            }
+          }
+          out_row[ox] = acc;
+        }
+      }
+      for (; ox < ow; ++ox) {
+        const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * s) -
+                                   static_cast<std::ptrdiff_t>(p);
+        out_row[ox] = conv_cell_guarded(in, w_oc, b, spec.in_channels, h, w, k,
+                                        iy0, ix0);
+      }
+    }
+  }
+}
+
+void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                 const Conv2dSpec& spec, std::size_t row_begin,
+                 std::size_t row_end, Tensor& out) {
+  if (use_reference_kernels()) {
+    conv2d_rows_reference(input, weight, bias, spec, row_begin, row_end, out);
+  } else {
+    conv2d_rows_fast(input, weight, bias, spec, row_begin, row_end, out);
+  }
+}
+
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               const Conv2dSpec& spec) {
   require_conv_args(input, weight, bias, spec);
@@ -89,7 +249,9 @@ void conv2d_batch(std::vector<Conv2dBatchItem>& items, const Conv2dSpec& spec) {
     const std::size_t oh = spec.out_extent(item.input->size(1));
     const std::size_t ow = spec.out_extent(item.input->size(2));
     if (item.output->shape() != Shape{spec.out_channels, oh, ow}) {
-      *item.output = Tensor({spec.out_channels, oh, ow});
+      // Every output cell is written below, so capacity-reusing resize is
+      // enough (arena outputs never re-allocate here).
+      item.output->resize({spec.out_channels, oh, ow});
     }
     conv2d_rows(*item.input, *item.weight, *item.bias, spec, 0, oh,
                 *item.output);
@@ -144,8 +306,14 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight,
 
 Tensor relu(const Tensor& input) {
   Tensor out = input;
-  for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  relu_in_place(out);
   return out;
+}
+
+void relu_in_place(Tensor& t) noexcept {
+  float* v = t.data();
+  const std::size_t n = t.numel();
+  for (std::size_t i = 0; i < n; ++i) v[i] = v[i] > 0.0f ? v[i] : 0.0f;
 }
 
 Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
@@ -159,24 +327,49 @@ Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
 }
 
 Tensor maxpool2x2(const Tensor& input) {
+  Tensor out;
+  maxpool2x2_into(input, out);
+  return out;
+}
+
+void maxpool2x2_into(const Tensor& input, Tensor& out) {
   require(input.dim() == 3, "maxpool2x2: input must be CHW");
   const std::size_t c = input.size(0), h = input.size(1), w = input.size(2);
   const std::size_t oh = h / 2, ow = w / 2;
   require(oh > 0 && ow > 0, "maxpool2x2: input too small");
-  Tensor out({c, oh, ow});
+  out.resize({c, oh, ow});
+  maxpool2x2_rows(input, 0, oh, out);
+}
+
+void maxpool2x2_rows(const Tensor& input, std::size_t row_begin,
+                     std::size_t row_end, Tensor& out) {
+  require(input.dim() == 3 && out.dim() == 3, "maxpool2x2_rows: CHW expected");
+  const std::size_t c = out.size(0), oh = out.size(1), ow = out.size(2);
+  const std::size_t h = input.size(1), w = input.size(2);
+  require(input.size(0) == c && oh <= h / 2 && ow <= w / 2,
+          "maxpool2x2_rows: output shape mismatch");
+  require(row_begin <= row_end && row_end <= oh,
+          "maxpool2x2_rows: row range out of bounds");
+  const float* in = input.data();
+  float* o = out.data();
   for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
+    const float* in_c = in + ch * h * w;
+    float* out_c = o + ch * oh * ow;
+    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
+      const float* r0 = in_c + (oy * 2) * w;
+      const float* r1 = r0 + w;
+      float* out_row = out_c + oy * ow;
       for (std::size_t ox = 0; ox < ow; ++ox) {
-        const std::size_t iy = oy * 2, ix = ox * 2;
-        float m = input.at(ch, iy, ix);
-        m = std::max(m, input.at(ch, iy, ix + 1));
-        m = std::max(m, input.at(ch, iy + 1, ix));
-        m = std::max(m, input.at(ch, iy + 1, ix + 1));
-        out.at(ch, oy, ox) = m;
+        const std::size_t ix = ox * 2;
+        // Comparison order matches the original per-cell max chain.
+        float m = r0[ix];
+        m = std::max(m, r0[ix + 1]);
+        m = std::max(m, r1[ix]);
+        m = std::max(m, r1[ix + 1]);
+        out_row[ox] = m;
       }
     }
   }
-  return out;
 }
 
 Tensor maxpool2x2_backward(const Tensor& input, const Tensor& grad_output) {

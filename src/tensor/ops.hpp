@@ -29,15 +29,43 @@ struct Conv2dSpec {
 [[nodiscard]] Tensor conv2d(const Tensor& input, const Tensor& weight,
                             const Tensor& bias, const Conv2dSpec& spec);
 
+/// True when ECO_REFERENCE_KERNELS=1 is set in the environment (read once):
+/// the dispatching kernel entry points (conv2d_rows, box_blur3_into) then
+/// run their reference implementations instead of the raw-pointer fast
+/// paths. CI uses this to prove the fast kernels bitwise-equivalent on the
+/// full bench, not just on sampled inputs.
+[[nodiscard]] bool use_reference_kernels() noexcept;
+
 /// Row-restricted conv2d: computes output rows [row_begin, row_end) into a
 /// preallocated `out` of shape (C_out, H_out, W_out); rows outside the range
 /// are left untouched. conv2d() is implemented on top of this, so the
 /// per-cell arithmetic (and therefore the result, bitwise) is identical —
 /// this is what lets the temporal stem cache refresh only the rows a frame
 /// delta touched and still honour the pipeline's determinism contract.
+///
+/// Dispatches to conv2d_rows_fast (or conv2d_rows_reference under
+/// ECO_REFERENCE_KERNELS=1); both produce bitwise-identical outputs.
 void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
                  const Conv2dSpec& spec, std::size_t row_begin,
                  std::size_t row_end, Tensor& out);
+
+/// The original 7-deep bounds-checked loop, kept verbatim as the semantic
+/// ground truth for the fast kernel; tests and the bench self-gate pin
+/// conv2d_rows_fast bitwise against it.
+void conv2d_rows_reference(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec,
+                           std::size_t row_begin, std::size_t row_end,
+                           Tensor& out);
+
+/// Raw-pointer kernel with an interior/border split: border cells (whose
+/// window may leave the padded input) keep the guarded reference path;
+/// interior cells run an unguarded, unrolled walk over contiguous input and
+/// weight rows. The ic→ky→kx accumulation order — a single float
+/// accumulator chain per cell — matches the reference exactly, so results
+/// are bitwise identical.
+void conv2d_rows_fast(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      std::size_t row_begin, std::size_t row_end, Tensor& out);
 
 /// One sample of a batched convolution. Weights may differ per item (the
 /// stem bank convolves four sensors with four kernel sets in one call);
@@ -64,12 +92,25 @@ void conv2d_batch(std::vector<Conv2dBatchItem>& items, const Conv2dSpec& spec);
 
 /// ReLU forward.
 [[nodiscard]] Tensor relu(const Tensor& input);
+/// In-place ReLU; elementwise identical to relu(). Lets arena-backed
+/// pipelines rectify a conv output without a copy.
+void relu_in_place(Tensor& t) noexcept;
 /// ReLU backward: passes gradient where the *input* was positive.
 [[nodiscard]] Tensor relu_backward(const Tensor& input,
                                    const Tensor& grad_output);
 
 /// 2x2 max pooling with stride 2 (floor semantics). input: CHW.
 [[nodiscard]] Tensor maxpool2x2(const Tensor& input);
+/// Same pooling into a caller-owned output (resized when needed; arena
+/// tensors keep their capacity). Bitwise identical to maxpool2x2().
+void maxpool2x2_into(const Tensor& input, Tensor& out);
+/// Row-restricted pooling: output rows [row_begin, row_end) of a
+/// preallocated `out` of shape (C, H/2, W/2); other rows untouched. The
+/// single definition of the per-cell max chain — maxpool2x2_into and the
+/// temporal stem cache's row refresh both run through it, which is what
+/// keeps partial refresh bitwise equal to full pooling.
+void maxpool2x2_rows(const Tensor& input, std::size_t row_begin,
+                     std::size_t row_end, Tensor& out);
 [[nodiscard]] Tensor maxpool2x2_backward(const Tensor& input,
                                          const Tensor& grad_output);
 

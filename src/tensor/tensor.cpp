@@ -8,6 +8,20 @@
 
 namespace eco::tensor {
 
+namespace {
+
+thread_local std::uint64_t t_tensor_allocs = 0;
+
+/// Records one buffer acquisition when `n` elements of fresh storage were
+/// actually obtained (zero-size buffers are free).
+inline void note_alloc(std::size_t n) noexcept {
+  if (n > 0) ++t_tensor_allocs;
+}
+
+}  // namespace
+
+std::uint64_t tensor_alloc_count() noexcept { return t_tensor_allocs; }
+
 std::size_t shape_numel(const Shape& shape) noexcept {
   std::size_t n = 1;
   for (std::size_t s : shape) n *= s;
@@ -26,7 +40,9 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  note_alloc(data_.size());
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -36,6 +52,21 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
                                 " does not match shape " +
                                 shape_to_string(shape_));
   }
+  note_alloc(data_.size());
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  note_alloc(data_.size());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    if (data_.capacity() < other.data_.size()) note_alloc(other.data_.size());
+    shape_ = other.shape_;
+    data_ = other.data_;
+  }
+  return *this;
 }
 
 Tensor Tensor::scalar(float value) { return Tensor({1}, {value}); }
@@ -54,43 +85,6 @@ Tensor Tensor::from_vector(std::vector<float> values) {
   return Tensor({n}, std::move(values));
 }
 
-float& Tensor::at(std::size_t i0) noexcept {
-  assert(dim() == 1 && i0 < shape_[0]);
-  return data_[i0];
-}
-float Tensor::at(std::size_t i0) const noexcept {
-  assert(dim() == 1 && i0 < shape_[0]);
-  return data_[i0];
-}
-float& Tensor::at(std::size_t i0, std::size_t i1) noexcept {
-  assert(dim() == 2 && i0 < shape_[0] && i1 < shape_[1]);
-  return data_[i0 * shape_[1] + i1];
-}
-float Tensor::at(std::size_t i0, std::size_t i1) const noexcept {
-  assert(dim() == 2 && i0 < shape_[0] && i1 < shape_[1]);
-  return data_[i0 * shape_[1] + i1];
-}
-float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) noexcept {
-  assert(dim() == 3 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2]);
-  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
-}
-float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const noexcept {
-  assert(dim() == 3 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2]);
-  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
-}
-float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
-                  std::size_t i3) noexcept {
-  assert(dim() == 4 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2] &&
-         i3 < shape_[3]);
-  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
-}
-float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
-                 std::size_t i3) const noexcept {
-  assert(dim() == 4 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2] &&
-         i3 < shape_[3]);
-  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
-}
-
 Tensor Tensor::reshaped(Shape new_shape) const {
   Tensor copy = *this;
   copy.reshape(std::move(new_shape));
@@ -103,6 +97,13 @@ void Tensor::reshape(Shape new_shape) {
                                 shape_to_string(shape_) + " -> " +
                                 shape_to_string(new_shape) + ")");
   }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::resize(Shape new_shape) {
+  const std::size_t n = shape_numel(new_shape);
+  if (n > data_.capacity()) note_alloc(n);
+  data_.resize(n);
   shape_ = std::move(new_shape);
 }
 
@@ -226,26 +227,35 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor concat_channels(const std::vector<Tensor>& parts) {
+  std::vector<const Tensor*> views;
+  views.reserve(parts.size());
+  for (const Tensor& p : parts) views.push_back(&p);
+  Tensor out;
+  concat_channels_into(views, out);
+  return out;
+}
+
+void concat_channels_into(const std::vector<const Tensor*>& parts,
+                          Tensor& out) {
   if (parts.empty()) throw std::invalid_argument("concat_channels: no inputs");
-  for (const auto& p : parts) {
-    if (p.dim() != 3) {
+  for (const Tensor* p : parts) {
+    if (p == nullptr || p->dim() != 3) {
       throw std::invalid_argument("concat_channels: inputs must be CHW");
     }
-    if (p.size(1) != parts.front().size(1) ||
-        p.size(2) != parts.front().size(2)) {
+    if (p->size(1) != parts.front()->size(1) ||
+        p->size(2) != parts.front()->size(2)) {
       throw std::invalid_argument("concat_channels: H/W mismatch");
     }
   }
   std::size_t channels = 0;
-  for (const auto& p : parts) channels += p.size(0);
-  const std::size_t h = parts.front().size(1), w = parts.front().size(2);
-  Tensor out({channels, h, w});
+  for (const Tensor* p : parts) channels += p->size(0);
+  const std::size_t h = parts.front()->size(1), w = parts.front()->size(2);
+  out.resize({channels, h, w});
   std::size_t offset = 0;
-  for (const auto& p : parts) {
-    std::copy(p.data(), p.data() + p.numel(), out.data() + offset);
-    offset += p.numel();
+  for (const Tensor* p : parts) {
+    std::copy(p->data(), p->data() + p->numel(), out.data() + offset);
+    offset += p->numel();
   }
-  return out;
 }
 
 }  // namespace eco::tensor

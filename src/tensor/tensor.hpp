@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -21,6 +22,14 @@ using Shape = std::vector<std::size_t>;
 [[nodiscard]] std::size_t shape_numel(const Shape& shape) noexcept;
 [[nodiscard]] std::string shape_to_string(const Shape& shape);
 
+/// Thread-local, monotonic count of float-buffer acquisitions by Tensors on
+/// this thread: constructions with data, copies, and capacity growth through
+/// resize(). The execution layer samples deltas of this counter around
+/// per-frame work to attribute tensor heap allocations to frames — a
+/// steady-state frame running entirely out of a TensorArena reports a delta
+/// of zero. Buffer reuse within existing capacity does not count.
+[[nodiscard]] std::uint64_t tensor_alloc_count() noexcept;
+
 /// Dense float32 tensor with value semantics.
 class Tensor {
  public:
@@ -31,6 +40,14 @@ class Tensor {
 
   /// Creates a tensor with explicit data (size must equal numel(shape)).
   Tensor(Shape shape, std::vector<float> data);
+
+  // Copies count a buffer acquisition (see tensor_alloc_count); moves are
+  // free and leave the source empty.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+  ~Tensor() = default;
 
   /// Scalar tensor helpers.
   static Tensor scalar(float value);
@@ -67,23 +84,49 @@ class Tensor {
     return data_[i];
   }
 
-  /// Multi-dimensional access (arity must match dim()).
-  [[nodiscard]] float& at(std::size_t i0) noexcept;
-  [[nodiscard]] float at(std::size_t i0) const noexcept;
-  [[nodiscard]] float& at(std::size_t i0, std::size_t i1) noexcept;
-  [[nodiscard]] float at(std::size_t i0, std::size_t i1) const noexcept;
-  [[nodiscard]] float& at(std::size_t i0, std::size_t i1, std::size_t i2) noexcept;
-  [[nodiscard]] float at(std::size_t i0, std::size_t i1, std::size_t i2) const noexcept;
+  /// Multi-dimensional access (arity must match dim()). All overloads
+  /// resolve through one flat_index() helper and are noexcept; bounds are
+  /// assert-checked in debug builds only.
+  [[nodiscard]] float& at(std::size_t i0) noexcept {
+    return data_[flat_index(i0)];
+  }
+  [[nodiscard]] float at(std::size_t i0) const noexcept {
+    return data_[flat_index(i0)];
+  }
+  [[nodiscard]] float& at(std::size_t i0, std::size_t i1) noexcept {
+    return data_[flat_index(i0, i1)];
+  }
+  [[nodiscard]] float at(std::size_t i0, std::size_t i1) const noexcept {
+    return data_[flat_index(i0, i1)];
+  }
+  [[nodiscard]] float& at(std::size_t i0, std::size_t i1,
+                          std::size_t i2) noexcept {
+    return data_[flat_index(i0, i1, i2)];
+  }
+  [[nodiscard]] float at(std::size_t i0, std::size_t i1,
+                         std::size_t i2) const noexcept {
+    return data_[flat_index(i0, i1, i2)];
+  }
   [[nodiscard]] float& at(std::size_t i0, std::size_t i1, std::size_t i2,
-                          std::size_t i3) noexcept;
+                          std::size_t i3) noexcept {
+    return data_[flat_index(i0, i1, i2, i3)];
+  }
   [[nodiscard]] float at(std::size_t i0, std::size_t i1, std::size_t i2,
-                         std::size_t i3) const noexcept;
+                         std::size_t i3) const noexcept {
+    return data_[flat_index(i0, i1, i2, i3)];
+  }
 
   /// Returns a copy with a new shape (numel must be preserved).
   [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 
   /// In-place reshape (numel must be preserved).
   void reshape(Shape new_shape);
+
+  /// Reshapes to `new_shape`, resizing storage as needed and reusing the
+  /// existing buffer capacity when it suffices (no allocation, contents of
+  /// retained elements unspecified). This is the TensorArena's workhorse:
+  /// a pooled tensor resized to a recurring shape never re-allocates.
+  void resize(Shape new_shape);
 
   /// Fills with a constant.
   void fill(float value) noexcept;
@@ -138,6 +181,20 @@ class Tensor {
   [[nodiscard]] std::string to_string(std::size_t max_elements = 32) const;
 
  private:
+  /// Row-major flat offset of a multi-dimensional index; the single site of
+  /// the stride arithmetic shared by every at() overload.
+  template <typename... Indices>
+  [[nodiscard]] std::size_t flat_index(Indices... indices) const noexcept {
+    assert(sizeof...(Indices) == shape_.size());
+    const std::size_t idx[] = {indices...};
+    std::size_t flat = 0;
+    for (std::size_t axis = 0; axis < sizeof...(Indices); ++axis) {
+      assert(idx[axis] < shape_[axis]);
+      flat = flat * shape_[axis] + idx[axis];
+    }
+    return flat;
+  }
+
   Shape shape_;
   std::vector<float> data_;
 };
@@ -148,5 +205,11 @@ class Tensor {
 /// Concatenates tensors along the channel axis (axis 0 of CHW tensors).
 /// All inputs must share H and W.
 [[nodiscard]] Tensor concat_channels(const std::vector<Tensor>& parts);
+
+/// Same concatenation into a caller-owned output (resized when needed, so
+/// arena tensors keep their capacity). Bitwise identical to
+/// concat_channels().
+void concat_channels_into(const std::vector<const Tensor*>& parts,
+                          Tensor& out);
 
 }  // namespace eco::tensor

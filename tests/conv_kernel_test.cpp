@@ -1,0 +1,185 @@
+// Pins the raw-pointer fast kernels bitwise against their reference
+// implementations across the awkward geometries: odd extents, stride > 1,
+// padding >= kernel/2 (and beyond the kernel), 1x1 kernels, row-restricted
+// and empty row ranges. The fast kernels' interior/border split must be
+// invisible — Tensor::equals (exact float compare) throughout.
+#include <gtest/gtest.h>
+
+#include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace eco::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, util::Rng& rng, float lo = -1.0f,
+                     float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  for (float& v : t.vec()) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+struct KernelCase {
+  std::size_t in_channels, out_channels, kernel, stride, padding, h, w;
+};
+
+class ConvKernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(ConvKernelEquivalence, FastMatchesReferenceBitwise) {
+  const KernelCase c = GetParam();
+  Conv2dSpec spec;
+  spec.in_channels = c.in_channels;
+  spec.out_channels = c.out_channels;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  util::Rng rng(c.kernel * 1000 + c.h * 10 + c.stride);
+  const Tensor input = random_tensor({c.in_channels, c.h, c.w}, rng);
+  const Tensor weight = random_tensor(
+      {c.out_channels, c.in_channels, c.kernel, c.kernel}, rng);
+  const Tensor bias = random_tensor({c.out_channels}, rng);
+  const std::size_t oh = spec.out_extent(c.h), ow = spec.out_extent(c.w);
+  ASSERT_GT(oh, 0u);
+  ASSERT_GT(ow, 0u);
+
+  Tensor fast({spec.out_channels, oh, ow});
+  Tensor reference({spec.out_channels, oh, ow});
+  conv2d_rows_fast(input, weight, bias, spec, 0, oh, fast);
+  conv2d_rows_reference(input, weight, bias, spec, 0, oh, reference);
+  EXPECT_TRUE(fast.equals(reference))
+      << "k=" << c.kernel << " s=" << c.stride << " p=" << c.padding
+      << " h=" << c.h << " w=" << c.w;
+
+  // The dispatching entry point agrees too (fast path unless the
+  // ECO_REFERENCE_KERNELS env pins the reference, which is also exact).
+  Tensor dispatched({spec.out_channels, oh, ow});
+  conv2d_rows(input, weight, bias, spec, 0, oh, dispatched);
+  EXPECT_TRUE(dispatched.equals(reference));
+}
+
+TEST_P(ConvKernelEquivalence, RowRestrictedRangesMatchAndStayInRange) {
+  const KernelCase c = GetParam();
+  Conv2dSpec spec;
+  spec.in_channels = c.in_channels;
+  spec.out_channels = c.out_channels;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  util::Rng rng(c.kernel + c.h + 77);
+  const Tensor input = random_tensor({c.in_channels, c.h, c.w}, rng);
+  const Tensor weight = random_tensor(
+      {c.out_channels, c.in_channels, c.kernel, c.kernel}, rng);
+  const Tensor bias = random_tensor({c.out_channels}, rng);
+  const std::size_t oh = spec.out_extent(c.h), ow = spec.out_extent(c.w);
+
+  const float sentinel = -123.5f;
+  const std::size_t row_begin = oh / 3;
+  const std::size_t row_end = oh - oh / 4;
+  Tensor fast = Tensor::full({spec.out_channels, oh, ow}, sentinel);
+  Tensor reference = Tensor::full({spec.out_channels, oh, ow}, sentinel);
+  conv2d_rows_fast(input, weight, bias, spec, row_begin, row_end, fast);
+  conv2d_rows_reference(input, weight, bias, spec, row_begin, row_end,
+                        reference);
+  EXPECT_TRUE(fast.equals(reference));
+  // Rows outside the range are untouched in both.
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      if (oy >= row_begin && oy < row_end) continue;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        ASSERT_EQ(fast.at(oc, oy, ox), sentinel);
+      }
+    }
+  }
+
+  // An empty row range touches nothing at all.
+  Tensor untouched = Tensor::full({spec.out_channels, oh, ow}, sentinel);
+  conv2d_rows_fast(input, weight, bias, spec, row_begin, row_begin, untouched);
+  EXPECT_TRUE(untouched.equals(
+      Tensor::full({spec.out_channels, oh, ow}, sentinel)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvKernelEquivalence,
+    ::testing::Values(
+        // The stem shape (3x3, pad 1) and its batch form.
+        KernelCase{1, 8, 3, 1, 1, 48, 48},
+        KernelCase{8, 16, 3, 2, 1, 24, 24},
+        // Odd extents, non-square.
+        KernelCase{2, 3, 3, 1, 1, 5, 7},
+        KernelCase{3, 2, 5, 1, 2, 9, 13},
+        // stride > 1 with odd extents.
+        KernelCase{1, 2, 3, 3, 1, 11, 17},
+        KernelCase{2, 2, 5, 2, 2, 15, 9},
+        // padding >= kernel/2 and beyond the kernel (fully guarded rows).
+        KernelCase{1, 1, 3, 1, 3, 6, 6},
+        KernelCase{1, 2, 5, 1, 5, 7, 7},
+        // 1x1 kernels (no border at p=0; all border at p=1).
+        KernelCase{4, 4, 1, 1, 0, 10, 12},
+        KernelCase{2, 2, 1, 2, 1, 8, 8},
+        // Kernel equal to the whole input.
+        KernelCase{1, 1, 7, 1, 3, 7, 7}));
+
+TEST(BoxBlurKernelTest, FastMatchesReferenceBitwise) {
+  util::Rng rng(4242);
+  for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 3}, {5, 9}, {48, 48}}) {
+    const Tensor grid = random_tensor({1, h, w}, rng, 0.0f, 1.0f);
+    Tensor fast, reference, dispatched;
+    detect::box_blur3_into_fast(grid, fast);
+    detect::box_blur3_into_reference(grid, reference);
+    detect::box_blur3_into(grid, dispatched);
+    EXPECT_TRUE(fast.equals(reference)) << h << "x" << w;
+    EXPECT_TRUE(dispatched.equals(reference)) << h << "x" << w;
+  }
+}
+
+TEST(IntegralImageKernelTest, PointerWalkMatchesDirectPrefixSums) {
+  util::Rng rng(515);
+  const std::size_t h = 13, w = 29;
+  const Tensor grid = random_tensor({1, h, w}, rng, 0.0f, 2.0f);
+  detect::IntegralImage integral(grid);
+  // Recompute the cumulative table exactly as the original scalar loop did
+  // and compare through box_sum lookups over every prefix rectangle.
+  std::vector<double> table((h + 1) * (w + 1), 0.0);
+  for (std::size_t y = 0; y < h; ++y) {
+    double row = 0.0;
+    for (std::size_t x = 0; x < w; ++x) {
+      row += grid.data()[y * w + x];
+      table[(y + 1) * (w + 1) + (x + 1)] = table[y * (w + 1) + (x + 1)] + row;
+    }
+  }
+  for (std::size_t y = 1; y <= h; ++y) {
+    for (std::size_t x = 1; x <= w; ++x) {
+      detect::Box box;
+      box.x1 = 0.0f;
+      box.y1 = 0.0f;
+      box.x2 = static_cast<float>(x);
+      box.y2 = static_cast<float>(y);
+      ASSERT_EQ(integral.box_sum(box), table[y * (w + 1) + x]);
+    }
+  }
+}
+
+// The RPN's precomputed anchor geometry (clipped boxes, areas, clamped
+// table offsets) must be scoring-equivalent to the per-scan clip/clamp
+// path: proposals with and without scratch are bitwise identical.
+TEST(AnchorGeometryTest, ScratchProposalsMatchScratchless) {
+  util::Rng rng(8080);
+  const Tensor grid = random_tensor({1, 48, 48}, rng, 0.0f, 1.0f);
+  const detect::Rpn rpn;
+  detect::ScanScratch scratch;
+  const auto with_scratch = rpn.propose(grid, &scratch);
+  const auto without = rpn.propose(grid);
+  ASSERT_EQ(with_scratch.size(), without.size());
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(with_scratch[i].box.x1, without[i].box.x1);
+    EXPECT_EQ(with_scratch[i].box.y1, without[i].box.y1);
+    EXPECT_EQ(with_scratch[i].box.x2, without[i].box.x2);
+    EXPECT_EQ(with_scratch[i].box.y2, without[i].box.y2);
+    EXPECT_EQ(with_scratch[i].objectness, without[i].objectness);
+  }
+}
+
+}  // namespace
+}  // namespace eco::tensor
