@@ -21,7 +21,21 @@
 //
 // Besides the table, the run is written to BENCH_runtime.json (or the path
 // given as the second argument) so the perf trajectory is machine-trackable
-// across PRs.
+// across PRs, and a run manifest (<json stem>_manifest.json) records the
+// build (git sha, compiler, flags), env toggles, run parameters, and the
+// per-shard λ_E/λ_L control traces — so every row is self-describing.
+//
+// Observability toggles:
+//   ECO_TRACE=1           trace every sweep through the obs:: span tracer
+//                         and write Chrome trace_event JSON (Perfetto) to
+//                         ECO_TRACE_PATH (default trace.json). The traced
+//                         report must be bitwise identical to an untraced
+//                         run — the bench self-gates on it either way.
+//   ECO_TRACE_CAPACITY=N  span slots per thread lane (drop-counted beyond).
+//   ECO_BASELINE_FPS=X    optional floor: fail if the UNTRACED 4-worker
+//                         fps drops below 0.9·X (pin to the PR-5 baseline
+//                         on a known machine; unset = record-only, since
+//                         absolute fps is hardware-bound).
 //
 // Build & run:
 //   ./build/bench/runtime_throughput [frames_per_sequence] [json] [max_shards]
@@ -36,6 +50,10 @@
 #include "dataset/generator.hpp"
 #include "detect/rpn.hpp"
 #include "gating/knowledge_gate.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
@@ -90,6 +108,23 @@ bool kernels_match_reference() {
 /// during window 0).
 constexpr std::size_t kBenchWindow = 16;
 
+/// p50/p95/p99 of one histogram, pulled from a run's metrics registry.
+struct Pcts {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+Pcts pcts_of(const eco::obs::MetricsRegistry& metrics, const char* name) {
+  Pcts out;
+  if (const eco::obs::Histogram* h = metrics.find_histogram(name)) {
+    out.p50 = h->percentile(0.50);
+    out.p95 = h->percentile(0.95);
+    out.p99 = h->percentile(0.99);
+  }
+  return out;
+}
+
 struct Row {
   std::size_t workers = 0;
   double frames_per_second = 0.0;
@@ -98,6 +133,8 @@ struct Row {
   std::size_t channel_scans_unique = 0;
   std::size_t tensor_allocs = 0;
   std::size_t arena_bytes_high_water = 0;
+  Pcts modeled_latency_ms;  // deterministic: identical across rows
+  Pcts obs_wall_ms;         // wall-clock, observability only
 };
 
 struct ShardRow {
@@ -110,12 +147,93 @@ struct ShardRow {
   std::size_t tensor_allocs = 0;
   std::size_t arena_bytes_high_water = 0;
   bool merged_invariant = false;  // J/loss/mAP bitwise equal to 1-shard row
+  Pcts modeled_latency_ms;
+  Pcts obs_wall_ms;
 };
+
+/// Tracing-overhead + trace-artifact summary, recorded in the JSON and
+/// self-gated on exit.
+struct ObsSummary {
+  bool trace_enabled = false;       // ECO_TRACE requested a trace file
+  double fps_untraced = 0.0;        // 4-worker run, tracing flag off
+  double fps_traced = 0.0;          // same run, tracing flag on
+  double overhead_ratio = 0.0;      // fps_untraced / fps_traced
+  bool traced_invariant = false;    // traced report bitwise == untraced
+  bool zero_spans_when_off = false;  // off-flag runs emitted no spans
+  std::uint64_t spans = 0;
+  std::uint64_t dropped_spans = 0;
+  std::size_t shard_lanes = 0;
+  bool trace_valid = false;  // trace_json() parses as strict JSON
+  bool stages_ok = false;    // every expected stage produced spans
+  std::string trace_path;    // empty when no file was written
+};
+
+/// The traced and untraced runs must agree on every field the determinism
+/// contract covers: headline aggregates, exec counters, and the per-window
+/// λ traces. Wall-clock fields are deliberately excluded.
+bool reports_bitwise_equal(const eco::runtime::PipelineReport& a,
+                           const eco::runtime::PipelineReport& b) {
+  return a.frames == b.frames && a.mean_energy_j == b.mean_energy_j &&
+         a.mean_latency_ms == b.mean_latency_ms &&
+         a.mean_loss == b.mean_loss && a.map == b.map &&
+         a.total_detections == b.total_detections &&
+         a.final_lambda == b.final_lambda &&
+         a.final_lambda_latency == b.final_lambda_latency &&
+         a.lambda_trace == b.lambda_trace &&
+         a.deadline_trace == b.deadline_trace &&
+         a.exec.stems_skipped == b.exec.stems_skipped &&
+         a.exec.stems_computed == b.exec.stems_computed &&
+         a.exec.stem_cache_hits == b.exec.stem_cache_hits &&
+         a.exec.stem_cache_misses == b.exec.stem_cache_misses &&
+         a.exec.branch_runs == b.exec.branch_runs &&
+         a.exec.channel_scans_requested == b.exec.channel_scans_requested &&
+         a.exec.channel_scans_unique == b.exec.channel_scans_unique &&
+         a.exec.batches == b.exec.batches &&
+         a.exec.batched_frames == b.exec.batched_frames &&
+         a.exec.max_batch == b.exec.max_batch &&
+         a.exec.mean_batch == b.exec.mean_batch &&
+         a.exec.tensor_allocs == b.exec.tensor_allocs &&
+         a.exec.zero_alloc_frames == b.exec.zero_alloc_frames;
+}
+
+/// BENCH_runtime.json -> BENCH_runtime_manifest.json.
+std::string manifest_path_for(const std::string& json_path) {
+  const std::string suffix = ".json";
+  if (json_path.size() > suffix.size() &&
+      json_path.compare(json_path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+    return json_path.substr(0, json_path.size() - suffix.size()) +
+           "_manifest.json";
+  }
+  return json_path + "_manifest.json";
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void write_float_array(std::FILE* f, const std::vector<float>& values) {
+  std::fputc('[', f);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f, "%.9g%s", static_cast<double>(values[i]),
+                 i + 1 < values.size() ? ", " : "");
+  }
+  std::fputc(']', f);
+}
 
 bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                 std::size_t frames_per_sequence, const std::vector<Row>& rows,
                 const std::vector<ShardRow>& shard_rows, bool share_enabled,
-                bool share_invariant) {
+                bool share_invariant, const Pcts& modeled_p, const Pcts& wall_p,
+                const std::vector<eco::runtime::ControlSlice>& control_slices,
+                const ObsSummary& obs) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -129,6 +247,15 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
   std::fprintf(f, "  \"mean_latency_ms\": %.6f,\n", report.mean_latency_ms);
   std::fprintf(f, "  \"mean_loss\": %.6f,\n", report.mean_loss);
   std::fprintf(f, "  \"map\": %.6f,\n", report.map);
+  // Modeled percentiles are deterministic (CI diffs them between traced and
+  // untraced runs); obs_wall_* are wall-clock observability only and must
+  // never enter a bitwise comparison.
+  std::fprintf(f, "  \"modeled_latency_ms_p50\": %.6f,\n", modeled_p.p50);
+  std::fprintf(f, "  \"modeled_latency_ms_p95\": %.6f,\n", modeled_p.p95);
+  std::fprintf(f, "  \"modeled_latency_ms_p99\": %.6f,\n", modeled_p.p99);
+  std::fprintf(f, "  \"obs_wall_ms_p50\": %.6f,\n", wall_p.p50);
+  std::fprintf(f, "  \"obs_wall_ms_p95\": %.6f,\n", wall_p.p95);
+  std::fprintf(f, "  \"obs_wall_ms_p99\": %.6f,\n", wall_p.p99);
   std::fprintf(f, "  \"exec\": {\n");
   std::fprintf(f, "    \"stems_skipped\": %zu,\n", report.exec.stems_skipped);
   std::fprintf(f, "    \"stems_computed\": %zu,\n", report.exec.stems_computed);
@@ -161,10 +288,18 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  "    {\"workers\": %zu, \"frames_per_second\": %.2f, "
                  "\"speedup\": %.3f, \"channel_scans_requested\": %zu, "
                  "\"channel_scans_unique\": %zu, \"tensor_allocs\": %zu, "
-                 "\"arena_bytes_high_water\": %zu}%s\n",
+                 "\"arena_bytes_high_water\": %zu, "
+                 "\"modeled_latency_ms_p50\": %.6f, "
+                 "\"modeled_latency_ms_p95\": %.6f, "
+                 "\"modeled_latency_ms_p99\": %.6f, "
+                 "\"obs_wall_ms_p50\": %.6f, \"obs_wall_ms_p95\": %.6f, "
+                 "\"obs_wall_ms_p99\": %.6f}%s\n",
                  rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
                  rows[i].channel_scans_requested, rows[i].channel_scans_unique,
                  rows[i].tensor_allocs, rows[i].arena_bytes_high_water,
+                 rows[i].modeled_latency_ms.p50, rows[i].modeled_latency_ms.p95,
+                 rows[i].modeled_latency_ms.p99, rows[i].obs_wall_ms.p50,
+                 rows[i].obs_wall_ms.p95, rows[i].obs_wall_ms.p99,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -177,7 +312,12 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  "\"channel_scans_unique\": %zu, "
                  "\"tensor_allocs\": %zu, "
                  "\"arena_bytes_high_water\": %zu, "
-                 "\"merged_invariant\": %s}%s\n",
+                 "\"merged_invariant\": %s, "
+                 "\"modeled_latency_ms_p50\": %.6f, "
+                 "\"modeled_latency_ms_p95\": %.6f, "
+                 "\"modeled_latency_ms_p99\": %.6f, "
+                 "\"obs_wall_ms_p50\": %.6f, \"obs_wall_ms_p95\": %.6f, "
+                 "\"obs_wall_ms_p99\": %.6f}%s\n",
                  shard_rows[i].shards, shard_rows[i].frames_per_second,
                  shard_rows[i].speedup, shard_rows[i].mean_batch,
                  shard_rows[i].channel_scans_requested,
@@ -185,9 +325,54 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  shard_rows[i].tensor_allocs,
                  shard_rows[i].arena_bytes_high_water,
                  shard_rows[i].merged_invariant ? "true" : "false",
+                 shard_rows[i].modeled_latency_ms.p50,
+                 shard_rows[i].modeled_latency_ms.p95,
+                 shard_rows[i].modeled_latency_ms.p99,
+                 shard_rows[i].obs_wall_ms.p50, shard_rows[i].obs_wall_ms.p95,
+                 shard_rows[i].obs_wall_ms.p99,
                  i + 1 < shard_rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Satellite of the observability PR: the merged report now carries every
+  // shard's per-window λ_E/λ_L trajectory (previously dropped by the merge);
+  // these slices come from the largest shard-sweep run.
+  std::fprintf(f, "  \"control_slices\": [\n");
+  for (std::size_t i = 0; i < control_slices.size(); ++i) {
+    const eco::runtime::ControlSlice& slice = control_slices[i];
+    std::fprintf(f,
+                 "    {\"shard\": %zu, \"frames\": %zu, "
+                 "\"final_lambda\": %.9g, \"final_lambda_latency\": %.9g, "
+                 "\"lambda_trace\": ",
+                 slice.shard_index, slice.frames,
+                 static_cast<double>(slice.final_lambda),
+                 static_cast<double>(slice.final_lambda_latency));
+    write_float_array(f, slice.lambda_trace);
+    std::fprintf(f, ", \"deadline_trace\": ");
+    write_float_array(f, slice.deadline_trace);
+    std::fprintf(f, "}%s\n", i + 1 < control_slices.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"tracing\": {\n");
+  std::fprintf(f, "    \"enabled\": %s,\n",
+               obs.trace_enabled ? "true" : "false");
+  std::fprintf(f, "    \"fps_untraced\": %.2f,\n", obs.fps_untraced);
+  std::fprintf(f, "    \"fps_traced\": %.2f,\n", obs.fps_traced);
+  std::fprintf(f, "    \"overhead_ratio\": %.4f,\n", obs.overhead_ratio);
+  std::fprintf(f, "    \"traced_invariant\": %s,\n",
+               obs.traced_invariant ? "true" : "false");
+  std::fprintf(f, "    \"zero_spans_when_off\": %s,\n",
+               obs.zero_spans_when_off ? "true" : "false");
+  std::fprintf(f, "    \"spans\": %llu,\n",
+               static_cast<unsigned long long>(obs.spans));
+  std::fprintf(f, "    \"dropped_spans\": %llu,\n",
+               static_cast<unsigned long long>(obs.dropped_spans));
+  std::fprintf(f, "    \"shard_lanes\": %zu,\n", obs.shard_lanes);
+  std::fprintf(f, "    \"trace_valid\": %s,\n",
+               obs.trace_valid ? "true" : "false");
+  std::fprintf(f, "    \"stages_ok\": %s,\n", obs.stages_ok ? "true" : "false");
+  std::fprintf(f, "    \"trace_path\": \"%s\"\n",
+               eco::obs::json_escape(obs.trace_path).c_str());
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("Wrote %s\n", path);
   return true;
@@ -214,6 +399,19 @@ int main(int argc, char** argv) {
     max_shards = std::strtoul(argv[3], nullptr, 10);
     if (max_shards == 0) max_shards = 1;
   }
+
+  // The tracer is installed for the whole run in BOTH trace modes; with
+  // ECO_TRACE unset every PipelineConfig keeps tracing=false, so no worker
+  // ever activates a lane — which lets the exit gates prove the off path
+  // emits zero spans even with a live tracer installed.
+  const bool trace_enabled = obs::trace_env_enabled();
+  obs::TraceConfig trace_config;
+  if (const char* cap_env = std::getenv("ECO_TRACE_CAPACITY")) {
+    const std::size_t cap = std::strtoul(cap_env, nullptr, 10);
+    if (cap > 0) trace_config.ring_capacity = cap;
+  }
+  obs::Tracer tracer(trace_config);
+  tracer.install();
 
   const core::EcoFusionEngine engine;
   const runtime::GateFactory gate_factory = [&engine] {
@@ -243,6 +441,8 @@ int main(int argc, char** argv) {
   std::printf("Streaming-runtime throughput (hardware threads: %u)\n", hw);
   std::printf("Channel-scan sharing: %s\n",
               share_enabled ? "enabled" : "DISABLED (ECO_CHANNEL_SHARE=0)");
+  std::printf("Span tracing: %s\n",
+              trace_enabled ? "ENABLED (ECO_TRACE=1)" : "off");
   std::printf("Stream: 8 scene lanes x %zu sequences x %zu frames = %zu frames\n\n",
               stream_config.sequences_per_scene, frames_per_sequence,
               8 * stream_config.sequences_per_scene * frames_per_sequence);
@@ -258,10 +458,12 @@ int main(int argc, char** argv) {
     config.workers = workers;
     config.window = kBenchWindow;
     config.share_channel_scans = share_enabled;
+    config.tracing = trace_enabled;
     runtime::StreamingPipeline pipeline(engine, config);
     runtime::FrameStream stream(stream_config);
     runtime::PipelineReport report = pipeline.run(stream, gate_factory);
     if (base_fps == 0.0) base_fps = report.frames_per_second;
+    const obs::MetricsRegistry metrics = runtime::collect_run_metrics(report);
     table.add_row({std::to_string(workers),
                    util::fmt(report.frames_per_second, 1),
                    util::fmt(report.frames_per_second / base_fps, 2) + "x",
@@ -276,11 +478,18 @@ int main(int argc, char** argv) {
                     report.exec.channel_scans_requested,
                     report.exec.channel_scans_unique,
                     report.exec.tensor_allocs,
-                    report.exec.arena_bytes_high_water});
+                    report.exec.arena_bytes_high_water,
+                    pcts_of(metrics, "modeled/latency_ms"),
+                    pcts_of(metrics, "obs/wall_ms")});
     if (workers == 4) four_worker_report = report;
     last_report = std::move(report);
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("Modeled latency percentiles (deterministic): p50 %.3f / "
+              "p95 %.3f / p99 %.3f ms; wall p95 %.3f ms (obs only).\n\n",
+              rows.back().modeled_latency_ms.p50,
+              rows.back().modeled_latency_ms.p95,
+              rows.back().modeled_latency_ms.p99, rows.back().obs_wall_ms.p95);
 
   // ---- Channel-scan sharing invariance gate -----------------------------
   // One run per toggle state on the identical stream: everything except the
@@ -297,6 +506,7 @@ int main(int argc, char** argv) {
       config.workers = 4;
       config.window = kBenchWindow;
       config.share_channel_scans = share;
+      config.tracing = trace_enabled;
       runtime::StreamingPipeline pipeline(engine, config);
       runtime::FrameStream stream(stream_config);
       return pipeline.run(stream, gate_factory);
@@ -335,6 +545,7 @@ int main(int argc, char** argv) {
                            "Merged =="});
   std::vector<ShardRow> shard_rows;
   runtime::PipelineReport one_shard_merged;
+  std::vector<runtime::ControlSlice> manifest_slices;  // largest shard run
   double shard_base_fps = 0.0;
   for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
     runtime::ShardedConfig config;
@@ -342,10 +553,12 @@ int main(int argc, char** argv) {
     config.pipeline.workers = 4;
     config.pipeline.window = kBenchWindow;
     config.pipeline.share_channel_scans = share_enabled;
+    config.pipeline.tracing = trace_enabled;
     runtime::ShardedPipeline pipeline(config);
     const runtime::ShardedReport report =
         pipeline.run(stream_config, shard_gate_factory);
     const runtime::PipelineReport& merged = report.merged;
+    manifest_slices = merged.control_slices;
     const bool invariant =
         shards == 1 ||
         (merged.mean_energy_j == one_shard_merged.mean_energy_j &&
@@ -363,13 +576,17 @@ int main(int argc, char** argv) {
          util::fmt(merged.mean_energy_j), util::fmt(merged.mean_loss),
          util::fmt_pct(merged.map), util::fmt(merged.exec.mean_batch, 2),
          invariant ? "yes" : "NO"});
+    const obs::MetricsRegistry merged_metrics =
+        runtime::collect_run_metrics(merged);
     shard_rows.push_back({shards, merged.frames_per_second,
                           merged.frames_per_second / shard_base_fps,
                           merged.exec.mean_batch,
                           merged.exec.channel_scans_requested,
                           merged.exec.channel_scans_unique,
                           merged.exec.tensor_allocs,
-                          merged.exec.arena_bytes_high_water, invariant});
+                          merged.exec.arena_bytes_high_water, invariant,
+                          pcts_of(merged_metrics, "modeled/latency_ms"),
+                          pcts_of(merged_metrics, "obs/wall_ms")});
   }
   std::printf("Sharded front-end at 4 shared workers (sequences hashed "
               "across shards,\nmerged report restored to stream order):\n");
@@ -387,13 +604,193 @@ int main(int argc, char** argv) {
               last_report.exec.max_batch, last_report.exec.batched_frames);
   std::printf("J/frame, loss, and mAP are worker- AND shard-count invariant\n"
               "by the runtime's determinism contract; only wall-clock moves.\n");
+
+  // ---- Tracing-overhead + determinism self-gate --------------------------
+  // One extra 4-worker run with the opposite tracing flag pairs with the
+  // sweep's 4-worker run: the two reports must be bitwise identical on
+  // every deterministic field (tracing only observes), and the fps ratio is
+  // recorded as the tracing overhead. The span-count snapshots around the
+  // untraced leg prove the off path emits nothing even with a tracer
+  // installed.
+  ObsSummary obs_summary;
+  obs_summary.trace_enabled = trace_enabled;
+  auto run_tracing = [&](bool tracing_on) {
+    runtime::PipelineConfig config;
+    config.workers = 4;
+    config.window = kBenchWindow;
+    config.share_channel_scans = share_enabled;
+    config.tracing = tracing_on;
+    runtime::StreamingPipeline pipeline(engine, config);
+    runtime::FrameStream stream(stream_config);
+    return pipeline.run(stream, gate_factory);
+  };
+  const obs::TraceStats pre_stats = tracer.stats();
+  runtime::PipelineReport traced_report, untraced_report;
+  if (trace_enabled) {
+    traced_report = four_worker_report;
+    untraced_report = run_tracing(false);
+    obs_summary.zero_spans_when_off =
+        tracer.stats().total_spans == pre_stats.total_spans;
+  } else {
+    untraced_report = four_worker_report;
+    // Every sweep so far ran with tracing=false under an installed tracer.
+    obs_summary.zero_spans_when_off = pre_stats.total_spans == 0;
+    traced_report = run_tracing(true);
+  }
+  obs_summary.fps_traced = traced_report.frames_per_second;
+  obs_summary.fps_untraced = untraced_report.frames_per_second;
+  obs_summary.overhead_ratio =
+      obs_summary.fps_traced > 0.0
+          ? obs_summary.fps_untraced / obs_summary.fps_traced
+          : 0.0;
+  obs_summary.traced_invariant =
+      reports_bitwise_equal(traced_report, untraced_report);
+
+  const obs::TraceStats tstats = tracer.stats();
+  obs_summary.spans = tstats.total_spans;
+  obs_summary.dropped_spans = tstats.dropped_spans;
+  obs_summary.shard_lanes = tstats.shard_lanes;
+  const std::string trace_json = tracer.trace_json();
+  obs_summary.trace_valid = obs::json_valid(trace_json);
+  // Stage coverage: every stage the traced runs must have exercised. Stem
+  // spans are excluded (the Knowledge gate never pulls features on this
+  // stream); batch-execute is required iff phase B actually formed groups;
+  // the shard-merge lane only exists when the shard sweep itself was traced.
+  auto stage_count = [&tstats](obs::Stage stage) {
+    return tstats.per_stage[static_cast<std::size_t>(stage)];
+  };
+  obs_summary.stages_ok = stage_count(obs::Stage::kStreamPull) > 0 &&
+                          stage_count(obs::Stage::kSelect) > 0 &&
+                          stage_count(obs::Stage::kChannelScan) > 0 &&
+                          stage_count(obs::Stage::kNmsMerge) > 0 &&
+                          stage_count(obs::Stage::kFinishFrame) > 0 &&
+                          stage_count(obs::Stage::kWindowUpdate) > 0;
+  if (traced_report.exec.batches > 0) {
+    obs_summary.stages_ok =
+        obs_summary.stages_ok && stage_count(obs::Stage::kBatchExecute) > 0;
+  }
+  if (trace_enabled) {
+    obs_summary.stages_ok =
+        obs_summary.stages_ok && stage_count(obs::Stage::kShardMerge) > 0;
+    if (max_shards >= 2) {
+      // Shards 0 and 1 plus the run-level merge lane.
+      obs_summary.stages_ok =
+          obs_summary.stages_ok && tstats.shard_lanes >= 3;
+    }
+  }
+  // A deliberately undersized ring (ECO_TRACE_CAPACITY) drops spans, so
+  // stage coverage is unknowable — the drop path is what's being exercised.
+  if (tstats.dropped_spans > 0 && !obs_summary.stages_ok) {
+    std::printf("note: %llu spans dropped (ring capacity %zu); skipping the "
+                "stage-coverage gate.\n",
+                static_cast<unsigned long long>(tstats.dropped_spans),
+                trace_config.ring_capacity);
+    obs_summary.stages_ok = true;
+  }
+  if (trace_enabled) {
+    const char* trace_path_env = std::getenv("ECO_TRACE_PATH");
+    obs_summary.trace_path =
+        trace_path_env != nullptr ? trace_path_env : "trace.json";
+    std::FILE* tf = std::fopen(obs_summary.trace_path.c_str(), "w");
+    if (tf == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   obs_summary.trace_path.c_str());
+      obs_summary.trace_valid = false;
+    } else {
+      std::fwrite(trace_json.data(), 1, trace_json.size(), tf);
+      std::fclose(tf);
+      std::printf("Wrote %s\n", obs_summary.trace_path.c_str());
+    }
+  }
+  std::printf("Tracing overhead: %.1f fps untraced vs %.1f fps traced "
+              "(%.2fx); %llu spans (%llu dropped) across %zu shard lanes; "
+              "reports %s bitwise.\n",
+              obs_summary.fps_untraced, obs_summary.fps_traced,
+              obs_summary.overhead_ratio,
+              static_cast<unsigned long long>(obs_summary.spans),
+              static_cast<unsigned long long>(obs_summary.dropped_spans),
+              obs_summary.shard_lanes,
+              obs_summary.traced_invariant ? "match" : "DIVERGE");
+
+  // Optional absolute floor against a pinned baseline (PR-5 numbers on a
+  // known machine); unset keeps the bench hardware-agnostic.
+  bool baseline_ok = true;
+  if (const char* baseline_env = std::getenv("ECO_BASELINE_FPS")) {
+    const double baseline = std::strtod(baseline_env, nullptr);
+    if (baseline > 0.0) {
+      baseline_ok = obs_summary.fps_untraced >= 0.9 * baseline;
+      std::printf("Baseline gate: %.1f fps untraced vs %.1f baseline "
+                  "(floor 0.9x): %s\n",
+                  obs_summary.fps_untraced, baseline,
+                  baseline_ok ? "ok" : "REGRESSED");
+    }
+  }
+
+  // ---- Run manifest -------------------------------------------------------
+  obs::RunManifest manifest;
+  manifest.tool = "runtime_throughput";
+  manifest.capture_env({"ECO_TRACE", "ECO_TRACE_PATH", "ECO_TRACE_CAPACITY",
+                        "ECO_CHANNEL_SHARE", "ECO_REFERENCE_KERNELS",
+                        "ECO_BASELINE_FPS"});
+  manifest.params = {
+      {"frames_per_sequence", std::to_string(frames_per_sequence)},
+      {"sequences_per_scene",
+       std::to_string(stream_config.sequences_per_scene)},
+      {"stream_seed", std::to_string(stream_config.seed)},
+      {"control_window", std::to_string(kBenchWindow)},
+      {"max_shards", std::to_string(max_shards)},
+      {"hardware_threads", std::to_string(hw)},
+      {"json_path", json_path},
+  };
+  for (const runtime::ControlSlice& slice : manifest_slices) {
+    manifest.shard_control.push_back(
+        {slice.shard_index, slice.lambda_trace, slice.deadline_trace});
+  }
+  const Pcts modeled_p = rows.back().modeled_latency_ms;
+  const Pcts wall_p = rows.back().obs_wall_ms;
+  manifest.report_fields = {
+      {"frames", static_cast<double>(last_report.frames)},
+      {"modeled_mean_energy_j", last_report.mean_energy_j},
+      {"modeled_mean_latency_ms", last_report.mean_latency_ms},
+      {"modeled_mean_loss", last_report.mean_loss},
+      {"modeled_map", last_report.map},
+      {"modeled_latency_ms_p50", modeled_p.p50},
+      {"modeled_latency_ms_p95", modeled_p.p95},
+      {"modeled_latency_ms_p99", modeled_p.p99},
+      {"obs_wall_ms_p50", wall_p.p50},
+      {"obs_wall_ms_p95", wall_p.p95},
+      {"obs_wall_ms_p99", wall_p.p99},
+      {"obs_fps_untraced", obs_summary.fps_untraced},
+      {"obs_fps_traced", obs_summary.fps_traced},
+      {"obs_tracing_overhead_ratio", obs_summary.overhead_ratio},
+      {"zero_alloc_frames",
+       static_cast<double>(last_report.exec.zero_alloc_frames)},
+      {"trace_spans", static_cast<double>(obs_summary.spans)},
+      {"trace_dropped_spans",
+       static_cast<double>(obs_summary.dropped_spans)},
+  };
+  const std::string manifest_path = manifest_path_for(json_path);
+  const std::string manifest_json = manifest.to_json();
+  bool manifest_ok = obs::json_valid(manifest_json);
+  if (!manifest_ok) {
+    std::fprintf(stderr, "error: run manifest is not valid JSON\n");
+  }
+  manifest_ok = manifest.write_json(manifest_path) && manifest_ok;
+  if (manifest_ok) std::printf("Wrote %s\n", manifest_path.c_str());
+
   const bool wrote =
       write_json(json_path, last_report, frames_per_sequence, rows, shard_rows,
-                 share_enabled, share_invariant);
+                 share_enabled, share_invariant, modeled_p, wall_p,
+                 manifest_slices, obs_summary);
+  const bool bench_json_valid = wrote && obs::json_valid(read_file(json_path));
+  if (wrote && !bench_json_valid) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", json_path);
+  }
   // The bench is its own gate: a merged-report or sharing invariance
   // violation, a fast-vs-reference kernel mismatch, a steady-state frame
-  // that still heap-allocates tensors, or a lost artifact must fail the
-  // run, not depend on downstream grepping.
+  // that still heap-allocates tensors, a tracing-induced divergence, an
+  // invalid artifact, or a lost artifact must fail the run, not depend on
+  // downstream grepping.
   bool all_invariant = true;
   for (const ShardRow& row : shard_rows) {
     all_invariant = all_invariant && row.merged_invariant;
@@ -434,8 +831,29 @@ int main(int argc, char** argv) {
               last_report.exec.tensor_allocs, last_report.frames,
               last_report.exec.zero_alloc_frames,
               last_report.exec.arena_bytes_high_water);
+  if (!obs_summary.traced_invariant) {
+    std::fprintf(stderr,
+                 "error: traced report diverges bitwise from the untraced "
+                 "run (tracing must only observe)\n");
+  }
+  if (!obs_summary.zero_spans_when_off) {
+    std::fprintf(stderr,
+                 "error: spans were emitted with the tracing flag off\n");
+  }
+  if (!obs_summary.trace_valid) {
+    std::fprintf(stderr, "error: exported trace is not valid JSON\n");
+  }
+  if (!obs_summary.stages_ok) {
+    std::fprintf(stderr,
+                 "error: trace is missing spans for an expected pipeline "
+                 "stage (or shard lanes are absent)\n");
+  }
+  tracer.uninstall();
   return (all_invariant && share_invariant && kernels_ok &&
-          steady_state_zero_allocs && wrote)
+          steady_state_zero_allocs && wrote && bench_json_valid &&
+          obs_summary.traced_invariant && obs_summary.zero_spans_when_off &&
+          obs_summary.trace_valid && obs_summary.stages_ok && manifest_ok &&
+          baseline_ok)
              ? 0
              : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "dataset/scene.hpp"
 #include "exec/workspace.hpp"
+#include "obs/trace.hpp"
 
 namespace eco::core {
 
@@ -183,6 +184,11 @@ void EcoFusionEngine::fuse_and_score(exec::FrameWorkspace& ws,
                                      std::size_t config_index,
                                      RunResult& result) const {
   const ModelConfig& config = space_.at(config_index);
+  // Covers branch materialization (scan merges), late fusion and NMS, and
+  // ground-truth scoring — the per-configuration merge tail.
+  obs::Span span(obs::Stage::kNmsMerge);
+  span.arg(static_cast<double>(config_index));
+  span.arg(static_cast<double>(config.branches.size()));
   // Non-owning views over the workspace's memoized lists — fusing a frame
   // must not copy every branch's detections first.
   std::vector<const fusion::DetectionList*> per_branch;

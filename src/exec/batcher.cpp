@@ -6,6 +6,7 @@
 
 #include "core/engine.hpp"
 #include "detect/branch_detector.hpp"
+#include "obs/trace.hpp"
 
 namespace eco::exec {
 
@@ -64,6 +65,9 @@ void BranchBatcher::execute(std::size_t config_index,
   detect::ScanScratch* scratch =
       group.empty() ? nullptr : &group.front()->arena().scan;
   for (const auto& [scan_id, pending] : by_scan) {
+    obs::Span span(obs::Stage::kChannelScan);
+    span.arg(static_cast<double>(scan_id));
+    span.arg(static_cast<double>(pending.size()));
     const dataset::SensorKind sensor = plan.scans[scan_id].sensor;
     std::vector<const tensor::Tensor*> grids;
     grids.reserve(pending.size());

@@ -1,6 +1,7 @@
 #include "exec/channel_scan_cache.hpp"
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace eco::exec {
 
@@ -28,8 +29,11 @@ const std::vector<detect::Detection>& ChannelScanCache::scan(
     // same grid), so scanning through the requesting branch's detector is
     // exact for every consumer of the slot.
     const core::ChannelScanPlan& plan = engine_.scan_plan();
-    const dataset::SensorKind sensor =
-        plan.scans[plan.scan_id(branch, channel)].sensor;
+    const std::size_t scan_id = plan.scan_id(branch, channel);
+    obs::Span span(obs::Stage::kChannelScan);
+    span.arg(static_cast<double>(scan_id));
+    span.arg(1.0);  // per-frame execution (the batcher spans its own)
+    const dataset::SensorKind sensor = plan.scans[scan_id].sensor;
     slot = engine_.branch_detector(branch).scan_channel(
         channel, frame_.grid(sensor), scratch_);
     ++executed_;

@@ -3,6 +3,7 @@
 #include "core/engine.hpp"
 #include "detect/losses.hpp"
 #include "exec/stem_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace eco::exec {
 
@@ -33,10 +34,16 @@ FrameWorkspace::FrameWorkspace(const core::EcoFusionEngine& engine,
 const tensor::Tensor& FrameWorkspace::gate_features() const {
   if (features_view_ != nullptr) return *features_view_;
   if (!features_) {
+    // Span covers the actual stem resolution only (memoized re-reads above
+    // return before it); restaged to a cache-hit span when the temporal
+    // cache resolved F without a full recompute.
+    obs::Span span(obs::Stage::kStemCompute);
+    span.arg(static_cast<double>(sequence_id_));
     if (stem_cache_ != nullptr) {
       bool hit = false;
       features_ = stem_cache_->gate_features(sequence_id_, frame_, &hit);
       stem_source_ = hit ? StemSource::kCacheHit : StemSource::kCacheMiss;
+      if (hit) span.restage(obs::Stage::kStemCacheHit);
     } else {
       // Direct stem pass: compute into the frame arena (bitwise equal to
       // StemBank::gate_features) and keep a view — the arena outlives the

@@ -1,0 +1,33 @@
+// Compile-time build provenance. CMake injects ECO_GIT_SHA /
+// ECO_BUILD_TYPE / ECO_CXX_FLAGS as compile definitions on THIS file only,
+// so editing the manifest layer never recompiles the world and a stale sha
+// can only ever be one object file out of date.
+#include "obs/manifest.hpp"
+
+#ifndef ECO_GIT_SHA
+#define ECO_GIT_SHA "unknown"
+#endif
+#ifndef ECO_BUILD_TYPE
+#define ECO_BUILD_TYPE "unknown"
+#endif
+#ifndef ECO_CXX_FLAGS
+#define ECO_CXX_FLAGS ""
+#endif
+
+namespace eco::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      ECO_GIT_SHA,
+#if defined(__VERSION__)
+      __VERSION__,
+#else
+      "unknown",
+#endif
+      ECO_BUILD_TYPE,
+      ECO_CXX_FLAGS,
+  };
+  return info;
+}
+
+}  // namespace eco::obs

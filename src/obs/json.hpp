@@ -1,0 +1,26 @@
+// Minimal JSON utilities for the observability exporters.
+//
+// The repo writes all of its machine-readable artifacts (BENCH_*.json, the
+// trace, the run manifest) with printf-style emitters; this header gives
+// them the two things emitters can't safely skip: string escaping, and a
+// standalone validator so the bench and tests can self-gate that every
+// artifact they wrote actually parses (instead of discovering a truncated
+// trace in the Perfetto UI a week later). The validator is a strict
+// recursive-descent RFC 8259 parser that accepts nothing beyond the
+// grammar; it does not build a document — validity is all the gates need.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace eco::obs {
+
+/// `text` with JSON string escapes applied (quotes, backslash, control
+/// characters as \u00XX).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// True iff `text` is one complete, valid JSON value (object, array,
+/// string, number, true/false/null) with nothing but whitespace around it.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace eco::obs

@@ -1,0 +1,92 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace eco::obs {
+
+void RunManifest::capture_env(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    const char* value = std::getenv(name.c_str());
+    env.emplace_back(name, value != nullptr ? value : "");
+  }
+}
+
+std::string RunManifest::to_json() const {
+  const BuildInfo& build = build_info();
+  std::string out = "{\n";
+  out += "  \"tool\": \"" + json_escape(tool) + "\",\n";
+  out += "  \"build\": {\n";
+  out += "    \"git_sha\": \"" + json_escape(build.git_sha) + "\",\n";
+  out += "    \"compiler\": \"" + json_escape(build.compiler) + "\",\n";
+  out += "    \"build_type\": \"" + json_escape(build.build_type) + "\",\n";
+  out += "    \"cxx_flags\": \"" + json_escape(build.cxx_flags) + "\"\n";
+  out += "  },\n";
+
+  out += "  \"env\": {";
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(env[i].first) + "\": \"" +
+           json_escape(env[i].second) + "\"";
+  }
+  out += env.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"params\": {";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(params[i].first) + "\": \"" +
+           json_escape(params[i].second) + "\"";
+  }
+  out += params.empty() ? "},\n" : "\n  },\n";
+
+  char buf[64];
+  out += "  \"shard_control\": [";
+  for (std::size_t s = 0; s < shard_control.size(); ++s) {
+    const ManifestShardControl& shard = shard_control[s];
+    out += s == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof buf, "    {\"shard\": %zu, ",
+                  shard.shard_index);
+    out += buf;
+    out += "\"lambda_trace\": [";
+    for (std::size_t i = 0; i < shard.lambda_trace.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s%.6g", i > 0 ? "," : "",
+                    static_cast<double>(shard.lambda_trace[i]));
+      out += buf;
+    }
+    out += "], \"deadline_trace\": [";
+    for (std::size_t i = 0; i < shard.deadline_trace.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s%.6g", i > 0 ? "," : "",
+                    static_cast<double>(shard.deadline_trace[i]));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += shard_control.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"report\": {";
+  for (std::size_t i = 0; i < report_fields.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof buf, "%.9g", report_fields[i].second);
+    out += "    \"" + json_escape(report_fields[i].first) + "\": ";
+    out += buf;
+  }
+  out += report_fields.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool RunManifest::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write manifest to %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace eco::obs

@@ -1,0 +1,120 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace eco::obs {
+
+std::size_t Histogram::bucket_of(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN underflow
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  const long idx = static_cast<long>(exp) - kMinExp;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double Histogram::bucket_upper(std::size_t i) noexcept {
+  return std::ldexp(1.0, static_cast<int>(i) + kMinExp);
+}
+
+void Histogram::record(double value) noexcept {
+  counts_[bucket_of(value)] += 1;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += 1;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(total_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) {
+    auto [it, inserted] = gauges_.try_emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge(histogram);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  char buf[128];
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, "\"%s\":%.6g", name.c_str(), value);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(
+        buf, sizeof buf,
+        "\"%s\":{\"total\":%llu,\"min\":%.6g,\"max\":%.6g,\"p50\":%.6g,"
+        "\"p95\":%.6g,\"p99\":%.6g,\"buckets\":{",
+        name.c_str(), static_cast<unsigned long long>(histogram.total()),
+        histogram.min(), histogram.max(), histogram.percentile(0.50),
+        histogram.percentile(0.95), histogram.percentile(0.99));
+    out += buf;
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram.bucket(i) == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      std::snprintf(buf, sizeof buf, "\"%zu\":%llu", i,
+                    static_cast<unsigned long long>(histogram.bucket(i)));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace eco::obs

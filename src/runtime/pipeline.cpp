@@ -9,6 +9,7 @@
 
 #include "exec/batcher.hpp"
 #include "exec/stem_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace eco::runtime {
 
@@ -40,6 +41,15 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
                                       const GateFactory& make_gate,
                                       ThreadPool& pool) const {
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // Span tracing is opt-in per pipeline AND requires an installed tracer;
+  // with either missing, `trace` is false, no ShardScope ever activates a
+  // lane, and every span site below degrades to a predicted-not-taken
+  // branch. Spans only observe — nothing they record feeds back into
+  // selection, control, or accounting (the determinism tests pin this).
+  const bool trace = config_.tracing && obs::installed_tracer() != nullptr;
+  const std::size_t shard_lane = config_.shard_index;
+  obs::ShardScope driver_scope(shard_lane, trace);
 
   // One gate per pool worker; all window barriers below wait on this
   // pipeline's group only, so other clients of a shared pool (e.g. sibling
@@ -91,10 +101,15 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     // Pull the next control window off the stream.
     std::vector<StreamFrame> window;
     window.reserve(config_.window);
-    while (window.size() < config_.window) {
-      std::optional<StreamFrame> frame = stream.next();
-      if (!frame) break;
-      window.push_back(std::move(*frame));
+    {
+      obs::Span span(obs::Stage::kStreamPull);
+      while (window.size() < config_.window) {
+        std::optional<StreamFrame> frame = stream.next();
+        if (!frame) break;
+        window.push_back(std::move(*frame));
+      }
+      span.arg(static_cast<double>(window.size()));
+      span.arg(static_cast<double>(config_.window));
     }
     if (window.empty()) break;
 
@@ -122,10 +137,12 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
     }
     for (const std::vector<std::size_t>& lane : lanes) {
       pool.submit(group, [this, &lane, &window, params, &gates, &workspaces,
-                          &selections, &stem_cache,
-                          &arenas](std::size_t worker) {
+                          &selections, &stem_cache, &arenas, trace,
+                          shard_lane](std::size_t worker) {
+        obs::ShardScope scope(shard_lane, trace);
         for (std::size_t slot : lane) {
           const StreamFrame& sf = window[slot];
+          obs::Span span(obs::Stage::kSelect);
           // A lane task is a single-threaded stretch, so the thread-local
           // alloc counter delta is exactly this slot's selection-phase
           // tensor allocations.
@@ -140,6 +157,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           workspaces[slot]->note_tensor_allocs(
               static_cast<std::size_t>(tensor::tensor_alloc_count() -
                                        allocs_before));
+          span.arg(static_cast<double>(selections[slot]));
+          span.arg(static_cast<double>(slot));
         }
       });
     }
@@ -166,6 +185,9 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
                                  &slot_results, params, complexity, selected,
                                  batch = slots.size()](std::size_t slot,
                                                        double shared_wall_ms) {
+        obs::Span span(obs::Stage::kFinishFrame);
+        span.arg(static_cast<double>(selected));
+        span.arg(static_cast<double>(batch));
         const auto frame_start = std::chrono::steady_clock::now();
         exec::FrameWorkspace& ws = *workspaces[slot];
         const std::uint64_t allocs_before = tensor::tensor_alloc_count();
@@ -192,6 +214,7 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         stats.tensor_allocs = ws.tensor_allocs();
         stats.arena_bytes_high_water = ws.arena_bytes_high_water();
         stats.wall_ms = shared_wall_ms + elapsed_ms(frame_start);
+        span.arg(static_cast<double>(stats.arena_bytes_high_water));
         slot_stats[slot] = stats;
         if (config_.keep_frame_results) {
           slot_results[slot] = {run.detections, sf.frame.objects};
@@ -204,7 +227,12 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         // (Submitting from inside a task is safe: the submitter is still
         // in flight, so the group cannot drain early.)
         pool.submit(group, [&pool, &group, &batcher, &workspaces, &slots,
-                            selected, finish_frame](std::size_t) {
+                            selected, finish_frame, trace,
+                            shard_lane](std::size_t) {
+          obs::ShardScope scope(shard_lane, trace);
+          obs::Span batch_span(obs::Stage::kBatchExecute);
+          batch_span.arg(static_cast<double>(selected));
+          batch_span.arg(static_cast<double>(slots.size()));
           const auto batch_start = std::chrono::steady_clock::now();
           std::vector<exec::FrameWorkspace*> batch_group;
           batch_group.reserve(slots.size());
@@ -223,22 +251,30 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           const double shared_ms =
               elapsed_ms(batch_start) / static_cast<double>(slots.size());
           for (std::size_t slot : slots) {
-            pool.submit(group, [slot, shared_ms, finish_frame](std::size_t) {
+            pool.submit(group, [slot, shared_ms, finish_frame, trace,
+                                shard_lane](std::size_t) {
+              obs::ShardScope scope(shard_lane, trace);
               finish_frame(slot, shared_ms);
             });
           }
         });
       } else {
         for (std::size_t slot : slots) {
-          pool.submit(group, [slot, finish_frame](std::size_t) {
-            finish_frame(slot, 0.0);
-          });
+          pool.submit(group,
+                      [slot, finish_frame, trace, shard_lane](std::size_t) {
+                        obs::ShardScope scope(shard_lane, trace);
+                        finish_frame(slot, 0.0);
+                      });
         }
       }
     }
     group.wait();
 
     // Reduce the window in stream order (slot order == stream order).
+    obs::Span window_span(obs::Stage::kWindowUpdate);
+    window_span.arg(params.lambda_energy);
+    window_span.arg(params.lambda_latency);
+    window_span.arg(static_cast<double>(window.size()));
     double window_energy = 0.0;
     double window_latency = 0.0;
     for (std::size_t slot = 0; slot < window.size(); ++slot) {
@@ -280,6 +316,17 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   report.final_lambda_latency = lambda_latency;
   report.frame_results = std::move(frame_results);
   finalize_report(report);
+
+  // This run's control trajectory as a slice (shard.cpp concatenates the
+  // per-shard slices under the merged report, so traces survive the merge).
+  ControlSlice slice;
+  slice.shard_index = config_.shard_index;
+  slice.frames = report.frames;
+  slice.lambda_trace = report.lambda_trace;
+  slice.deadline_trace = report.deadline_trace;
+  slice.final_lambda = report.final_lambda;
+  slice.final_lambda_latency = report.final_lambda_latency;
+  report.control_slices.push_back(std::move(slice));
 
   const auto wall_end = std::chrono::steady_clock::now();
   report.wall_seconds =
@@ -389,6 +436,46 @@ void finalize_report(PipelineReport& report) {
     }
     report.per_scene.push_back(scene);
   }
+}
+
+obs::MetricsRegistry collect_run_metrics(const PipelineReport& report) {
+  obs::MetricsRegistry metrics;
+  // Derived from the finished report's per-frame records in stream order,
+  // never recorded live from workers — so the "modeled/" family inherits
+  // the report's determinism for free (histogram counts are integers; the
+  // shard merge concatenates the same records, so merged metrics match).
+  obs::Histogram& latency = metrics.histogram("modeled/latency_ms");
+  obs::Histogram& batch = metrics.histogram("modeled/batch_size");
+  obs::Histogram& dedup = metrics.histogram("modeled/scan_dedup_ratio");
+  obs::Histogram& wall = metrics.histogram("obs/wall_ms");
+  for (const FrameStats& stats : report.frame_stats) {
+    latency.record(stats.latency_ms);
+    batch.record(static_cast<double>(stats.batch_size));
+    if (stats.channel_scans_unique > 0) {
+      dedup.record(static_cast<double>(stats.channel_scans_requested) /
+                   static_cast<double>(stats.channel_scans_unique));
+    }
+    wall.record(stats.wall_ms);
+  }
+  metrics.add_counter("frames", report.frames);
+  metrics.add_counter("detections", report.total_detections);
+  metrics.add_counter("branch_runs", report.exec.branch_runs);
+  metrics.add_counter("channel_scans_requested",
+                      report.exec.channel_scans_requested);
+  metrics.add_counter("channel_scans_unique",
+                      report.exec.channel_scans_unique);
+  metrics.add_counter("stem_cache_hits", report.exec.stem_cache_hits);
+  metrics.add_counter("stem_cache_misses", report.exec.stem_cache_misses);
+  metrics.add_counter("stems_skipped", report.exec.stems_skipped);
+  metrics.add_counter("tensor_allocs", report.exec.tensor_allocs);
+  metrics.add_counter("zero_alloc_frames", report.exec.zero_alloc_frames);
+  metrics.set_gauge("modeled/mean_energy_j", report.mean_energy_j);
+  metrics.set_gauge("modeled/mean_latency_ms", report.mean_latency_ms);
+  metrics.set_gauge("modeled/mean_loss", report.mean_loss);
+  metrics.set_gauge("modeled/map", report.map);
+  metrics.set_gauge("obs/arena_bytes_high_water",
+                    static_cast<double>(report.exec.arena_bytes_high_water));
+  return metrics;
 }
 
 }  // namespace eco::runtime

@@ -54,6 +54,7 @@
 #include "eval/map_metric.hpp"
 #include "exec/workspace.hpp"
 #include "gating/gate.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/stream.hpp"
 #include "runtime/thread_pool.hpp"
@@ -100,6 +101,14 @@ struct PipelineConfig {
   /// deterministically at every window barrier, so hit/miss counters stay
   /// worker-count invariant for any value here.
   std::size_t stem_cache_sequences = 64;
+  /// Emit obs:: spans for every pipeline stage (requires an installed
+  /// obs::Tracer; the bench wires this to ECO_TRACE=1). Spans only observe
+  /// — reports are bitwise identical with tracing on or off, and with it
+  /// off every instrumentation site costs one predicted branch.
+  bool tracing = false;
+  /// Shard lane label for spans and the report's control slice
+  /// (observability only; the sharded front-end stamps it per shard).
+  std::size_t shard_index = 0;
 };
 
 /// Per-frame accounting record (stream order).
@@ -177,6 +186,22 @@ struct SceneReport {
   double mean_batch = 0.0;  // mean phase-B group size of this scene's frames
 };
 
+/// One contributing pipeline's per-window control trajectory. A single
+/// unsharded run reports exactly one slice (its own λ traces under its
+/// configured shard_index); the sharded merge concatenates the per-shard
+/// slices in shard order — closing the old telemetry gap where merged
+/// reports dropped the traces entirely. Slices are per-shard state: with
+/// controllers active they legitimately differ across shard counts, so
+/// they are carried, not folded into the cross-shard invariants.
+struct ControlSlice {
+  std::size_t shard_index = 0;
+  std::size_t frames = 0;
+  std::vector<float> lambda_trace;    // λ_E per control window
+  std::vector<float> deadline_trace;  // λ_L per control window
+  float final_lambda = 0.0f;
+  float final_lambda_latency = 0.0f;
+};
+
 /// Full pipeline run report.
 struct PipelineReport {
   std::size_t frames = 0;
@@ -191,6 +216,10 @@ struct PipelineReport {
   ExecCounters exec;                   // cache/batch observability
   std::vector<float> lambda_trace;     // λ_E per control window
   std::vector<float> deadline_trace;   // λ_L per control window
+  /// Per-shard λ trajectories: one slice per contributing pipeline. A
+  /// plain run holds its own single slice; the sharded merge carries every
+  /// shard's slice (previously dropped there — see runtime/shard.hpp).
+  std::vector<ControlSlice> control_slices;
   std::vector<SceneReport> per_scene;  // scenes present, enum order
   std::vector<FrameStats> frame_stats; // stream order
   /// Per-frame detections + ground truth, aligned with frame_stats
@@ -211,6 +240,16 @@ struct PipelineReport {
 /// sums, so any caller assembling the same per-frame records — one
 /// pipeline, or a sharded merge — obtains bitwise-identical aggregates.
 void finalize_report(PipelineReport& report);
+
+/// Derives a metrics registry from a finished report's per-frame records
+/// (stream order, single-threaded — trivially deterministic). Histograms:
+/// "modeled/latency_ms", "modeled/batch_size", "modeled/scan_dedup_ratio"
+/// (covered by the determinism contract: invariant to worker count, and
+/// merging per-shard registries equals collecting from the merged report)
+/// and "obs/wall_ms" (wall-clock, observability only). Plus the exec
+/// counters and the report's headline gauges.
+[[nodiscard]] obs::MetricsRegistry collect_run_metrics(
+    const PipelineReport& report);
 
 /// Runs the adaptive engine over a frame stream with a worker pool.
 class StreamingPipeline {

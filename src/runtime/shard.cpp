@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace eco::runtime {
 
 ShardedPipeline::ShardedPipeline(ShardedConfig config)
@@ -47,7 +49,12 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
         shard_stream.shard_count = shards;
         shard_stream.shard_index = s;
         FrameStream stream(shard_stream);
-        const StreamingPipeline pipeline(*engines_[s], config_.pipeline);
+        // Label this shard's spans and control slice with its index
+        // (observability only; results are shard_index-independent).
+        PipelineConfig shard_pipeline = config_.pipeline;
+        shard_pipeline.shard_index = s;
+        const StreamingPipeline pipeline(*engines_[s],
+                                         std::move(shard_pipeline));
         const core::EcoFusionEngine& engine = *engines_[s];
         reports[s] = pipeline.run(
             stream, [&make_gate, &engine] { return make_gate(engine); }, pool);
@@ -84,6 +91,11 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
   // order is a sort over disjoint index sets. frame_results rides along
   // under the same permutation, then the merged report runs through the
   // identical stream-order reduction the single pipeline uses.
+  obs::ShardScope merge_scope(
+      obs::kRunShard,
+      config_.pipeline.tracing && obs::installed_tracer() != nullptr);
+  obs::Span merge_span(obs::Stage::kShardMerge);
+  merge_span.arg(static_cast<double>(shards));
   PipelineReport& merged = result.merged;
   std::size_t total_frames = 0;
   bool have_results = true;
@@ -120,6 +132,19 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
     }
   }
   finalize_report(merged);
+  merge_span.arg(static_cast<double>(total_frames));
+
+  // Carry every shard's control trajectory into the merged report (the old
+  // telemetry gap: lambda/deadline traces used to survive only in the
+  // ShardSlices, leaving the merged report blind to the control loops).
+  // Slices concatenate in shard order; each shard's pipeline contributed
+  // exactly one slice stamped with its shard_index.
+  merged.control_slices.clear();
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const ControlSlice& slice : reports[s].control_slices) {
+      merged.control_slices.push_back(slice);
+    }
+  }
 
   const auto wall_end = std::chrono::steady_clock::now();
   merged.wall_seconds =

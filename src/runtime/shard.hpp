@@ -25,7 +25,8 @@
 // Two report families are intentionally *not* merged into that invariant:
 //   * control traces (λ_E/λ_L per window) — each shard holds its own
 //     budget/deadline loop over its own sub-stream, so traces are
-//     per-shard state; the merge preserves them verbatim in ShardSlice.
+//     per-shard state; the merge preserves them verbatim in ShardSlice AND
+//     as per-shard ControlSlices on the merged report itself.
 //     With controllers active, per-frame λs (and thus selections) may
 //     legitimately differ across shard counts; determinism across *worker*
 //     counts holds for every fixed shard count.
@@ -85,9 +86,12 @@ struct ShardSlice {
 /// Result of a sharded run: the order-restored merged report plus the
 /// per-shard control slices.
 struct ShardedReport {
-  /// Global-stream-order merge. lambda/deadline traces are left empty here
-  /// (they are per-shard state; see `shards`); wall fields cover the whole
-  /// sharded run.
+  /// Global-stream-order merge. The flat lambda/deadline trace vectors are
+  /// left empty here (a single global trace would be fiction — each shard
+  /// ran its own loop), but `merged.control_slices` carries every shard's
+  /// per-window λ_E/λ_L trajectory in shard order, so downstream consumers
+  /// (BENCH_runtime.json, run manifests) no longer lose the control
+  /// telemetry in the merge. Wall fields cover the whole sharded run.
   PipelineReport merged;
   std::vector<ShardSlice> shards;
 };
