@@ -697,9 +697,16 @@ int main(int argc, char** argv) {
                    obs_summary.trace_path.c_str());
       obs_summary.trace_valid = false;
     } else {
-      std::fwrite(trace_json.data(), 1, trace_json.size(), tf);
-      std::fclose(tf);
-      std::printf("Wrote %s\n", obs_summary.trace_path.c_str());
+      const std::size_t written =
+          std::fwrite(trace_json.data(), 1, trace_json.size(), tf);
+      const bool closed = std::fclose(tf) == 0;
+      if (written != trace_json.size() || !closed) {
+        std::fprintf(stderr, "error: short write to %s\n",
+                     obs_summary.trace_path.c_str());
+        obs_summary.trace_valid = false;
+      } else {
+        std::printf("Wrote %s\n", obs_summary.trace_path.c_str());
+      }
     }
   }
   std::printf("Tracing overhead: %.1f fps untraced vs %.1f fps traced "

@@ -6,6 +6,32 @@
 
 namespace eco::obs {
 
+namespace {
+
+// Numbers are formatted one at a time into a small stack buffer and
+// appended; names go straight onto the string. Nothing here can truncate,
+// however long the metric name.
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += buf;
+}
+
+void append_key(std::string& out, const std::string& name) {
+  out += "\"";
+  out += name;
+  out += "\":";
+}
+
+}  // namespace
+
 std::size_t Histogram::bucket_of(double value) noexcept {
   if (!(value > 0.0)) return 0;  // non-positive and NaN underflow
   int exp = 0;
@@ -21,6 +47,10 @@ double Histogram::bucket_upper(std::size_t i) noexcept {
 }
 
 void Histogram::record(double value) noexcept {
+  // A NaN sample would poison min_/max_ (std::min/max keep the first
+  // argument on unordered compares) and print "nan" — invalid JSON — so it
+  // is dropped entirely rather than counted.
+  if (std::isnan(value)) return;
   counts_[bucket_of(value)] += 1;
   if (total_ == 0) {
     min_ = max_ = value;
@@ -71,45 +101,48 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 
 std::string MetricsRegistry::to_json() const {
   std::string out = "{";
-  char buf[128];
   out += "\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     if (!first) out += ",";
     first = false;
-    std::snprintf(buf, sizeof buf, "\"%s\":%llu", name.c_str(),
-                  static_cast<unsigned long long>(value));
-    out += buf;
+    append_key(out, name);
+    append_u64(out, value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : gauges_) {
     if (!first) out += ",";
     first = false;
-    std::snprintf(buf, sizeof buf, "\"%s\":%.6g", name.c_str(), value);
-    out += buf;
+    append_key(out, name);
+    append_double(out, value);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
     if (!first) out += ",";
     first = false;
-    std::snprintf(
-        buf, sizeof buf,
-        "\"%s\":{\"total\":%llu,\"min\":%.6g,\"max\":%.6g,\"p50\":%.6g,"
-        "\"p95\":%.6g,\"p99\":%.6g,\"buckets\":{",
-        name.c_str(), static_cast<unsigned long long>(histogram.total()),
-        histogram.min(), histogram.max(), histogram.percentile(0.50),
-        histogram.percentile(0.95), histogram.percentile(0.99));
-    out += buf;
+    append_key(out, name);
+    out += "{\"total\":";
+    append_u64(out, histogram.total());
+    out += ",\"min\":";
+    append_double(out, histogram.min());
+    out += ",\"max\":";
+    append_double(out, histogram.max());
+    out += ",\"p50\":";
+    append_double(out, histogram.percentile(0.50));
+    out += ",\"p95\":";
+    append_double(out, histogram.percentile(0.95));
+    out += ",\"p99\":";
+    append_double(out, histogram.percentile(0.99));
+    out += ",\"buckets\":{";
     bool first_bucket = true;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       if (histogram.bucket(i) == 0) continue;
       if (!first_bucket) out += ",";
       first_bucket = false;
-      std::snprintf(buf, sizeof buf, "\"%zu\":%llu", i,
-                    static_cast<unsigned long long>(histogram.bucket(i)));
-      out += buf;
+      append_key(out, std::to_string(i));
+      append_u64(out, histogram.bucket(i));
     }
     out += "}}";
   }

@@ -13,10 +13,17 @@ namespace {
 
 std::atomic<Tracer*> g_tracer{nullptr};
 
-/// Per-thread cached ring so a ShardScope on a hot worker costs one pointer
-/// compare instead of a registry lookup. Invalidated by tracer identity.
+/// Monotonic tracer identity source. Each Tracer takes the next value at
+/// construction; 0 is never issued, so a default cache matches no tracer.
+std::atomic<std::uint64_t> g_tracer_generation{0};
+
+/// Per-thread cached ring so a ShardScope on a hot worker costs one integer
+/// compare instead of a registry lookup. Keyed on the tracer's generation,
+/// not its address: a new tracer constructed at a reused address (sequential
+/// stack tracers, heap reuse) must never alias a destroyed tracer's entry,
+/// or Span::~Span would write into freed memory.
 struct ThreadRingCache {
-  const Tracer* owner = nullptr;
+  std::uint64_t generation = 0;
   SpanRing* ring = nullptr;
 };
 thread_local ThreadRingCache tls_ring_cache;
@@ -48,7 +55,10 @@ const StageInfo& stage_info(Stage stage) noexcept {
 }
 
 Tracer::Tracer(TraceConfig config)
-    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+    : config_(config),
+      generation_(g_tracer_generation.fetch_add(1, std::memory_order_relaxed) +
+                  1),
+      epoch_(std::chrono::steady_clock::now()) {
   if (config_.ring_capacity == 0) config_.ring_capacity = 1;
 }
 
@@ -81,12 +91,12 @@ Tracer* installed_tracer() noexcept {
 }
 
 SpanRing* Tracer::ring_for_current_thread() {
-  if (tls_ring_cache.owner == this) return tls_ring_cache.ring;
+  if (tls_ring_cache.generation == generation_) return tls_ring_cache.ring;
   std::lock_guard<std::mutex> lock(mutex_);
   rings_.push_back(std::make_unique<SpanRing>(
       config_.ring_capacity, static_cast<std::uint32_t>(rings_.size()),
       epoch_));
-  tls_ring_cache = {this, rings_.back().get()};
+  tls_ring_cache = {generation_, rings_.back().get()};
   return tls_ring_cache.ring;
 }
 

@@ -173,6 +173,9 @@ class Tracer {
 
  private:
   TraceConfig config_;
+  /// Process-unique identity (never 0, never reused) keying the per-thread
+  /// ring caches — see ThreadRingCache in trace.cpp.
+  std::uint64_t generation_;
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<SpanRing>> rings_;

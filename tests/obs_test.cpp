@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,6 +126,23 @@ TEST(Histogram, RecordAndPercentiles) {
   EXPECT_EQ(h.percentile(0.99), 128.0);
 }
 
+TEST(Histogram, NanSamplesAreDroppedEntirely) {
+  obs::Histogram h;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  h.record(nan);  // NaN-first must not poison min/max
+  EXPECT_EQ(h.total(), 0u);
+  h.record(2.0);
+  h.record(nan);
+  h.record(8.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 8.0);
+  obs::MetricsRegistry registry;
+  registry.histogram("modeled/latency_ms") = h;
+  EXPECT_TRUE(obs::json_valid(registry.to_json()));
+  EXPECT_EQ(registry.to_json().find("nan"), std::string::npos);
+}
+
 TEST(Histogram, MergeEqualsConcatenation) {
   obs::Histogram merged_parts, whole;
   obs::Histogram a, b;
@@ -154,6 +172,23 @@ TEST(MetricsRegistry, MergeSemanticsAndJson) {
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
   ASSERT_NE(a.find_histogram("modeled/latency_ms"), nullptr);
   EXPECT_EQ(a.find_histogram("modeled/latency_ms")->total(), 2u);
+}
+
+TEST(MetricsRegistry, LongNamesAndSmallValuesStayValidJson) {
+  // A realistic long histogram name plus six sub-millisecond %.6g values
+  // (11-13 chars each) used to overflow a fixed formatting buffer and emit
+  // truncated — invalid — JSON. Names must never be length-limited.
+  obs::MetricsRegistry registry;
+  const std::string long_name(120, 'x');
+  obs::Histogram& h =
+      registry.histogram("modeled/scan_dedup_ratio_" + long_name);
+  for (int i = 0; i < 1000000; ++i) h.record(0.000976562);
+  registry.add_counter("counter_" + long_name, 123456789012345ull);
+  registry.set_gauge("gauge_" + long_name, 0.000976562);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(obs::json_valid(json));
+  EXPECT_NE(json.find(long_name), std::string::npos);
+  EXPECT_NE(json.find("0.000976562"), std::string::npos);
 }
 
 // ---- JSON validator -------------------------------------------------------
@@ -223,6 +258,24 @@ TEST(Tracing, CoversStagesAndShardLanes) {
   EXPECT_NE(json.find("\"shard 1\""), std::string::npos);
   EXPECT_NE(json.find("\"shard_merge\""), std::string::npos);
   tracer.uninstall();
+}
+
+TEST(Tracing, SequentialTracersNeverAliasThreadRingCaches) {
+  // Stack-allocated tracers in a loop reuse the same address. If the
+  // per-thread ring cache were keyed on that address, iteration 2's spans
+  // would be written into iteration 1's freed ring (use-after-free) and
+  // silently vanish from iteration 2's stats. Generation keying makes each
+  // tracer's identity unique regardless of address reuse.
+  for (int i = 0; i < 3; ++i) {
+    obs::Tracer tracer;
+    tracer.install();
+    {
+      obs::ShardScope scope(0, /*active=*/true);
+      obs::Span span(obs::Stage::kStreamPull);
+    }
+    EXPECT_EQ(tracer.stats().total_spans, 1u);
+    tracer.uninstall();
+  }
 }
 
 TEST(Tracing, RingOverflowDropsSpansButTraceStaysValid) {
