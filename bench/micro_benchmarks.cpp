@@ -88,6 +88,18 @@ void BM_Conv2dRowsReference(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dRowsReference);
 
+void BM_Conv2dRowsSimd(benchmark::State& state) {
+  tensor::Tensor input, weight, bias;
+  tensor::Conv2dSpec spec;
+  conv_kernel_inputs(input, weight, bias, spec);
+  tensor::Tensor out({8, 48, 48});
+  for (auto _ : state) {
+    tensor::conv2d_rows_simd(input, weight, bias, spec, 0, 48, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dRowsSimd);
+
 void BM_BoxBlur3Fast(benchmark::State& state) {
   const dataset::Frame frame = test_frame();
   const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
@@ -110,6 +122,17 @@ void BM_BoxBlur3Reference(benchmark::State& state) {
 }
 BENCHMARK(BM_BoxBlur3Reference);
 
+void BM_BoxBlur3Simd(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  tensor::Tensor out;
+  for (auto _ : state) {
+    detect::box_blur3_into_simd(grid, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BoxBlur3Simd);
+
 void BM_IntegralImageReset(benchmark::State& state) {
   const dataset::Frame frame = test_frame();
   const auto& grid = frame.grid(dataset::SensorKind::kLidar);
@@ -120,6 +143,33 @@ void BM_IntegralImageReset(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntegralImageReset);
+
+void BM_IntegralImageResetSimd(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kLidar);
+  detect::IntegralImage integral;
+  for (auto _ : state) {
+    integral.reset(grid, tensor::Backend::kSimd);
+    benchmark::DoNotOptimize(integral.height());
+  }
+}
+BENCHMARK(BM_IntegralImageResetSimd);
+
+// The vectorized anchor-contrast sweep vs its scalar equivalent inside a
+// full proposal pass: one Rpn per backend over the same plan/scratch.
+void BM_RpnProposeBackend(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  detect::RpnConfig config;
+  config.backend = state.range(0) != 0 ? tensor::Backend::kSimd
+                                       : tensor::Backend::kFast;
+  const detect::Rpn rpn(config);
+  detect::ScanScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpn.propose(grid, &scratch));
+  }
+}
+BENCHMARK(BM_RpnProposeBackend)->Arg(0)->Arg(1);
 
 // Warmed-arena acquisition vs fresh tensor construction — the allocation
 // cost the per-slot FrameArena removes from every steady-state frame.

@@ -39,6 +39,8 @@
 //
 // Build & run:
 //   ./build/bench/runtime_throughput [frames_per_sequence] [json] [max_shards]
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -49,6 +51,7 @@
 #include "core/engine.hpp"
 #include "dataset/generator.hpp"
 #include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
 #include "gating/knowledge_gate.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
@@ -58,17 +61,45 @@
 #include "runtime/shard.hpp"
 #include "runtime/stream.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan_cache.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-/// Self-gate: the fast kernels must agree bitwise with their reference
-/// implementations on a sampled frame — a stem-shaped conv over every
-/// sensor grid plus the RPN blur. Runs regardless of ECO_REFERENCE_KERNELS
-/// (both entry points are called explicitly), so the reference-path CI
-/// smoke still verifies the fast code it is not otherwise executing.
-bool kernels_match_reference() {
+/// Per-backend bitwise self-gate result: the largest absolute difference
+/// any kernel produced against the reference implementation on a sampled
+/// frame. The determinism contract demands exact zeros; the deltas are
+/// recorded in the JSON so a violation shows its magnitude, not just a
+/// boolean.
+struct KernelDeltas {
+  double fast = 0.0;  // conv + blur, fast vs reference
+  double simd = 0.0;  // conv + blur + integral + anchor scoring, simd vs ref
+  [[nodiscard]] bool ok() const noexcept {
+    return fast == 0.0 && simd == 0.0;
+  }
+};
+
+double max_abs_delta(const eco::tensor::Tensor& a,
+                     const eco::tensor::Tensor& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = std::fabs(static_cast<double>(a.data()[i]) -
+                               static_cast<double>(b.data()[i]));
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+/// Self-gate: every non-reference kernel backend must agree bitwise with
+/// its reference implementation on a sampled frame — a stem-shaped conv
+/// over every sensor grid, the RPN blur, the integral image, and the
+/// vectorized anchor-contrast sweep. Runs regardless of
+/// ECO_REFERENCE_KERNELS (the backend entry points are called explicitly),
+/// so the reference-path CI smoke still verifies the code it is not
+/// otherwise executing.
+KernelDeltas kernel_deltas_vs_reference() {
   using namespace eco;
   dataset::DatasetConfig config;
   const dataset::Frame frame =
@@ -85,22 +116,67 @@ bool kernels_match_reference() {
   for (auto& v : weight.vec()) v = rng.uniform_f(-1.0f, 1.0f);
   for (auto& v : bias.vec()) v = rng.uniform_f(-0.1f, 0.1f);
 
-  bool ok = true;
+  KernelDeltas deltas;
   for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
     const tensor::Tensor& grid = frame.grid(kind);
-    const std::size_t oh = spec.out_extent(grid.size(1));
-    const std::size_t ow = spec.out_extent(grid.size(2));
-    tensor::Tensor fast({8, oh, ow}), reference({8, oh, ow});
+    const std::size_t h = grid.size(1), w = grid.size(2);
+    const std::size_t oh = spec.out_extent(h);
+    const std::size_t ow = spec.out_extent(w);
+    tensor::Tensor fast({8, oh, ow}), simd({8, oh, ow});
+    tensor::Tensor reference({8, oh, ow});
     tensor::conv2d_rows_fast(grid, weight, bias, spec, 0, oh, fast);
+    tensor::conv2d_rows_simd(grid, weight, bias, spec, 0, oh, simd);
     tensor::conv2d_rows_reference(grid, weight, bias, spec, 0, oh, reference);
-    ok = ok && fast.equals(reference);
+    deltas.fast = std::max(deltas.fast, max_abs_delta(fast, reference));
+    deltas.simd = std::max(deltas.simd, max_abs_delta(simd, reference));
 
-    tensor::Tensor blur_fast, blur_reference;
+    tensor::Tensor blur_fast, blur_simd, blur_reference;
     detect::box_blur3_into_fast(grid, blur_fast);
+    detect::box_blur3_into_simd(grid, blur_simd);
     detect::box_blur3_into_reference(grid, blur_reference);
-    ok = ok && blur_fast.equals(blur_reference);
+    deltas.fast =
+        std::max(deltas.fast, max_abs_delta(blur_fast, blur_reference));
+    deltas.simd =
+        std::max(deltas.simd, max_abs_delta(blur_simd, blur_reference));
+
+    // Integral image: simd's two-pass build vs the reference single walk.
+    detect::IntegralImage ref_ii, simd_ii;
+    ref_ii.reset(blur_reference, tensor::Backend::kReference);
+    simd_ii.reset(blur_reference, tensor::Backend::kSimd);
+    const std::size_t cells = (h + 1) * (w + 1);
+    for (std::size_t i = 0; i < cells; ++i) {
+      const double d = std::fabs(ref_ii.table()[i] - simd_ii.table()[i]);
+      if (d > deltas.simd) deltas.simd = d;
+    }
+
+    // Anchor scoring: the vectorized contrast sweep vs the scalar chain
+    // over the full precomputed geometry of this grid shape.
+    const detect::ScanPlan plan =
+        detect::build_scan_plan({h, w, detect::RpnConfig{}});
+    std::vector<double> simd_contrast(plan.geometry.size());
+    detect::detail::anchor_contrast_pass_simd(
+        ref_ii.table(), plan.geometry.data(), plan.geometry.size(),
+        simd_contrast.data());
+    for (std::size_t i = 0; i < plan.geometry.size(); ++i) {
+      const detect::AnchorGeometry& g = plan.geometry[i];
+      const double inner_sum =
+          g.inner_valid
+              ? ref_ii.flat_sum(g.inner00, g.inner01, g.inner10, g.inner11)
+              : 0.0;
+      const double ring_sum =
+          g.ring_valid
+              ? ref_ii.flat_sum(g.ring00, g.ring01, g.ring10, g.ring11)
+              : 0.0;
+      const double inside =
+          g.inner_area > 0.0f ? inner_sum / g.inner_area : 0.0;
+      const double ring_area = g.ring_area;
+      const double background =
+          ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
+      const double d = std::fabs((inside - background) - simd_contrast[i]);
+      if (d > deltas.simd) deltas.simd = d;
+    }
   }
-  return ok;
+  return deltas;
 }
 
 /// Control-window size used by every sweep below; the steady-state
@@ -145,10 +221,23 @@ struct ShardRow {
   std::size_t channel_scans_requested = 0;
   std::size_t channel_scans_unique = 0;
   std::size_t tensor_allocs = 0;
+  std::size_t plan_cache_hits = 0;    // process-wide scan-plan cache hits
+  std::size_t plan_cache_misses = 0;  // plans built during this run
   std::size_t arena_bytes_high_water = 0;
   bool merged_invariant = false;  // J/loss/mAP bitwise equal to 1-shard row
   Pcts modeled_latency_ms;
   Pcts obs_wall_ms;
+};
+
+/// One explicit-backend run of the 4-worker pipeline: same stream, an
+/// engine constructed with that backend pinned. fps is observability; the
+/// bitwise flag (report equals the environment-selected sweep's report) is
+/// the determinism gate.
+struct BackendRow {
+  eco::tensor::Backend backend = eco::tensor::Backend::kAuto;
+  double frames_per_second = 0.0;
+  double max_abs_delta_vs_reference = 0.0;  // kernel self-gate delta
+  bool report_bitwise = false;
 };
 
 /// Tracing-overhead + trace-artifact summary, recorded in the JSON and
@@ -233,7 +322,10 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                 const std::vector<ShardRow>& shard_rows, bool share_enabled,
                 bool share_invariant, const Pcts& modeled_p, const Pcts& wall_p,
                 const std::vector<eco::runtime::ControlSlice>& control_slices,
-                const ObsSummary& obs) {
+                const ObsSummary& obs,
+                const std::vector<BackendRow>& backend_rows,
+                const eco::detect::ScanPlanCacheStats& plan_stats,
+                bool plan_cache_ok) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -273,6 +365,10 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
   std::fprintf(f, "    \"max_batch\": %zu,\n", report.exec.max_batch);
   std::fprintf(f, "    \"mean_batch\": %.4f,\n", report.exec.mean_batch);
   std::fprintf(f, "    \"tensor_allocs\": %zu,\n", report.exec.tensor_allocs);
+  std::fprintf(f, "    \"plan_cache_hits\": %zu,\n",
+               report.exec.plan_cache_hits);
+  std::fprintf(f, "    \"plan_cache_misses\": %zu,\n",
+               report.exec.plan_cache_misses);
   std::fprintf(f, "    \"arena_bytes_high_water\": %zu,\n",
                report.exec.arena_bytes_high_water);
   std::fprintf(f, "    \"zero_alloc_frames\": %zu\n",
@@ -282,6 +378,26 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                share_enabled ? "true" : "false");
   std::fprintf(f, "  \"share_invariant\": %s,\n",
                share_invariant ? "true" : "false");
+  // Per-backend runs: fps moves, everything deterministic must not. The
+  // deltas are the kernel self-gate's max absolute differences against the
+  // reference implementations (the contract demands exact zeros).
+  std::fprintf(f, "  \"backends\": [\n");
+  for (std::size_t i = 0; i < backend_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"frames_per_second\": %.2f, "
+                 "\"max_abs_delta_vs_reference\": %.9g, "
+                 "\"report_bitwise\": %s}%s\n",
+                 eco::tensor::backend_name(backend_rows[i].backend),
+                 backend_rows[i].frames_per_second,
+                 backend_rows[i].max_abs_delta_vs_reference,
+                 backend_rows[i].report_bitwise ? "true" : "false",
+                 i + 1 < backend_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"plan_cache\": {\"plans\": %zu, \"hits\": %zu, "
+               "\"misses\": %zu, \"cross_shard_reuse_ok\": %s},\n",
+               plan_stats.plans, plan_stats.hits, plan_stats.misses,
+               plan_cache_ok ? "true" : "false");
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
@@ -311,6 +427,8 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  "\"channel_scans_requested\": %zu, "
                  "\"channel_scans_unique\": %zu, "
                  "\"tensor_allocs\": %zu, "
+                 "\"plan_cache_hits\": %zu, "
+                 "\"plan_cache_misses\": %zu, "
                  "\"arena_bytes_high_water\": %zu, "
                  "\"merged_invariant\": %s, "
                  "\"modeled_latency_ms_p50\": %.6f, "
@@ -323,6 +441,8 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  shard_rows[i].channel_scans_requested,
                  shard_rows[i].channel_scans_unique,
                  shard_rows[i].tensor_allocs,
+                 shard_rows[i].plan_cache_hits,
+                 shard_rows[i].plan_cache_misses,
                  shard_rows[i].arena_bytes_high_water,
                  shard_rows[i].merged_invariant ? "true" : "false",
                  shard_rows[i].modeled_latency_ms.p50,
@@ -406,10 +526,8 @@ int main(int argc, char** argv) {
   // emits zero spans even with a live tracer installed.
   const bool trace_enabled = obs::trace_env_enabled();
   obs::TraceConfig trace_config;
-  if (const char* cap_env = std::getenv("ECO_TRACE_CAPACITY")) {
-    const std::size_t cap = std::strtoul(cap_env, nullptr, 10);
-    if (cap > 0) trace_config.ring_capacity = cap;
-  }
+  trace_config.ring_capacity = util::env_size_or("ECO_TRACE_CAPACITY",
+                                                 trace_config.ring_capacity);
   obs::Tracer tracer(trace_config);
   tracer.install();
 
@@ -433,9 +551,7 @@ int main(int argc, char** argv) {
   // ECO_CHANNEL_SHARE=0 runs every sweep with cross-branch channel-scan
   // sharing disabled (the CI smoke uses it to exercise the unshared path;
   // the invariance check below always compares both paths regardless).
-  const char* share_env = std::getenv("ECO_CHANNEL_SHARE");
-  const bool share_enabled =
-      share_env == nullptr || std::string(share_env) != "0";
+  const bool share_enabled = !util::env_disabled("ECO_CHANNEL_SHARE");
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("Streaming-runtime throughput (hardware threads: %u)\n", hw);
@@ -584,6 +700,8 @@ int main(int argc, char** argv) {
                           merged.exec.channel_scans_requested,
                           merged.exec.channel_scans_unique,
                           merged.exec.tensor_allocs,
+                          merged.exec.plan_cache_hits,
+                          merged.exec.plan_cache_misses,
                           merged.exec.arena_bytes_high_water, invariant,
                           pcts_of(merged_metrics, "modeled/latency_ms"),
                           pcts_of(merged_metrics, "obs/wall_ms")});
@@ -591,6 +709,75 @@ int main(int argc, char** argv) {
   std::printf("Sharded front-end at 4 shared workers (sequences hashed "
               "across shards,\nmerged report restored to stream order):\n");
   std::printf("%s\n", shard_table.render().c_str());
+
+  // ---- Process-wide plan-cache gate -------------------------------------
+  // The anchor/scoring plans live in one process-wide LRU cache, so shards
+  // share them: an N-shard run must resolve at least (N-1) x (unique plans)
+  // lookups as hits (every shard beyond the builder reuses each plan), and
+  // the shard sweep's reports already proved bitwise invariance above —
+  // cross-shard reuse is results-invisible.
+  const detect::ScanPlanCacheStats plan_stats = detect::scan_plan_cache_stats();
+  bool plan_cache_ok = plan_stats.plans > 0;
+  for (const ShardRow& row : shard_rows) {
+    if (row.shards <= 1) continue;
+    plan_cache_ok = plan_cache_ok &&
+                    row.plan_cache_hits >= (row.shards - 1) * plan_stats.plans;
+  }
+  std::printf("Scan-plan cache: %zu plans built (%zu misses), %zu hits "
+              "process-wide; cross-shard reuse %s.\n\n",
+              plan_stats.plans, plan_stats.misses, plan_stats.hits,
+              plan_cache_ok ? "ok" : "ABSENT");
+
+  // ---- Explicit-backend sweep -------------------------------------------
+  // One 4-worker run per pinned backend on the identical stream. Every
+  // report must be bitwise equal to the environment-selected sweep's run —
+  // the backend seam is a pure performance knob.
+  std::vector<BackendRow> backend_rows;
+  const KernelDeltas kernel_deltas = kernel_deltas_vs_reference();
+  {
+    util::Table backend_table(
+        {"Backend", "Frames/s", "max|delta| vs ref", "Report =="});
+    for (tensor::Backend backend :
+         {tensor::Backend::kReference, tensor::Backend::kFast,
+          tensor::Backend::kSimd}) {
+      core::EngineConfig engine_config;
+      engine_config.backend = backend;
+      const core::EcoFusionEngine backend_engine(engine_config);
+      runtime::PipelineConfig config;
+      config.workers = 4;
+      config.window = kBenchWindow;
+      config.share_channel_scans = share_enabled;
+      config.tracing = trace_enabled;
+      runtime::StreamingPipeline pipeline(backend_engine, config);
+      runtime::FrameStream stream(stream_config);
+      const runtime::PipelineReport report = pipeline.run(
+          stream, [&backend_engine] {
+            return std::make_unique<gating::KnowledgeGate>(
+                backend_engine.default_knowledge_table(),
+                backend_engine.config_space().size());
+          });
+      BackendRow row;
+      row.backend = backend;
+      row.frames_per_second = report.frames_per_second;
+      row.max_abs_delta_vs_reference =
+          backend == tensor::Backend::kFast   ? kernel_deltas.fast
+          : backend == tensor::Backend::kSimd ? kernel_deltas.simd
+                                              : 0.0;
+      row.report_bitwise = reports_bitwise_equal(report, four_worker_report);
+      backend_rows.push_back(row);
+      backend_table.add_row({tensor::backend_name(backend),
+                             util::fmt(row.frames_per_second, 1),
+                             util::fmt(row.max_abs_delta_vs_reference, 9),
+                             row.report_bitwise ? "yes" : "NO"});
+    }
+    std::printf("Kernel backends at 4 workers (explicit EngineConfig.backend; "
+                "all bitwise equal by contract):\n%s\n",
+                backend_table.render().c_str());
+  }
+  bool backends_invariant = true;
+  for (const BackendRow& row : backend_rows) {
+    backends_invariant = backends_invariant && row.report_bitwise;
+  }
 
   std::printf("Exec layer: %zu branch runs over %zu frames (%zu/%zu "
               "unique/requested channel scans);\nstems skipped on %zu frames; "
@@ -688,9 +875,8 @@ int main(int argc, char** argv) {
     obs_summary.stages_ok = true;
   }
   if (trace_enabled) {
-    const char* trace_path_env = std::getenv("ECO_TRACE_PATH");
     obs_summary.trace_path =
-        trace_path_env != nullptr ? trace_path_env : "trace.json";
+        util::env_string_or("ECO_TRACE_PATH", "trace.json");
     std::FILE* tf = std::fopen(obs_summary.trace_path.c_str(), "w");
     if (tf == nullptr) {
       std::fprintf(stderr, "error: cannot write %s\n",
@@ -722,8 +908,8 @@ int main(int argc, char** argv) {
   // Optional absolute floor against a pinned baseline (PR-5 numbers on a
   // known machine); unset keeps the bench hardware-agnostic.
   bool baseline_ok = true;
-  if (const char* baseline_env = std::getenv("ECO_BASELINE_FPS")) {
-    const double baseline = std::strtod(baseline_env, nullptr);
+  {
+    const double baseline = util::env_double_or("ECO_BASELINE_FPS", 0.0);
     if (baseline > 0.0) {
       baseline_ok = obs_summary.fps_untraced >= 0.9 * baseline;
       std::printf("Baseline gate: %.1f fps untraced vs %.1f baseline "
@@ -738,7 +924,7 @@ int main(int argc, char** argv) {
   manifest.tool = "runtime_throughput";
   manifest.capture_env({"ECO_TRACE", "ECO_TRACE_PATH", "ECO_TRACE_CAPACITY",
                         "ECO_CHANNEL_SHARE", "ECO_REFERENCE_KERNELS",
-                        "ECO_BASELINE_FPS"});
+                        "ECO_SIMD", "ECO_BACKEND", "ECO_BASELINE_FPS"});
   manifest.params = {
       {"frames_per_sequence", std::to_string(frames_per_sequence)},
       {"sequences_per_scene",
@@ -788,7 +974,8 @@ int main(int argc, char** argv) {
   const bool wrote =
       write_json(json_path, last_report, frames_per_sequence, rows, shard_rows,
                  share_enabled, share_invariant, modeled_p, wall_p,
-                 manifest_slices, obs_summary);
+                 manifest_slices, obs_summary, backend_rows, plan_stats,
+                 plan_cache_ok);
   const bool bench_json_valid = wrote && obs::json_valid(read_file(json_path));
   if (wrote && !bench_json_valid) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", json_path);
@@ -812,11 +999,23 @@ int main(int argc, char** argv) {
                  "error: channel-scan sharing not bitwise invariant (or no "
                  "dedup on the ensemble-bearing stream)\n");
   }
-  const bool kernels_ok = kernels_match_reference();
+  const bool kernels_ok = kernel_deltas.ok();
   if (!kernels_ok) {
     std::fprintf(stderr,
-                 "error: fast kernels diverge bitwise from the reference "
-                 "implementations on the sampled frame\n");
+                 "error: kernel backends diverge bitwise from the reference "
+                 "implementations on the sampled frame (max|delta| fast "
+                 "%.9g, simd %.9g)\n",
+                 kernel_deltas.fast, kernel_deltas.simd);
+  }
+  if (!backends_invariant) {
+    std::fprintf(stderr,
+                 "error: an explicit-backend run diverges bitwise from the "
+                 "environment-selected run\n");
+  }
+  if (!plan_cache_ok) {
+    std::fprintf(stderr,
+                 "error: cross-shard scan-plan reuse absent (hits below "
+                 "(shards-1) x unique plans)\n");
   }
   // Steady state = every frame past the first control window (slot arenas
   // warm in window 0); those frames must report zero tensor allocations.
@@ -831,7 +1030,8 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  std::printf("Kernel self-gate: fast conv/blur %s reference bitwise; "
+  std::printf("Kernel self-gate: fast+simd conv/blur/integral/scoring %s "
+              "reference bitwise; "
               "%zu tensor allocs over %zu frames (%zu zero-alloc frames, "
               "arena high water %zu bytes).\n",
               kernels_ok ? "match" : "DIVERGE FROM",
@@ -857,10 +1057,10 @@ int main(int argc, char** argv) {
   }
   tracer.uninstall();
   return (all_invariant && share_invariant && kernels_ok &&
-          steady_state_zero_allocs && wrote && bench_json_valid &&
-          obs_summary.traced_invariant && obs_summary.zero_spans_when_off &&
-          obs_summary.trace_valid && obs_summary.stages_ok && manifest_ok &&
-          baseline_ok)
+          backends_invariant && plan_cache_ok && steady_state_zero_allocs &&
+          wrote && bench_json_valid && obs_summary.traced_invariant &&
+          obs_summary.zero_spans_when_off && obs_summary.trace_valid &&
+          obs_summary.stages_ok && manifest_ok && baseline_ok)
              ? 0
              : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "dataset/scene.hpp"
 #include "exec/workspace.hpp"
@@ -63,26 +64,39 @@ std::vector<detect::ClassPrototype> channel_prototypes(
   return prototypes;
 }
 
-detect::BranchConfig make_branch_config(BranchId branch) {
+detect::BranchConfig make_branch_config(BranchId branch,
+                                        tensor::Backend backend) {
   detect::BranchConfig config;
   config.name = branch_name(branch);
   const auto inputs = branch_inputs(branch);
   config.input_count = inputs.size();
+  config.rpn.backend = backend;
   config.roi_per_input.clear();
   for (dataset::SensorKind kind : inputs) {
-    config.roi_per_input.push_back(channel_roi_config(kind));
+    detect::RoiHeadConfig roi = channel_roi_config(kind);
+    roi.backend = backend;
+    config.roi_per_input.push_back(roi);
   }
+  return config;
+}
+
+/// Resolves the engine's backend once and stamps it into every nested
+/// kernel config, so the stored EngineConfig records the concrete backend
+/// the engine actually runs (and scan_equivalent/plan-cache keys see it).
+EngineConfig resolve_engine_config(EngineConfig config) {
+  config.backend = tensor::resolve_backend(config.backend);
+  config.stem.backend = config.backend;
   return config;
 }
 
 }  // namespace
 
 EcoFusionEngine::EcoFusionEngine(EngineConfig config)
-    : config_(config),
+    : config_(resolve_engine_config(std::move(config))),
       space_(build_config_space()),
       baselines_(baseline_indices(space_)),
-      stems_(config.stem),
-      fusion_block_(config.fusion) {
+      stems_(config_.stem),
+      fusion_block_(config_.fusion) {
   branches_.reserve(kNumBranches);
   for (std::size_t b = 0; b < kNumBranches; ++b) {
     const auto id = static_cast<BranchId>(b);
@@ -92,7 +106,7 @@ EcoFusionEngine::EcoFusionEngine(EngineConfig config)
           channel_prototypes(kind, config_.prototype_amplitude_scale));
     }
     branches_.push_back(std::make_unique<detect::BranchDetector>(
-        make_branch_config(id), std::move(prototypes)));
+        make_branch_config(id, config_.backend), std::move(prototypes)));
   }
 
   // Build the channel-scan plan: walk every (branch, channel) in branch

@@ -27,6 +27,7 @@
 #include "fusion/fusion_block.hpp"
 #include "gating/gate.hpp"
 #include "gating/knowledge_gate.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eco::exec {
@@ -45,6 +46,12 @@ struct EngineConfig {
   /// amplitude for the ROI prototypes (accounts for average context
   /// attenuation and edge dilution).
   float prototype_amplitude_scale = 1.0f;
+  /// Kernel backend for every stem/RPN/ROI kernel the engine constructs.
+  /// kAuto resolves from the environment (ECO_BACKEND, ECO_SIMD,
+  /// ECO_REFERENCE_KERNELS) exactly once at engine construction, so one
+  /// engine never mixes backends mid-run. All backends are bitwise equal,
+  /// so this is a pure performance knob.
+  tensor::Backend backend = tensor::Backend::kAuto;
 };
 
 /// Result of executing one configuration on one frame.

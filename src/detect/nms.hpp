@@ -15,6 +15,15 @@ namespace eco::detect {
                                          float iou_threshold,
                                          bool class_aware = true);
 
+/// nms() operating on the caller's vector (kept detections compact to the
+/// front, vector resized) so hot paths reuse one buffer across calls
+/// instead of allocating per invocation. The class-agnostic suppression
+/// sweep is vectorized on SSE2 builds — each lane evaluates the exact
+/// scalar iou() chain, so which boxes survive is bit-for-bit the scalar
+/// greedy result (pinned by tests against a scalar replay).
+void nms_in_place(std::vector<Detection>& detections, float iou_threshold,
+                  bool class_aware = true);
+
 /// Drops detections with score below `min_score`.
 [[nodiscard]] std::vector<Detection> filter_by_score(
     std::vector<Detection> detections, float min_score);
@@ -22,5 +31,9 @@ namespace eco::detect {
 /// Keeps at most the `top_k` highest-scoring detections.
 [[nodiscard]] std::vector<Detection> keep_top_k(
     std::vector<Detection> detections, std::size_t top_k);
+
+/// keep_top_k() operating on the caller's vector.
+void keep_top_k_in_place(std::vector<Detection>& detections,
+                         std::size_t top_k);
 
 }  // namespace eco::detect

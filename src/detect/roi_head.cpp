@@ -123,7 +123,7 @@ std::vector<Detection> RoiHead::run(const tensor::Tensor& grid,
   const std::vector<Region>& regions = extract_regions(
       grid, threshold, config_.min_component_area, buffers);
 
-  buffers.region_integral.reset(grid);
+  buffers.region_integral.reset(grid, config_.backend);
   const IntegralImage& integral = buffers.region_integral;
   std::vector<Detection> detections;
   detections.reserve(regions.size());

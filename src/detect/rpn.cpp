@@ -10,7 +10,21 @@
 
 namespace eco::detect {
 
-void IntegralImage::reset(const tensor::Tensor& grid) {
+namespace {
+
+/// The backend a detect-side kernel actually runs: ECO_REFERENCE_KERNELS=1
+/// overrides even an explicit backend (the CI audit leg replays the whole
+/// bench through the reference loops), otherwise kAuto resolves from the
+/// environment.
+tensor::Backend effective_backend(tensor::Backend backend) {
+  if (tensor::use_reference_kernels()) return tensor::Backend::kReference;
+  return tensor::resolve_backend(backend);
+}
+
+}  // namespace
+
+void IntegralImage::reset(const tensor::Tensor& grid,
+                          tensor::Backend backend) {
   const bool chw = grid.dim() == 3;
   if (chw && grid.size(0) != 1) {
     throw std::invalid_argument("IntegralImage: expected single channel");
@@ -24,6 +38,25 @@ void IntegralImage::reset(const tensor::Tensor& grid) {
   cumulative_.assign((height_ + 1) * (width_ + 1), 0.0);
   const float* data = grid.data();
   const std::size_t w1 = width_ + 1;
+  if (effective_backend(backend) == tensor::Backend::kSimd) {
+    // Two passes: the serial row-prefix chain first (current[x+1] holds
+    // this row's running sum), then a vectorized top-to-bottom row add.
+    // The single-pass walk stores above + row; this stores row, then adds
+    // above — one IEEE addition per cell with its operands swapped, so the
+    // tables are bitwise identical.
+    double* current = cumulative_.data() + w1;
+    for (std::size_t y = 0; y < height_; ++y) {
+      const float* grid_row = data + y * width_;
+      double row = 0.0;
+      for (std::size_t x = 0; x < width_; ++x) {
+        row += grid_row[x];
+        current[x + 1] = row;
+      }
+      current += w1;
+    }
+    detail::integral_rows_add_simd(cumulative_.data() + w1, height_, w1);
+    return;
+  }
   const double* above = cumulative_.data();  // row y of the table
   double* current = cumulative_.data() + w1;  // row y + 1
   for (std::size_t y = 0; y < height_; ++y) {
@@ -95,11 +128,12 @@ void box_blur3_into_reference(const tensor::Tensor& grid,
   }
 }
 
-namespace {
+namespace detail {
 
 /// Guarded blur of one cell; taps visited in the reference's dy→dx order.
-inline float blur_cell_guarded(const float* g, std::size_t h, std::size_t w,
-                               std::size_t y, std::size_t x) {
+/// One definition for every backend's border cells.
+float blur_cell_guarded(const float* g, std::size_t h, std::size_t w,
+                        std::size_t y, std::size_t x) {
   float acc = 0.0f;
   int n = 0;
   for (int dy = -1; dy <= 1; ++dy) {
@@ -116,7 +150,7 @@ inline float blur_cell_guarded(const float* g, std::size_t h, std::size_t w,
   return n > 0 ? acc / static_cast<float>(n) : 0.0f;
 }
 
-}  // namespace
+}  // namespace detail
 
 void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out) {
   const std::size_t h = grid.size(1), w = grid.size(2);
@@ -130,14 +164,14 @@ void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out) {
     const bool row_interior = y > 0 && y + 1 < h;
     if (!row_interior || w < 3) {
       for (std::size_t x = 0; x < w; ++x) {
-        out_row[x] = blur_cell_guarded(g, h, w, y, x);
+        out_row[x] = detail::blur_cell_guarded(g, h, w, y, x);
       }
       continue;
     }
     const float* rm = g + (y - 1) * w;
     const float* r0 = rm + w;
     const float* rp = r0 + w;
-    out_row[0] = blur_cell_guarded(g, h, w, y, 0);
+    out_row[0] = detail::blur_cell_guarded(g, h, w, y, 0);
     for (std::size_t x = 1; x + 1 < w; ++x) {
       // Nine taps in the reference's row-major order, one accumulator.
       float acc = 0.0f;
@@ -152,16 +186,28 @@ void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out) {
       acc += rp[x + 1];
       out_row[x] = acc / 9.0f;
     }
-    out_row[w - 1] = blur_cell_guarded(g, h, w, y, w - 1);
+    out_row[w - 1] = detail::blur_cell_guarded(g, h, w, y, w - 1);
+  }
+}
+
+void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out,
+                    tensor::Backend backend) {
+  switch (effective_backend(backend)) {
+    case tensor::Backend::kReference:
+      box_blur3_into_reference(grid, out);
+      return;
+    case tensor::Backend::kFast:
+      box_blur3_into_fast(grid, out);
+      return;
+    case tensor::Backend::kAuto:  // effective_backend never returns kAuto
+    case tensor::Backend::kSimd:
+      box_blur3_into_simd(grid, out);
+      return;
   }
 }
 
 void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out) {
-  if (tensor::use_reference_kernels()) {
-    box_blur3_into_reference(grid, out);
-  } else {
-    box_blur3_into_fast(grid, out);
-  }
+  box_blur3_into(grid, out, tensor::Backend::kAuto);
 }
 
 Rpn::Rpn(RpnConfig config) : config_(std::move(config)) {}
@@ -171,17 +217,16 @@ std::vector<Proposal> Rpn::propose(const tensor::Tensor& grid,
   if (grid.dim() != 3 || grid.size(0) != 1) {
     throw std::invalid_argument("Rpn::propose: expected (1,H,W) grid");
   }
-  // With scratch, the anchor grid is memoized on (extent, config) — the
-  // values are exactly what a fresh generation returns.
+  // With scratch, anchors + scoring geometry come from the process-wide
+  // scan-plan cache — exactly the values a fresh generation returns.
   if (scratch != nullptr) {
-    return propose_with_anchors(
-        grid,
-        scratch->anchors_for(grid.size(1), grid.size(2), config_.anchors),
-        scratch);
+    const ScanPlan& plan =
+        scratch->plan_for(grid.size(1), grid.size(2), config_);
+    return propose_with_plan(grid, plan, *scratch);
   }
   return propose_with_anchors(
       grid, generate_anchors(grid.size(1), grid.size(2), config_.anchors),
-      scratch);
+      nullptr);
 }
 
 std::vector<std::vector<Proposal>> Rpn::propose_batch(
@@ -196,12 +241,11 @@ std::vector<std::vector<Proposal>> Rpn::propose_batch(
       throw std::invalid_argument("Rpn::propose_batch: expected (1,H,W) grid");
     }
     if (scratch != nullptr) {
-      // Memoized anchors (and, transitively, the precomputed scoring
-      // geometry) — identical values to a per-batch generation.
-      proposals.push_back(propose_with_anchors(
-          *grid,
-          scratch->anchors_for(grid->size(1), grid->size(2), config_.anchors),
-          scratch));
+      // Shared plan (and, transitively, the precomputed scoring geometry)
+      // — identical values to a per-batch generation.
+      const ScanPlan& plan =
+          scratch->plan_for(grid->size(1), grid->size(2), config_);
+      proposals.push_back(propose_with_plan(*grid, plan, *scratch));
       continue;
     }
     if (anchors.empty() || grid->size(1) != anchor_h ||
@@ -215,45 +259,63 @@ std::vector<std::vector<Proposal>> Rpn::propose_batch(
   return proposals;
 }
 
-std::vector<Proposal> Rpn::propose_with_anchors(
-    const tensor::Tensor& grid, const std::vector<Box>& anchors,
-    ScanScratch* scratch) const {
-  const std::size_t h = grid.size(1), w = grid.size(2);
+namespace {
 
-  // With scratch, the smoothed grid and the integral table reuse the
-  // caller's buffers; the arithmetic is identical either way.
-  ScanScratch local;
-  ScanScratch& buffers = scratch != nullptr ? *scratch : local;
-  box_blur3_into(grid, buffers.smoothed);
-  buffers.integral.reset(buffers.smoothed);
-  const IntegralImage& integral = buffers.integral;
+/// Threshold + sigmoid of one scored anchor; shared by every scoring path
+/// so the proposal-forming arithmetic has a single definition.
+inline void emit_if_contrast(std::vector<Detection>& raw, const Box& anchor,
+                             double contrast, const RpnConfig& config) {
+  if (contrast < config.min_contrast) return;
+  Detection d;
+  d.box = anchor;
+  // Sigmoid squashing of the contrast to [0,1] objectness.
+  d.score = static_cast<float>(
+      1.0 / (1.0 + std::exp(-config.contrast_scale * contrast)));
+  raw.push_back(d);
+}
 
-  std::vector<Detection> raw;
-  raw.reserve(anchors.size() / 4);
+/// NMS + top-k + proposal forming, shared by both propose paths.
+std::vector<Proposal> finish_proposals(std::vector<Detection>& raw,
+                                       const RpnConfig& config) {
+  nms_in_place(raw, config.nms_iou, /*class_aware=*/false);
+  keep_top_k_in_place(raw, config.top_k);
+  std::vector<Proposal> proposals;
+  proposals.reserve(raw.size());
+  for (const Detection& d : raw) {
+    proposals.push_back(Proposal{d.box, d.score});
+  }
+  return proposals;
+}
 
-  const auto score_anchor = [&](const Box& anchor, double inner_sum,
-                                float inner_area, double ring_sum,
-                                double ring_area) {
-    const double inside = inner_area > 0.0f ? inner_sum / inner_area : 0.0;
-    const double background =
-        ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
-    const double contrast = inside - background;
-    if (contrast < config_.min_contrast) return;
-    Detection d;
-    d.box = anchor;
-    // Sigmoid squashing of the contrast to [0,1] objectness.
-    d.score = static_cast<float>(
-        1.0 / (1.0 + std::exp(-config_.contrast_scale * contrast)));
-    raw.push_back(d);
-  };
+}  // namespace
 
-  if (scratch != nullptr && &anchors == &scratch->anchors) {
-    // Scoring against the scratch's memoized anchors: the clipped boxes,
-    // areas and clamped table offsets are precomputed once per (extent,
-    // config), so each anchor costs eight table lookups plus the scoring
-    // arithmetic — the identical numbers the clip/clamp path produces.
-    const std::vector<AnchorGeometry>& geometry =
-        buffers.anchor_geometry_for(h, w, config_);
+std::vector<Proposal> Rpn::propose_with_plan(const tensor::Tensor& grid,
+                                             const ScanPlan& plan,
+                                             ScanScratch& scratch) const {
+  box_blur3_into(grid, scratch.smoothed, config_.backend);
+  scratch.integral.reset(scratch.smoothed, config_.backend);
+  const IntegralImage& integral = scratch.integral;
+  const std::vector<Box>& anchors = plan.anchors;
+  const std::vector<AnchorGeometry>& geometry = plan.geometry;
+
+  std::vector<Detection>& raw = scratch.raw_detections;
+  raw.clear();
+
+  // Two passes on every backend: a branch-light contrast sweep over all
+  // anchors into scratch.contrast (vectorized on kSimd, scalar otherwise —
+  // identical chains, so identical values), then a shared threshold/sigmoid
+  // walk over the ~3% that pass. Staging through the same buffer on every
+  // backend also keeps the scratch footprint — and with it the reported
+  // arena high water — backend-invariant.
+  scratch.contrast.resize(anchors.size());
+  if (effective_backend(config_.backend) == tensor::Backend::kSimd) {
+    detail::anchor_contrast_pass_simd(integral.table(), geometry.data(),
+                                      anchors.size(),
+                                      scratch.contrast.data());
+  } else {
+    // Scalar scoring against the plan's precomputed geometry: each anchor
+    // costs eight table lookups plus the scoring arithmetic — the identical
+    // numbers the clip/clamp path produces.
     for (std::size_t i = 0; i < anchors.size(); ++i) {
       const AnchorGeometry& g = geometry[i];
       const double inner_sum =
@@ -264,41 +326,79 @@ std::vector<Proposal> Rpn::propose_with_anchors(
           g.ring_valid
               ? integral.flat_sum(g.ring00, g.ring01, g.ring10, g.ring11)
               : 0.0;
-      score_anchor(anchors[i], inner_sum, g.inner_area, ring_sum,
-                   g.ring_area);
+      const double inside =
+          g.inner_area > 0.0f ? inner_sum / g.inner_area : 0.0;
+      const double ring_area = g.ring_area;
+      const double background =
+          ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
+      scratch.contrast[i] = inside - background;
     }
+  }
+  // Prefilter the survivor indices (vectorized compare + movemask on kSimd,
+  // the identical scalar predicate otherwise) so the sigmoid walk only
+  // touches anchors that pass. The predicate is `!(contrast < threshold)` —
+  // exactly emit_if_contrast's early-return, NaN behaviour included — so the
+  // emitted set and order match the old full walk. Every backend stages
+  // through scratch.candidates to keep the arena footprint backend-invariant.
+  scratch.candidates.clear();
+  const auto threshold = static_cast<double>(config_.min_contrast);
+  if (effective_backend(config_.backend) == tensor::Backend::kSimd) {
+    detail::collect_candidates_simd(scratch.contrast.data(), anchors.size(),
+                                    threshold, scratch.candidates);
   } else {
-    const auto limit_w = static_cast<float>(w);
-    const auto limit_h = static_cast<float>(h);
-    for (const Box& anchor : anchors) {
-      // The clipped anchor and its sum feed three places (inside mean, the
-      // ring background, the ring area); compute them once. Identical
-      // values and operation order as the box_mean/box_sum calls this
-      // replaces.
-      const Box inner = anchor.clipped(limit_w, limit_h);
-      const float inner_area = inner.area();
-      const double inner_sum = integral.box_sum(inner);
-      Box ring = anchor;
-      ring.x1 -= config_.ring;
-      ring.y1 -= config_.ring;
-      ring.x2 += config_.ring;
-      ring.y2 += config_.ring;
-      ring = ring.clipped(limit_w, limit_h);
-      const double ring_sum = integral.box_sum(ring);
-      const double ring_area = ring.area() - inner_area;
-      score_anchor(anchor, inner_sum, inner_area, ring_sum, ring_area);
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      if (!(scratch.contrast[i] < threshold)) {
+        scratch.candidates.push_back(static_cast<std::uint32_t>(i));
+      }
     }
   }
-
-  raw = nms(std::move(raw), config_.nms_iou, /*class_aware=*/false);
-  raw = keep_top_k(std::move(raw), config_.top_k);
-
-  std::vector<Proposal> proposals;
-  proposals.reserve(raw.size());
-  for (const Detection& d : raw) {
-    proposals.push_back(Proposal{d.box, d.score});
+  for (const std::uint32_t idx : scratch.candidates) {
+    emit_if_contrast(raw, anchors[idx], scratch.contrast[idx], config_);
   }
-  return proposals;
+  return finish_proposals(raw, config_);
+}
+
+std::vector<Proposal> Rpn::propose_with_anchors(
+    const tensor::Tensor& grid, const std::vector<Box>& anchors,
+    ScanScratch* scratch) const {
+  const std::size_t h = grid.size(1), w = grid.size(2);
+
+  // With scratch, the smoothed grid and the integral table reuse the
+  // caller's buffers; the arithmetic is identical either way.
+  ScanScratch local;
+  ScanScratch& buffers = scratch != nullptr ? *scratch : local;
+  box_blur3_into(grid, buffers.smoothed, config_.backend);
+  buffers.integral.reset(buffers.smoothed, config_.backend);
+  const IntegralImage& integral = buffers.integral;
+
+  std::vector<Detection>& raw = buffers.raw_detections;
+  raw.clear();
+  raw.reserve(anchors.size() / 4);
+
+  const auto limit_w = static_cast<float>(w);
+  const auto limit_h = static_cast<float>(h);
+  for (const Box& anchor : anchors) {
+    // The clipped anchor and its sum feed three places (inside mean, the
+    // ring background, the ring area); compute them once. Identical
+    // values and operation order as the box_mean/box_sum calls this
+    // replaces.
+    const Box inner = anchor.clipped(limit_w, limit_h);
+    const float inner_area = inner.area();
+    const double inner_sum = integral.box_sum(inner);
+    Box ring = anchor;
+    ring.x1 -= config_.ring;
+    ring.y1 -= config_.ring;
+    ring.x2 += config_.ring;
+    ring.y2 += config_.ring;
+    ring = ring.clipped(limit_w, limit_h);
+    const double ring_sum = integral.box_sum(ring);
+    const double ring_area = ring.area() - inner_area;
+    const double inside = inner_area > 0.0f ? inner_sum / inner_area : 0.0;
+    const double background =
+        ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
+    emit_if_contrast(raw, anchor, inside - background, config_);
+  }
+  return finish_proposals(raw, config_);
 }
 
 }  // namespace eco::detect

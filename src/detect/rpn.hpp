@@ -9,10 +9,13 @@
 // which is exactly the property the gate model exploits.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "detect/anchors.hpp"
 #include "detect/box.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eco::detect {
@@ -34,9 +37,14 @@ class IntegralImage {
 
   /// Rebuilds the cumulative table for `grid`, reusing existing storage
   /// when it suffices (a same-extent rebuild never touches the heap). The
-  /// accumulation walks raw row pointers in the same left-to-right,
-  /// top-to-bottom order as ever, so tables are bitwise stable.
-  void reset(const tensor::Tensor& grid);
+  /// reference/fast backends walk raw row pointers in the same
+  /// left-to-right, top-to-bottom order as ever; the simd backend splits
+  /// the walk into a serial row-prefix pass and a vectorized row-add pass,
+  /// which is bitwise identical because the only reassociation is swapping
+  /// the two operands of one IEEE addition per cell. kAuto resolves from
+  /// the environment.
+  void reset(const tensor::Tensor& grid,
+             tensor::Backend backend = tensor::Backend::kAuto);
 
   /// Sum of grid values over [x1,x2) x [y1,y2) clamped to bounds.
   [[nodiscard]] double box_sum(const Box& box) const noexcept;
@@ -49,6 +57,13 @@ class IntegralImage {
                                 std::size_t i11) const noexcept {
     return cumulative_[i11] - cumulative_[i01] - cumulative_[i10] +
            cumulative_[i00];
+  }
+
+  /// Raw cumulative table, (H+1)×(W+1) row-major — the anchor-scoring
+  /// vector pass gathers corner values directly from it (the identical
+  /// lookups flat_sum makes).
+  [[nodiscard]] const double* table() const noexcept {
+    return cumulative_.data();
   }
 
   /// Mean of grid values over the box (0 if empty).
@@ -81,6 +96,12 @@ struct RpnConfig {
   std::size_t top_k = 48;
   /// Contrast scale mapping to objectness (sigmoid temperature).
   float contrast_scale = 9.0f;
+  /// Kernel backend for the blur/integral/scoring kernels; kAuto resolves
+  /// from the environment (engines stamp a concrete backend at
+  /// construction). All backends are bitwise identical, but the field
+  /// participates in equality so plan-cache keys and scan-equivalence
+  /// never alias configs that run different code paths.
+  tensor::Backend backend = tensor::Backend::kAuto;
 
   /// Exact equality over every field — the channel-scan plan uses this to
   /// prove two channels' scans interchangeable, so new fields participate
@@ -94,6 +115,14 @@ struct RpnConfig {
 /// allocation optimization: results are bitwise identical with or without
 /// scratch.
 struct ScanScratch;
+
+/// Immutable anchor grid + scoring geometry for one (extent, RpnConfig);
+/// built once per key in the process-wide plan cache and shared by every
+/// scratch (detect/scan_scratch.hpp).
+struct ScanPlan;
+
+/// Precomputed per-anchor scoring geometry (detect/scan_scratch.hpp).
+struct AnchorGeometry;
 
 /// The proposal network. Stateless apart from configuration.
 class Rpn {
@@ -123,6 +152,15 @@ class Rpn {
   [[nodiscard]] const RpnConfig& config() const noexcept { return config_; }
 
  private:
+  /// Scoring over a shared plan's precomputed geometry — what every
+  /// scratch-threaded propose runs. The simd backend scores in two passes
+  /// (vectorized contrast sweep into scratch->contrast, then the scalar
+  /// threshold/sigmoid walk); other backends keep the single scalar loop.
+  /// Bitwise identical either way.
+  [[nodiscard]] std::vector<Proposal> propose_with_plan(
+      const tensor::Tensor& grid, const ScanPlan& plan,
+      ScanScratch& scratch) const;
+
   RpnConfig config_;
 };
 
@@ -142,5 +180,48 @@ void box_blur3_into_reference(const tensor::Tensor& grid, tensor::Tensor& out);
 /// contiguous row triples in the reference's tap order; the one-cell border
 /// keeps the guarded path. Bitwise identical to the reference.
 void box_blur3_into_fast(const tensor::Tensor& grid, tensor::Tensor& out);
+
+/// Vectorized blur: four interior cells per step, each lane running the
+/// fast kernel's nine-add-then-divide chain (per-lane IEEE ops, so bitwise
+/// identical to box_blur3_into_fast). Borders keep the guarded path.
+void box_blur3_into_simd(const tensor::Tensor& grid, tensor::Tensor& out);
+
+/// Explicit-backend blur entry point; the two-argument overload dispatches
+/// with kAuto (environment default). ECO_REFERENCE_KERNELS=1 overrides
+/// even an explicit backend, like tensor::conv2d_rows.
+void box_blur3_into(const tensor::Tensor& grid, tensor::Tensor& out,
+                    tensor::Backend backend);
+
+namespace detail {
+
+/// The guarded border cell of the blur kernels (defined once in rpn.cpp so
+/// every backend's border is the same code).
+[[nodiscard]] float blur_cell_guarded(const float* g, std::size_t h,
+                                      std::size_t w, std::size_t y,
+                                      std::size_t x);
+
+/// Integral-image pass 2: for each of `rows` rows (top to bottom), adds the
+/// previous row of the (rows+1)×w1 table elementwise — vectorized within a
+/// row. `table` points at the second table row (the first holds the zero
+/// border).
+void integral_rows_add_simd(double* table, std::size_t rows, std::size_t w1);
+
+/// Anchor-scoring pass 1: contrast of every anchor against its background
+/// ring, two 2-lane gathers + divides at a time (four on AVX2 hardware),
+/// each lane replicating the scalar scoring chain exactly. `table` is
+/// IntegralImage::table().
+void anchor_contrast_pass_simd(const double* table,
+                               const AnchorGeometry* geometry,
+                               std::size_t count, double* contrast_out);
+
+/// Anchor-scoring pass 2 prefilter: appends (ascending) the indices whose
+/// contrast passes the scalar emit predicate `!(contrast < threshold)` —
+/// including its NaN behaviour (NaN passes, as it does the scalar `<`).
+/// Comparisons are exact, so the survivor set equals the scalar walk's.
+void collect_candidates_simd(const double* contrast, std::size_t count,
+                             double threshold,
+                             std::vector<std::uint32_t>& out);
+
+}  // namespace detail
 
 }  // namespace eco::detect

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "detect/anchors.hpp"
@@ -45,18 +46,52 @@ struct AnchorGeometry {
   bool ring_valid = false;
 };
 
+/// Key of one scan plan: grid extent + the full RPN configuration (which
+/// includes the anchor config and the kernel backend). Exact equality —
+/// two keys compare equal only when a fresh build would produce the
+/// identical plan.
+struct ScanPlanKey {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  RpnConfig config;
+
+  friend bool operator==(const ScanPlanKey&, const ScanPlanKey&) = default;
+};
+
+/// Immutable anchor grid + aligned scoring geometry for one ScanPlanKey.
+/// Built once in the process-wide plan cache (tensor::PlanCache) and shared
+/// across every scratch/shard/worker via shared_ptr — N shards no longer
+/// rebuild or retain N identical copies. The values are exactly what the
+/// old per-scratch memo (generate_anchors + the clip/clamp geometry walk)
+/// produced.
+struct ScanPlan {
+  std::vector<Box> anchors;
+  std::vector<AnchorGeometry> geometry;
+};
+
+/// Builds the plan for `key` from scratch — generate_anchors plus the
+/// per-anchor clipped-box/ring geometry (IntegralImage::box_sum's clamp +
+/// cast, table stride width + 1).
+[[nodiscard]] ScanPlan build_scan_plan(const ScanPlanKey& key);
+
+/// Counters of the process-wide scan-plan cache (totals since process
+/// start; `plans` is the resident plan count). The hit/miss *split* across
+/// threads is scheduling-dependent, so these feed the bench's sharing
+/// proof, never bitwise report comparisons.
+struct ScanPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t plans = 0;
+};
+[[nodiscard]] ScanPlanCacheStats scan_plan_cache_stats();
+
 struct ScanScratch {
   // ---- RPN stage ------------------------------------------------------
   tensor::Tensor smoothed;  // box_blur3 output
   IntegralImage integral;   // cumulative table over the smoothed grid
-
-  /// Anchor memo: anchors depend only on (extent, AnchorConfig), so scans
-  /// repeating the same geometry — every scan of a stream in practice —
-  /// reuse one generation. anchors_for() regenerates only when the key
-  /// changes.
-  std::vector<Box> anchors;
-  /// Scoring geometry aligned with `anchors` (own key: extent + RpnConfig).
-  std::vector<AnchorGeometry> anchor_geometry;
+  std::vector<double> contrast;            // scoring pass-1 output
+  std::vector<std::uint32_t> candidates;   // indices passing the threshold
+  std::vector<Detection> raw_detections;   // pre-NMS candidate buffer
 
   // ---- ROI-head stage -------------------------------------------------
   std::vector<float> values;        // percentile copy of the raw grid
@@ -66,32 +101,24 @@ struct ScanScratch {
   std::vector<std::size_t> stack;     // flood-fill stack
   std::vector<Region> regions;        // component output
 
-  /// Cached anchors for (grid_height, grid_width, config); regenerated via
-  /// generate_anchors() only when the key differs from the previous call,
-  /// so the values are always exactly what a fresh generation would return.
-  [[nodiscard]] const std::vector<Box>& anchors_for(std::size_t grid_height,
-                                                    std::size_t grid_width,
-                                                    const AnchorConfig& config);
-
-  /// Cached scoring geometry for `anchors` under (extent, rpn config);
-  /// rebuilt only when that key changes. Callers must pass the extent the
-  /// current `anchors` were generated for.
-  [[nodiscard]] const std::vector<AnchorGeometry>& anchor_geometry_for(
-      std::size_t grid_height, std::size_t grid_width,
-      const RpnConfig& config);
+  /// The shared scan plan for (extent, config): consults the process-wide
+  /// plan cache on the first call per key, then returns the pinned
+  /// shared_ptr with no locking until the key changes. Values are exactly
+  /// what a fresh generate_anchors + geometry build returns.
+  [[nodiscard]] const ScanPlan& plan_for(std::size_t grid_height,
+                                         std::size_t grid_width,
+                                         const RpnConfig& config);
 
   /// Bytes of buffer capacity this scratch retains (arena accounting).
+  /// Shared plans are excluded — the process-wide cache owns them.
   [[nodiscard]] std::size_t capacity_bytes() const noexcept;
 
  private:
-  std::size_t anchor_height_ = 0;
-  std::size_t anchor_width_ = 0;
-  AnchorConfig anchor_config_;
-  bool anchors_valid_ = false;
-  std::size_t geometry_height_ = 0;
-  std::size_t geometry_width_ = 0;
-  RpnConfig geometry_config_;
-  bool geometry_valid_ = false;
+  std::shared_ptr<const ScanPlan> plan_;  // pinned last-used plan
+  std::size_t plan_height_ = 0;
+  std::size_t plan_width_ = 0;
+  RpnConfig plan_config_;
+  bool plan_valid_ = false;
 };
 
 }  // namespace eco::detect

@@ -127,6 +127,21 @@ class FrameWorkspace final : public gating::FeatureSource {
   void note_tensor_allocs(std::size_t count) noexcept {
     tensor_allocs_ += count;
   }
+  /// Scan-plan cache lookups attributed to this frame (sampled from the
+  /// thread-local tensor::plan_cache_{hit,miss}_count deltas, like
+  /// note_tensor_allocs). Hits/misses split by scheduling (whichever shard
+  /// first needs a plan builds it), so these feed throughput reporting only
+  /// — never the bitwise-compared report fields.
+  [[nodiscard]] std::size_t plan_cache_hits() const noexcept {
+    return plan_cache_hits_;
+  }
+  [[nodiscard]] std::size_t plan_cache_misses() const noexcept {
+    return plan_cache_misses_;
+  }
+  void note_plan_cache(std::size_t hits, std::size_t misses) noexcept {
+    plan_cache_hits_ += hits;
+    plan_cache_misses_ += misses;
+  }
   /// Bytes of reusable buffer capacity the frame's arena retains.
   [[nodiscard]] std::size_t arena_bytes_high_water() const noexcept {
     return arena_->bytes_high_water();
@@ -153,6 +168,8 @@ class FrameWorkspace final : public gating::FeatureSource {
   std::optional<std::vector<float>> config_losses_;
   std::size_t branch_executions_ = 0;
   std::size_t tensor_allocs_ = 0;
+  std::size_t plan_cache_hits_ = 0;
+  std::size_t plan_cache_misses_ = 0;
 };
 
 }  // namespace eco::exec

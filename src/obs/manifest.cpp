@@ -1,16 +1,18 @@
 #include "obs/manifest.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "obs/json.hpp"
+#include "util/env.hpp"
 
 namespace eco::obs {
 
 void RunManifest::capture_env(const std::vector<std::string>& names) {
   for (const std::string& name : names) {
-    const char* value = std::getenv(name.c_str());
-    env.emplace_back(name, value != nullptr ? value : "");
+    // Through the read-once cache, so the manifest records exactly the
+    // values the toggles consumed even if the environment mutates later.
+    const std::string* value = util::env_value(name.c_str());
+    env.emplace_back(name, value != nullptr ? *value : "");
   }
 }
 

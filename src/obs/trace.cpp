@@ -1,11 +1,11 @@
 #include "obs/trace.hpp"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <set>
 #include <stdexcept>
 #include <utility>
+
+#include "util/env.hpp"
 
 namespace eco::obs {
 
@@ -204,11 +204,6 @@ bool Tracer::write_json(const std::string& path) const {
   return written == json.size();
 }
 
-bool trace_env_enabled() {
-  const char* env = std::getenv("ECO_TRACE");
-  if (env == nullptr) return false;
-  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
-         std::strcmp(env, "on") == 0;
-}
+bool trace_env_enabled() { return util::env_enabled("ECO_TRACE"); }
 
 }  // namespace eco::obs

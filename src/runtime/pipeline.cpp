@@ -10,6 +10,7 @@
 #include "exec/batcher.hpp"
 #include "exec/stem_cache.hpp"
 #include "obs/trace.hpp"
+#include "tensor/plan_cache.hpp"
 
 namespace eco::runtime {
 
@@ -147,6 +148,9 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           // alloc counter delta is exactly this slot's selection-phase
           // tensor allocations.
           const std::uint64_t allocs_before = tensor::tensor_alloc_count();
+          const std::uint64_t plan_hits_before = tensor::plan_cache_hit_count();
+          const std::uint64_t plan_misses_before =
+              tensor::plan_cache_miss_count();
           workspaces[slot] = std::make_unique<exec::FrameWorkspace>(
               engine_, sf.frame, stem_cache ? &*stem_cache : nullptr,
               sf.sequence_id, config_.share_channel_scans, &arenas[slot]);
@@ -157,6 +161,11 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           workspaces[slot]->note_tensor_allocs(
               static_cast<std::size_t>(tensor::tensor_alloc_count() -
                                        allocs_before));
+          workspaces[slot]->note_plan_cache(
+              static_cast<std::size_t>(tensor::plan_cache_hit_count() -
+                                       plan_hits_before),
+              static_cast<std::size_t>(tensor::plan_cache_miss_count() -
+                                       plan_misses_before));
           span.arg(static_cast<double>(selections[slot]));
           span.arg(static_cast<double>(slot));
         }
@@ -191,10 +200,19 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         const auto frame_start = std::chrono::steady_clock::now();
         exec::FrameWorkspace& ws = *workspaces[slot];
         const std::uint64_t allocs_before = tensor::tensor_alloc_count();
+        const std::uint64_t plan_hits_before = tensor::plan_cache_hit_count();
+        const std::uint64_t plan_misses_before =
+            tensor::plan_cache_miss_count();
         const core::RunResult run =
             engine_.run_selected(ws, selected, complexity);
         ws.note_tensor_allocs(static_cast<std::size_t>(
             tensor::tensor_alloc_count() - allocs_before));
+        ws.note_plan_cache(static_cast<std::size_t>(
+                               tensor::plan_cache_hit_count() -
+                               plan_hits_before),
+                           static_cast<std::size_t>(
+                               tensor::plan_cache_miss_count() -
+                               plan_misses_before));
         const StreamFrame& sf = window[slot];
         FrameStats stats;
         stats.stream_index = sf.index;
@@ -212,6 +230,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
         stats.channel_scans_requested = ws.channel_scans_requested();
         stats.channel_scans_unique = ws.channel_scans_unique();
         stats.tensor_allocs = ws.tensor_allocs();
+        stats.plan_cache_hits = ws.plan_cache_hits();
+        stats.plan_cache_misses = ws.plan_cache_misses();
         stats.arena_bytes_high_water = ws.arena_bytes_high_water();
         stats.wall_ms = shared_wall_ms + elapsed_ms(frame_start);
         span.arg(static_cast<double>(stats.arena_bytes_high_water));
@@ -245,9 +265,18 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
           // per-frame finish tasks fan out only after this note, so no one
           // reads the counter concurrently.
           const std::uint64_t allocs_before = tensor::tensor_alloc_count();
+          const std::uint64_t plan_hits_before =
+              tensor::plan_cache_hit_count();
+          const std::uint64_t plan_misses_before =
+              tensor::plan_cache_miss_count();
           batcher.execute(selected, batch_group);
           batch_group.front()->note_tensor_allocs(static_cast<std::size_t>(
               tensor::tensor_alloc_count() - allocs_before));
+          batch_group.front()->note_plan_cache(
+              static_cast<std::size_t>(tensor::plan_cache_hit_count() -
+                                       plan_hits_before),
+              static_cast<std::size_t>(tensor::plan_cache_miss_count() -
+                                       plan_misses_before));
           const double shared_ms =
               elapsed_ms(batch_start) / static_cast<double>(slots.size());
           for (std::size_t slot : slots) {
@@ -362,6 +391,8 @@ void finalize_report(PipelineReport& report) {
   report.exec.batched_frames = 0;
   report.exec.mean_batch = 0.0;
   report.exec.tensor_allocs = 0;
+  report.exec.plan_cache_hits = 0;
+  report.exec.plan_cache_misses = 0;
   report.exec.arena_bytes_high_water = 0;
   report.exec.zero_alloc_frames = 0;
 
@@ -376,6 +407,8 @@ void finalize_report(PipelineReport& report) {
     report.exec.channel_scans_requested += stats.channel_scans_requested;
     report.exec.channel_scans_unique += stats.channel_scans_unique;
     report.exec.tensor_allocs += stats.tensor_allocs;
+    report.exec.plan_cache_hits += stats.plan_cache_hits;
+    report.exec.plan_cache_misses += stats.plan_cache_misses;
     report.exec.arena_bytes_high_water = std::max(
         report.exec.arena_bytes_high_water, stats.arena_bytes_high_water);
     if (stats.tensor_allocs == 0) report.exec.zero_alloc_frames += 1;
@@ -468,6 +501,8 @@ obs::MetricsRegistry collect_run_metrics(const PipelineReport& report) {
   metrics.add_counter("stem_cache_misses", report.exec.stem_cache_misses);
   metrics.add_counter("stems_skipped", report.exec.stems_skipped);
   metrics.add_counter("tensor_allocs", report.exec.tensor_allocs);
+  metrics.add_counter("plan_cache_hits", report.exec.plan_cache_hits);
+  metrics.add_counter("plan_cache_misses", report.exec.plan_cache_misses);
   metrics.add_counter("zero_alloc_frames", report.exec.zero_alloc_frames);
   metrics.set_gauge("modeled/mean_energy_j", report.mean_energy_j);
   metrics.set_gauge("modeled/mean_latency_ms", report.mean_latency_ms);

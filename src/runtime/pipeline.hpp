@@ -147,6 +147,13 @@ struct FrameStats {
   /// shard count (different slot histories), so it is intentionally not
   /// part of the cross-shard invariance comparisons.
   std::size_t tensor_allocs = 0;
+  /// Process-wide scan-plan cache lookups attributed to this frame's
+  /// execution (thread-local tensor::plan_cache counter deltas over the
+  /// same stretches as tensor_allocs). Which frame pays a miss depends on
+  /// scheduling, so — like tensor_allocs — these stay out of the bitwise
+  /// cross-shard comparisons; the bench gates on the run totals instead.
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
   /// Reusable buffer capacity the frame's slot arena retained at frame
   /// completion (tensor pool high water + scan scratch buffers).
   std::size_t arena_bytes_high_water = 0;
@@ -166,6 +173,8 @@ struct ExecCounters {
   std::size_t max_batch = 0;         // largest group
   double mean_batch = 0.0;           // frames / batches
   std::size_t tensor_allocs = 0;     // sum of per-frame tensor allocations
+  std::size_t plan_cache_hits = 0;   // scan-plan cache hits across frames
+  std::size_t plan_cache_misses = 0; // scan-plan cache builds across frames
   std::size_t arena_bytes_high_water = 0;  // max per-frame arena footprint
   /// Frames that executed with zero tensor heap allocations. Steady state
   /// is every frame past its slot's warm-up window, so this must cover all

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <stdexcept>
+
+#include "tensor/kernels_detail.hpp"
+#include "util/env.hpp"
 
 namespace eco::tensor {
 
 bool use_reference_kernels() noexcept {
-  static const bool enabled = [] {
-    const char* env = std::getenv("ECO_REFERENCE_KERNELS");
-    return env != nullptr && env[0] == '1';
-  }();
+  static const bool enabled = util::env_enabled("ECO_REFERENCE_KERNELS");
   return enabled;
 }
 
@@ -21,19 +20,7 @@ void require(bool condition, const char* message) {
 }
 }  // namespace
 
-namespace {
-void require_conv_args(const Tensor& input, const Tensor& weight,
-                       const Tensor& bias, const Conv2dSpec& spec) {
-  require(input.dim() == 3, "conv2d: input must be CHW");
-  require(weight.dim() == 4, "conv2d: weight must be (Cout,Cin,K,K)");
-  require(input.size(0) == spec.in_channels, "conv2d: input channel mismatch");
-  require(weight.size(0) == spec.out_channels &&
-              weight.size(1) == spec.in_channels &&
-              weight.size(2) == spec.kernel && weight.size(3) == spec.kernel,
-          "conv2d: weight shape mismatch");
-  require(bias.numel() == spec.out_channels, "conv2d: bias shape mismatch");
-}
-}  // namespace
+using detail::require_conv_args;
 
 void conv2d_rows_reference(const Tensor& input, const Tensor& weight,
                            const Tensor& bias, const Conv2dSpec& spec,
@@ -80,36 +67,7 @@ void conv2d_rows_reference(const Tensor& input, const Tensor& weight,
   }
 }
 
-namespace {
-
-/// One guarded (border) output cell: the exact per-cell loop of the
-/// reference kernel over raw pointers — same tap-skip conditions, same
-/// ic→ky→kx accumulation chain, so border cells are bitwise identical too.
-inline float conv_cell_guarded(const float* in, const float* w_oc,
-                               float bias_value, std::size_t in_channels,
-                               std::size_t h, std::size_t w, std::size_t k,
-                               std::ptrdiff_t iy0, std::ptrdiff_t ix0) {
-  float acc = bias_value;
-  const std::size_t in_plane = h * w;
-  for (std::size_t ic = 0; ic < in_channels; ++ic) {
-    const float* in_c = in + ic * in_plane;
-    const float* w_ic = w_oc + ic * k * k;
-    for (std::size_t ky = 0; ky < k; ++ky) {
-      const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
-      if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-      const float* in_row = in_c + static_cast<std::size_t>(iy) * w;
-      const float* w_row = w_ic + ky * k;
-      for (std::size_t kx = 0; kx < k; ++kx) {
-        const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
-        if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-        acc += in_row[static_cast<std::size_t>(ix)] * w_row[kx];
-      }
-    }
-  }
-  return acc;
-}
-
-}  // namespace
+using detail::conv_cell_guarded;
 
 void conv2d_rows_fast(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec,
@@ -223,10 +181,24 @@ void conv2d_rows_fast(const Tensor& input, const Tensor& weight,
 void conv2d_rows(const Tensor& input, const Tensor& weight, const Tensor& bias,
                  const Conv2dSpec& spec, std::size_t row_begin,
                  std::size_t row_end, Tensor& out) {
+  // ECO_REFERENCE_KERNELS=1 overrides even an explicit spec backend — the
+  // CI audit leg replays the *whole* bench through the reference loops.
   if (use_reference_kernels()) {
     conv2d_rows_reference(input, weight, bias, spec, row_begin, row_end, out);
-  } else {
-    conv2d_rows_fast(input, weight, bias, spec, row_begin, row_end, out);
+    return;
+  }
+  switch (resolve_backend(spec.backend)) {
+    case Backend::kReference:
+      conv2d_rows_reference(input, weight, bias, spec, row_begin, row_end,
+                            out);
+      return;
+    case Backend::kFast:
+      conv2d_rows_fast(input, weight, bias, spec, row_begin, row_end, out);
+      return;
+    case Backend::kAuto:  // resolve_backend never returns kAuto
+    case Backend::kSimd:
+      conv2d_rows_simd(input, weight, bias, spec, row_begin, row_end, out);
+      return;
   }
 }
 

@@ -7,6 +7,7 @@
 // layer classes in nn.hpp wire these together.
 #pragma once
 
+#include "tensor/backend.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eco::tensor {
@@ -18,6 +19,9 @@ struct Conv2dSpec {
   std::size_t kernel = 3;
   std::size_t stride = 1;
   std::size_t padding = 1;
+  /// Kernel backend for conv2d_rows; kAuto resolves from the environment
+  /// (engines stamp a concrete backend at construction).
+  Backend backend = Backend::kAuto;
 
   [[nodiscard]] std::size_t out_extent(std::size_t in_extent) const noexcept {
     return (in_extent + 2 * padding - kernel) / stride + 1;
@@ -64,6 +68,16 @@ void conv2d_rows_reference(const Tensor& input, const Tensor& weight,
 /// accumulator chain per cell — matches the reference exactly, so results
 /// are bitwise identical.
 void conv2d_rows_fast(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      std::size_t row_begin, std::size_t row_end, Tensor& out);
+
+/// Vectorized kernel (SSE2 baseline, AVX2/NEON behind compile guards): the
+/// k==3/s==1 interior computes four output cells per step, each lane
+/// running the fast kernel's exact bias + 9-tap accumulation chain, with
+/// the scalar fast path covering borders, tails, and every other shape.
+/// Bitwise identical to conv2d_rows_fast (the build disables FP
+/// contraction on this kernel's translation unit).
+void conv2d_rows_simd(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec,
                       std::size_t row_begin, std::size_t row_end, Tensor& out);
 

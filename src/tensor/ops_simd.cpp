@@ -1,0 +1,189 @@
+// Vectorized conv2d_rows kernel (Backend::kSimd).
+//
+// Strategy: lane-per-output-cell. The k==3 / stride==1 interior computes
+// four (SSE2/NEON) or eight (AVX2) adjacent output cells at once; every
+// lane executes conv2d_rows_fast's exact accumulation chain —
+//
+//   acc = bias; acc = acc + in[tap] * w[tap];   (taps in ic→ky→kx order)
+//
+// — as one vector register, so lane l's float stream is bit-for-bit the
+// scalar stream of output cell ox+l (IEEE add/mul are exactly rounded per
+// lane, and this translation unit is compiled with -ffp-contract=off so no
+// FMA contraction can perturb the chain). With stride 1 the lane loads are
+// four consecutive cells' taps, i.e. an unaligned contiguous load at the
+// scalar tap pointer. Borders, lane tails, and every other (k, stride)
+// shape run the scalar fast kernel unchanged.
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/kernels_detail.hpp"
+#include "tensor/ops.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace eco::tensor {
+
+namespace {
+
+/// Vectorized k==3, stride==1 interior span: writes out_row[ox_lo, ox_hi).
+/// `in_y` points at the input row iy0 (already offset for padding).
+inline void conv3x1_interior_span(const float* in_y, const float* w_oc,
+                                  float bias_value, std::size_t in_channels,
+                                  std::size_t in_plane, std::size_t w,
+                                  std::size_t p, std::size_t ox_lo,
+                                  std::size_t ox_hi, float* out_row) {
+  std::size_t ox = ox_lo;
+#if defined(__SSE2__)
+  for (; ox + 4 <= ox_hi; ox += 4) {
+    __m128 acc = _mm_set1_ps(bias_value);
+    const float* in_c = in_y + (ox - p);
+    const float* w9 = w_oc;
+    for (std::size_t ic = 0; ic < in_channels;
+         ++ic, in_c += in_plane, w9 += 9) {
+      const float* r0 = in_c;
+      const float* r1 = in_c + w;
+      const float* r2 = in_c + 2 * w;
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(r0), _mm_set1_ps(w9[0])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r0 + 1), _mm_set1_ps(w9[1])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r0 + 2), _mm_set1_ps(w9[2])));
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(r1), _mm_set1_ps(w9[3])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r1 + 1), _mm_set1_ps(w9[4])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r1 + 2), _mm_set1_ps(w9[5])));
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(r2), _mm_set1_ps(w9[6])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r2 + 1), _mm_set1_ps(w9[7])));
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_loadu_ps(r2 + 2), _mm_set1_ps(w9[8])));
+    }
+    _mm_storeu_ps(out_row + ox, acc);
+  }
+#elif defined(__ARM_NEON)
+  for (; ox + 4 <= ox_hi; ox += 4) {
+    float32x4_t acc = vdupq_n_f32(bias_value);
+    const float* in_c = in_y + (ox - p);
+    const float* w9 = w_oc;
+    for (std::size_t ic = 0; ic < in_channels;
+         ++ic, in_c += in_plane, w9 += 9) {
+      const float* r0 = in_c;
+      const float* r1 = in_c + w;
+      const float* r2 = in_c + 2 * w;
+      // vaddq/vmulq (not vmlaq, which may fuse) keep the rounding of the
+      // scalar add-then-multiply chain.
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r0), w9[0]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r0 + 1), w9[1]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r0 + 2), w9[2]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r1), w9[3]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r1 + 1), w9[4]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r1 + 2), w9[5]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r2), w9[6]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r2 + 1), w9[7]));
+      acc = vaddq_f32(acc, vmulq_n_f32(vld1q_f32(r2 + 2), w9[8]));
+    }
+    vst1q_f32(out_row + ox, acc);
+  }
+#endif
+  // Lane tail (and the whole span on scalar-only builds): the fast
+  // kernel's unrolled chain, one cell at a time.
+  for (; ox < ox_hi; ++ox) {
+    float acc = bias_value;
+    const float* in_c = in_y + (ox - p);
+    const float* w9 = w_oc;
+    for (std::size_t ic = 0; ic < in_channels;
+         ++ic, in_c += in_plane, w9 += 9) {
+      const float* r0 = in_c;
+      const float* r1 = in_c + w;
+      const float* r2 = in_c + 2 * w;
+      acc += r0[0] * w9[0];
+      acc += r0[1] * w9[1];
+      acc += r0[2] * w9[2];
+      acc += r1[0] * w9[3];
+      acc += r1[1] * w9[4];
+      acc += r1[2] * w9[5];
+      acc += r2[0] * w9[6];
+      acc += r2[1] * w9[7];
+      acc += r2[2] * w9[8];
+    }
+    out_row[ox] = acc;
+  }
+}
+
+}  // namespace
+
+void conv2d_rows_simd(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec,
+                      std::size_t row_begin, std::size_t row_end, Tensor& out) {
+  // Only the k==3/s==1 shape (every conv in the detection path) has a
+  // vector kernel; everything else is already the scalar fast path.
+  if (spec.kernel != 3 || spec.stride != 1) {
+    conv2d_rows_fast(input, weight, bias, spec, row_begin, row_end, out);
+    return;
+  }
+  detail::require_conv_args(input, weight, bias, spec);
+  const std::size_t h = input.size(1), w = input.size(2);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const std::size_t k = spec.kernel, p = spec.padding;
+  detail::require(out.dim() == 3 && out.size(0) == spec.out_channels &&
+                      out.size(1) == oh && out.size(2) == ow,
+                  "conv2d_rows: output shape mismatch");
+  detail::require(row_begin <= row_end && row_end <= oh,
+                  "conv2d_rows: row range out of bounds");
+
+  // Interior ranges: identical bounds to conv2d_rows_fast (stride 1).
+  const std::size_t oy_lo = std::min(oh, p);
+  const std::size_t oy_hi = (h + p >= k) ? std::min(oh, h + p - k + 1) : 0;
+  const std::size_t ox_lo = std::min(ow, p);
+  const std::size_t ox_hi = (w + p >= k) ? std::min(ow, w + p - k + 1) : 0;
+
+  const float* in = input.data();
+  const float* wt = weight.data();
+  float* out_data = out.data();
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  const std::size_t w_oc_stride = spec.in_channels * k * k;
+
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    const float b = bias[oc];
+    const float* w_oc = wt + oc * w_oc_stride;
+    float* out_c = out_data + oc * out_plane;
+    for (std::size_t oy = row_begin; oy < row_end; ++oy) {
+      float* out_row = out_c + oy * ow;
+      const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy) -
+                                 static_cast<std::ptrdiff_t>(p);
+      if (oy < oy_lo || oy >= oy_hi) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox) -
+                                     static_cast<std::ptrdiff_t>(p);
+          out_row[ox] = detail::conv_cell_guarded(in, w_oc, b,
+                                                  spec.in_channels, h, w, k,
+                                                  iy0, ix0);
+        }
+        continue;
+      }
+      for (std::size_t ox = 0; ox < ox_lo; ++ox) {
+        const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox) -
+                                   static_cast<std::ptrdiff_t>(p);
+        out_row[ox] = detail::conv_cell_guarded(in, w_oc, b, spec.in_channels,
+                                                h, w, k, iy0, ix0);
+      }
+      const float* in_y = in + static_cast<std::size_t>(iy0) * w;
+      conv3x1_interior_span(in_y, w_oc, b, spec.in_channels, in_plane, w, p,
+                            ox_lo, ox_hi, out_row);
+      for (std::size_t ox = ox_hi; ox < ow; ++ox) {
+        const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox) -
+                                   static_cast<std::ptrdiff_t>(p);
+        out_row[ox] = detail::conv_cell_guarded(in, w_oc, b, spec.in_channels,
+                                                h, w, k, iy0, ix0);
+      }
+    }
+  }
+}
+
+}  // namespace eco::tensor

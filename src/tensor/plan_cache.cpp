@@ -1,0 +1,18 @@
+#include "tensor/plan_cache.hpp"
+
+namespace eco::tensor {
+
+namespace {
+thread_local std::uint64_t t_plan_cache_hits = 0;
+thread_local std::uint64_t t_plan_cache_misses = 0;
+}  // namespace
+
+std::uint64_t plan_cache_hit_count() noexcept { return t_plan_cache_hits; }
+
+std::uint64_t plan_cache_miss_count() noexcept { return t_plan_cache_misses; }
+
+void note_plan_cache_hit() noexcept { ++t_plan_cache_hits; }
+
+void note_plan_cache_miss() noexcept { ++t_plan_cache_misses; }
+
+}  // namespace eco::tensor

@@ -1,0 +1,112 @@
+// Process-wide LRU plan cache.
+//
+// A "plan" is an immutable precomputation that depends only on a small key
+// (shape, kernel config, backend) — anchor grids and their scoring geometry
+// are the canonical example. Before this cache each ScanScratch memoized its
+// own copy, so N shards × W workers rebuilt (and retained) N×W identical
+// plans. The cache builds each plan once, hands out shared_ptr<const Plan>,
+// and every scratch in the process aliases the same immutable object.
+//
+// Concurrency: get_or_build() holds the cache mutex across the build, so a
+// key is built exactly once no matter how many shards race on it — misses
+// always equal the number of unique keys. Plans are immutable after build;
+// readers never lock.
+//
+// Counters: hits/misses are recorded per thread (the tensor-alloc counter
+// pattern) so the exec layer can attribute them to frames without races.
+// The hit/miss *split* between threads depends on scheduling (whichever
+// thread consults first takes the miss), so the counters feed throughput
+// accounting and the bench's sharing proof, never the bitwise report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace eco::tensor {
+
+/// Thread-local count of plan-cache hits on this thread.
+[[nodiscard]] std::uint64_t plan_cache_hit_count() noexcept;
+/// Thread-local count of plan-cache misses (= plans built) on this thread.
+[[nodiscard]] std::uint64_t plan_cache_miss_count() noexcept;
+void note_plan_cache_hit() noexcept;
+void note_plan_cache_miss() noexcept;
+
+/// Lifetime totals of one PlanCache (process-wide, all threads).
+struct PlanCacheTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  // = plans ever built (builds run under the lock)
+  std::size_t plans = 0;     // currently resident
+};
+
+/// Generic keyed LRU cache of immutable plans. Key needs operator==.
+/// Lookup is a linear scan — capacities are tens of entries, and a probe
+/// is only taken on the first scan per (scratch, key) thanks to the
+/// scratch-local memo in front of it.
+template <typename Key, typename Plan>
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  /// The cached plan for `key`, building it via `build()` (signature
+  /// `Plan(const Key&)`) on first use. Evicts the least-recently-used
+  /// entry when full.
+  template <typename BuildFn>
+  [[nodiscard]] std::shared_ptr<const Plan> get_or_build(const Key& key,
+                                                         BuildFn&& build) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++tick_;
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        entry.last_used = tick_;
+        ++total_hits_;
+        note_plan_cache_hit();
+        return entry.plan;
+      }
+    }
+    ++total_misses_;
+    note_plan_cache_miss();
+    auto plan = std::make_shared<const Plan>(build(key));
+    if (entries_.size() >= capacity_ && !entries_.empty()) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].last_used < entries_[oldest].last_used) oldest = i;
+      }
+      entries_.erase(entries_.begin() +
+                     static_cast<std::ptrdiff_t>(oldest));
+    }
+    entries_.push_back(Entry{key, plan, tick_});
+    return plan;
+  }
+
+  /// Number of resident plans.
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Lifetime hit/miss totals plus the resident plan count.
+  [[nodiscard]] PlanCacheTotals totals() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return PlanCacheTotals{total_hits_, total_misses_, entries_.size()};
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Plan> plan;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_misses_ = 0;
+};
+
+}  // namespace eco::tensor

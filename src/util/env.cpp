@@ -1,0 +1,75 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace eco::util {
+
+namespace {
+
+/// One entry per queried name; the optional is empty when the variable was
+/// unset at first query. Values live in the map for the process lifetime,
+/// so env_value() can hand out stable pointers.
+struct EnvCache {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::optional<std::string>> values;
+};
+
+EnvCache& env_cache() {
+  static EnvCache cache;
+  return cache;
+}
+
+}  // namespace
+
+const std::string* env_value(const char* name) {
+  EnvCache& cache = env_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  auto it = cache.values.find(name);
+  if (it == cache.values.end()) {
+    const char* raw = std::getenv(name);
+    std::optional<std::string> value;
+    if (raw != nullptr) value = std::string(raw);
+    it = cache.values.emplace(name, std::move(value)).first;
+  }
+  return it->second.has_value() ? &*it->second : nullptr;
+}
+
+bool env_enabled(const char* name) {
+  const std::string* value = env_value(name);
+  return value != nullptr && (*value == "1" || *value == "true" ||
+                              *value == "on");
+}
+
+bool env_disabled(const char* name) {
+  const std::string* value = env_value(name);
+  return value != nullptr && *value == "0";
+}
+
+std::size_t env_size_or(const char* name, std::size_t fallback) {
+  const std::string* value = env_value(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  if (end == value->c_str() || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+double env_double_or(const char* name, double fallback) {
+  const std::string* value = env_value(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || !(parsed > 0.0)) return fallback;
+  return parsed;
+}
+
+std::string env_string_or(const char* name, const std::string& fallback) {
+  const std::string* value = env_value(name);
+  return value != nullptr ? *value : fallback;
+}
+
+}  // namespace eco::util

@@ -85,9 +85,18 @@ double Rng::normal() noexcept {
   const double u2 = uniform();
   const double radius = std::sqrt(-2.0 * std::log(u1));
   const double angle = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = radius * std::sin(angle);
+  double sin_a = 0.0, cos_a = 0.0;
+#if defined(__GLIBC__)
+  // One combined argument reduction for both deviates; glibc's sincos
+  // returns exactly sin(angle) and cos(angle), so the stream is unchanged.
+  ::sincos(angle, &sin_a, &cos_a);
+#else
+  sin_a = std::sin(angle);
+  cos_a = std::cos(angle);
+#endif
+  cached_normal_ = radius * sin_a;
   has_cached_normal_ = true;
-  return radius * std::cos(angle);
+  return radius * cos_a;
 }
 
 double Rng::normal(double mean, double stddev) noexcept {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "detect/anchors.hpp"
 #include "detect/nms.hpp"
+#include "util/rng.hpp"
 
 namespace eco::detect {
 namespace {
@@ -131,6 +134,80 @@ TEST(TopKTest, KeepsHighestK) {
 TEST(TopKTest, NoOpWhenFewer) {
   std::vector<Detection> dets = {make_det({0, 0, 1, 1}, 0.1f)};
   EXPECT_EQ(keep_top_k(dets, 5).size(), 1u);
+}
+
+// The vectorized class-agnostic sweep (four keepers per SSE2 step) must
+// reproduce the scalar greedy algorithm exactly: same survivors, same
+// order. The replay below IS that scalar algorithm — stable sort by score,
+// then a plain iou() loop against already-kept boxes.
+std::vector<Detection> scalar_greedy_nms(std::vector<Detection> detections,
+                                         float iou_threshold) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<Detection> kept;
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (iou(k.box, d.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+TEST(NmsTest, VectorSweepMatchesScalarGreedyReplay) {
+  util::Rng rng(90210);
+  // Sizes straddle the 4-lane step: empty, below one vector, exact
+  // multiples, and tails of every residue.
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 33u, 100u}) {
+    std::vector<Detection> dets;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float x = rng.uniform_f(0.0f, 40.0f);
+      const float y = rng.uniform_f(0.0f, 40.0f);
+      dets.push_back(make_det({x, y, x + rng.uniform_f(0.5f, 8.0f),
+                               y + rng.uniform_f(0.5f, 8.0f)},
+                              rng.uniform_f(0.0f, 1.0f)));
+    }
+    // A few degenerate boxes: zero-area (inter lane masked like the
+    // scalar w>0 && h>0 guard) and duplicated coordinates (ties).
+    if (n >= 5) {
+      dets[1].box = {3.0f, 3.0f, 3.0f, 3.0f};
+      dets[4].box = dets[0].box;
+      dets[4].score = dets[0].score;
+    }
+    for (const float thr : {0.3f, 0.5f, 0.75f}) {
+      const auto expected = scalar_greedy_nms(dets, thr);
+      auto actual = dets;
+      nms_in_place(actual, thr, /*class_aware=*/false);
+      ASSERT_EQ(actual.size(), expected.size()) << "n=" << n << " thr=" << thr;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i].box.x1, expected[i].box.x1);
+        EXPECT_EQ(actual[i].box.y1, expected[i].box.y1);
+        EXPECT_EQ(actual[i].box.x2, expected[i].box.x2);
+        EXPECT_EQ(actual[i].box.y2, expected[i].box.y2);
+        EXPECT_EQ(actual[i].score, expected[i].score);
+      }
+    }
+  }
+}
+
+TEST(NmsTest, VectorSweepHandlesDisjointKeepersWithoutFalsePositives) {
+  // Widely separated boxes produce negative iw/ih in every lane; the junk
+  // products must be masked, never suppress.
+  std::vector<Detection> dets;
+  for (std::size_t i = 0; i < 9; ++i) {
+    const float o = static_cast<float>(i) * 100.0f;
+    dets.push_back(make_det({o, o, o + 2.0f, o + 2.0f},
+                            1.0f - 0.05f * static_cast<float>(i)));
+  }
+  auto kept = dets;
+  nms_in_place(kept, 0.5f, /*class_aware=*/false);
+  EXPECT_EQ(kept.size(), dets.size());
 }
 
 }  // namespace

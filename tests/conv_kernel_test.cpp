@@ -51,11 +51,45 @@ TEST_P(ConvKernelEquivalence, FastMatchesReferenceBitwise) {
       << "k=" << c.kernel << " s=" << c.stride << " p=" << c.padding
       << " h=" << c.h << " w=" << c.w;
 
+  // The simd backend too — the vector interior plus its scalar tail (and
+  // the delegation to fast for stride > 1) must be invisible.
+  Tensor simd({spec.out_channels, oh, ow});
+  conv2d_rows_simd(input, weight, bias, spec, 0, oh, simd);
+  EXPECT_TRUE(simd.equals(reference))
+      << "simd k=" << c.kernel << " s=" << c.stride << " p=" << c.padding
+      << " h=" << c.h << " w=" << c.w;
+
   // The dispatching entry point agrees too (fast path unless the
   // ECO_REFERENCE_KERNELS env pins the reference, which is also exact).
   Tensor dispatched({spec.out_channels, oh, ow});
   conv2d_rows(input, weight, bias, spec, 0, oh, dispatched);
   EXPECT_TRUE(dispatched.equals(reference));
+}
+
+TEST_P(ConvKernelEquivalence, SimdSingleRowRangesMatchReference) {
+  const KernelCase c = GetParam();
+  Conv2dSpec spec;
+  spec.in_channels = c.in_channels;
+  spec.out_channels = c.out_channels;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  util::Rng rng(c.kernel * 31 + c.w);
+  const Tensor input = random_tensor({c.in_channels, c.h, c.w}, rng);
+  const Tensor weight = random_tensor(
+      {c.out_channels, c.in_channels, c.kernel, c.kernel}, rng);
+  const Tensor bias = random_tensor({c.out_channels}, rng);
+  const std::size_t oh = spec.out_extent(c.h), ow = spec.out_extent(c.w);
+  // One row at a time — first, middle, last — so row-granular sharding
+  // over the simd kernel composes to the whole-range result.
+  for (const std::size_t row : {std::size_t{0}, oh / 2, oh - 1}) {
+    const float sentinel = 55.25f;
+    Tensor simd = Tensor::full({spec.out_channels, oh, ow}, sentinel);
+    Tensor reference = Tensor::full({spec.out_channels, oh, ow}, sentinel);
+    conv2d_rows_simd(input, weight, bias, spec, row, row + 1, simd);
+    conv2d_rows_reference(input, weight, bias, spec, row, row + 1, reference);
+    EXPECT_TRUE(simd.equals(reference)) << "row=" << row;
+  }
 }
 
 TEST_P(ConvKernelEquivalence, RowRestrictedRangesMatchAndStayInRange) {
@@ -118,19 +152,122 @@ INSTANTIATE_TEST_SUITE_P(
         KernelCase{4, 4, 1, 1, 0, 10, 12},
         KernelCase{2, 2, 1, 2, 1, 8, 8},
         // Kernel equal to the whole input.
-        KernelCase{1, 1, 7, 1, 3, 7, 7}));
+        KernelCase{1, 1, 7, 1, 3, 7, 7},
+        // SIMD tails: output widths below one SSE vector (4 lanes), then
+        // each residue class just above it, then a single-row image.
+        KernelCase{1, 1, 3, 1, 1, 3, 1},
+        KernelCase{2, 2, 3, 1, 1, 4, 2},
+        KernelCase{2, 2, 3, 1, 1, 5, 3},
+        KernelCase{1, 2, 3, 1, 1, 6, 4},
+        KernelCase{2, 1, 3, 1, 1, 6, 5},
+        KernelCase{1, 1, 3, 1, 1, 7, 6},
+        KernelCase{2, 3, 3, 1, 1, 8, 7},
+        KernelCase{1, 1, 3, 1, 1, 1, 48}));
 
 TEST(BoxBlurKernelTest, FastMatchesReferenceBitwise) {
   util::Rng rng(4242);
+  // Widths straddle the 4-lane interior sweep: below one vector, exact
+  // multiples, and every tail residue.
   for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{
-           {1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 3}, {5, 9}, {48, 48}}) {
+           {1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 3}, {3, 4}, {3, 5}, {4, 6},
+           {4, 7}, {5, 9}, {48, 48}}) {
     const Tensor grid = random_tensor({1, h, w}, rng, 0.0f, 1.0f);
-    Tensor fast, reference, dispatched;
+    Tensor fast, reference, simd, dispatched;
     detect::box_blur3_into_fast(grid, fast);
     detect::box_blur3_into_reference(grid, reference);
+    detect::box_blur3_into_simd(grid, simd);
     detect::box_blur3_into(grid, dispatched);
     EXPECT_TRUE(fast.equals(reference)) << h << "x" << w;
+    EXPECT_TRUE(simd.equals(reference)) << h << "x" << w;
     EXPECT_TRUE(dispatched.equals(reference)) << h << "x" << w;
+  }
+}
+
+TEST(IntegralImageKernelTest, SimdResetMatchesReferenceBitwise) {
+  util::Rng rng(9911);
+  // The simd reset's serial-prefix + vectorized-row-add split must land on
+  // the identical table for every extent, including widths below the
+  // 2-double SSE vector and single-row/single-column grids.
+  for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 5}, {5, 4}, {13, 29},
+           {48, 48}}) {
+    const Tensor grid = random_tensor({1, h, w}, rng, 0.0f, 2.0f);
+    detect::IntegralImage reference, fast, simd;
+    reference.reset(grid, Backend::kReference);
+    fast.reset(grid, Backend::kFast);
+    simd.reset(grid, Backend::kSimd);
+    const std::size_t cells = (h + 1) * (w + 1);
+    for (std::size_t i = 0; i < cells; ++i) {
+      ASSERT_EQ(fast.table()[i], reference.table()[i])
+          << h << "x" << w << " cell " << i;
+      ASSERT_EQ(simd.table()[i], reference.table()[i])
+          << h << "x" << w << " cell " << i;
+    }
+  }
+}
+
+TEST(AnchorContrastPassTest, SimdSweepMatchesScalarChain) {
+  util::Rng rng(77321);
+  // Odd extents so the anchor count is not a multiple of the vector width
+  // and plenty of anchors clip at the border (invalid geometry lanes take
+  // the scalar fallback).
+  for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {9, 11}, {48, 48}}) {
+    const Tensor grid = random_tensor({1, h, w}, rng, 0.0f, 1.0f);
+    detect::ScanPlanKey key;
+    key.height = h;
+    key.width = w;
+    const detect::ScanPlan plan = detect::build_scan_plan(key);
+    ASSERT_FALSE(plan.anchors.empty());
+    detect::IntegralImage integral(grid);
+    std::vector<double> simd(plan.anchors.size());
+    detect::detail::anchor_contrast_pass_simd(
+        integral.table(), plan.geometry.data(), plan.anchors.size(),
+        simd.data());
+    for (std::size_t i = 0; i < plan.anchors.size(); ++i) {
+      // The exact scalar chain propose_with_plan runs on non-simd backends.
+      const detect::AnchorGeometry& g = plan.geometry[i];
+      const double inner_sum =
+          g.inner_valid
+              ? integral.flat_sum(g.inner00, g.inner01, g.inner10, g.inner11)
+              : 0.0;
+      const double ring_sum =
+          g.ring_valid
+              ? integral.flat_sum(g.ring00, g.ring01, g.ring10, g.ring11)
+              : 0.0;
+      const double inside =
+          g.inner_area > 0.0f ? inner_sum / g.inner_area : 0.0;
+      const double ring_area = g.ring_area;
+      const double background =
+          ring_area > 0.0 ? (ring_sum - inner_sum) / ring_area : 0.0;
+      ASSERT_EQ(simd[i], inside - background)
+          << h << "x" << w << " anchor " << i;
+    }
+  }
+}
+
+// Full proposal pass per backend: pinning the whole plumbed path (blur,
+// integral, contrast sweep, NMS, top-k) bitwise across backends.
+TEST(RpnBackendTest, ProposalsBitwiseInvariantAcrossBackends) {
+  util::Rng rng(6001);
+  const Tensor grid = random_tensor({1, 48, 48}, rng, 0.0f, 1.0f);
+  detect::RpnConfig reference_config;
+  reference_config.backend = Backend::kReference;
+  const auto reference =
+      detect::Rpn(reference_config).propose(grid);
+  for (const Backend backend : {Backend::kFast, Backend::kSimd}) {
+    detect::RpnConfig config;
+    config.backend = backend;
+    detect::ScanScratch scratch;
+    const auto proposals = detect::Rpn(config).propose(grid, &scratch);
+    ASSERT_EQ(proposals.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(proposals[i].box.x1, reference[i].box.x1);
+      EXPECT_EQ(proposals[i].box.y1, reference[i].box.y1);
+      EXPECT_EQ(proposals[i].box.x2, reference[i].box.x2);
+      EXPECT_EQ(proposals[i].box.y2, reference[i].box.y2);
+      EXPECT_EQ(proposals[i].objectness, reference[i].objectness);
+    }
   }
 }
 
