@@ -37,6 +37,13 @@
 //                         on a known machine; unset = record-only, since
 //                         absolute fps is hardware-bound).
 //
+// Scheduler toggles (both bitwise-invariant by contract; the bench runs the
+// opposite state of each at 4 workers and self-gates on the comparison):
+//   ECO_STEAL=0             disable cross-worker deque stealing — every task
+//                           runs on the worker whose deque received it.
+//   ECO_PIPELINE_WINDOWS=0  force window depth 1: no phase-A/phase-B overlap
+//                           across adjacent control windows.
+//
 // Build & run:
 //   ./build/bench/runtime_throughput [frames_per_sequence] [json] [max_shards]
 #include <algorithm>
@@ -211,6 +218,19 @@ struct Row {
   std::size_t arena_bytes_high_water = 0;
   Pcts modeled_latency_ms;  // deterministic: identical across rows
   Pcts obs_wall_ms;         // wall-clock, observability only
+  eco::runtime::SchedulerStats sched;  // observability only, like wall-clock
+};
+
+/// Scheduler summary for the JSON block and the exit gates: the 4-worker
+/// run's counters plus the toggle-invariance and scaling results.
+struct SchedSummary {
+  eco::runtime::SchedulerStats stats;  // 4-worker untraced sweep run
+  bool steal_off_bitwise = false;    // config.steal=false report matches
+  bool steal_off_no_steals = false;  // ...and recorded zero steals
+  bool pipeline_off_bitwise = false;  // pipeline_windows=false report matches
+  bool pipeline_off_sequential = false;  // ...and pipelined zero windows
+  bool sweep_monotone = false;  // fps non-degrading up to hardware threads
+  bool zero_heap = false;       // no sweep run heap-allocated a task
 };
 
 struct ShardRow {
@@ -325,7 +345,7 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                 const ObsSummary& obs,
                 const std::vector<BackendRow>& backend_rows,
                 const eco::detect::ScanPlanCacheStats& plan_stats,
-                bool plan_cache_ok) {
+                bool plan_cache_ok, const SchedSummary& sched) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -398,6 +418,40 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                "\"misses\": %zu, \"cross_shard_reuse_ok\": %s},\n",
                plan_stats.plans, plan_stats.hits, plan_stats.misses,
                plan_cache_ok ? "true" : "false");
+  // Scheduler block: the 4-worker sweep run's counters (wall-clock-class
+  // observability) plus the toggle-invariance and scaling gate results.
+  std::fprintf(f, "  \"scheduler\": {\n");
+  std::fprintf(f, "    \"tasks_executed\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.tasks_executed));
+  std::fprintf(f, "    \"tasks_inlined\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.tasks_inlined));
+  std::fprintf(f, "    \"tasks_heap\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.tasks_heap));
+  std::fprintf(f, "    \"steals\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.steals));
+  std::fprintf(f, "    \"steal_failures\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.steal_failures));
+  std::fprintf(f, "    \"injector_submits\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.injector_submits));
+  std::fprintf(f, "    \"overflow_submits\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.overflow_submits));
+  std::fprintf(f, "    \"parks\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.parks));
+  std::fprintf(f, "    \"queue_wait_ns\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.queue_wait_ns));
+  std::fprintf(f, "    \"barrier_wait_ns\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.barrier_wait_ns));
+  std::fprintf(f, "    \"windows_pipelined\": %llu,\n",
+               static_cast<unsigned long long>(sched.stats.windows_pipelined));
+  std::fprintf(f, "    \"steal_off_bitwise\": %s,\n",
+               sched.steal_off_bitwise ? "true" : "false");
+  std::fprintf(f, "    \"pipeline_off_bitwise\": %s,\n",
+               sched.pipeline_off_bitwise ? "true" : "false");
+  std::fprintf(f, "    \"sweep_monotone\": %s,\n",
+               sched.sweep_monotone ? "true" : "false");
+  std::fprintf(f, "    \"zero_heap\": %s\n",
+               sched.zero_heap ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
@@ -409,13 +463,28 @@ bool write_json(const char* path, const eco::runtime::PipelineReport& report,
                  "\"modeled_latency_ms_p95\": %.6f, "
                  "\"modeled_latency_ms_p99\": %.6f, "
                  "\"obs_wall_ms_p50\": %.6f, \"obs_wall_ms_p95\": %.6f, "
-                 "\"obs_wall_ms_p99\": %.6f}%s\n",
+                 "\"obs_wall_ms_p99\": %.6f, "
+                 "\"sched_steals\": %llu, \"sched_steal_failures\": %llu, "
+                 "\"sched_parks\": %llu, \"sched_queue_wait_ns\": %llu, "
+                 "\"sched_barrier_wait_ns\": %llu, "
+                 "\"sched_tasks_inlined\": %llu, \"sched_tasks_heap\": %llu, "
+                 "\"sched_windows_pipelined\": %llu}%s\n",
                  rows[i].workers, rows[i].frames_per_second, rows[i].speedup,
                  rows[i].channel_scans_requested, rows[i].channel_scans_unique,
                  rows[i].tensor_allocs, rows[i].arena_bytes_high_water,
                  rows[i].modeled_latency_ms.p50, rows[i].modeled_latency_ms.p95,
                  rows[i].modeled_latency_ms.p99, rows[i].obs_wall_ms.p50,
                  rows[i].obs_wall_ms.p95, rows[i].obs_wall_ms.p99,
+                 static_cast<unsigned long long>(rows[i].sched.steals),
+                 static_cast<unsigned long long>(rows[i].sched.steal_failures),
+                 static_cast<unsigned long long>(rows[i].sched.parks),
+                 static_cast<unsigned long long>(rows[i].sched.queue_wait_ns),
+                 static_cast<unsigned long long>(
+                     rows[i].sched.barrier_wait_ns),
+                 static_cast<unsigned long long>(rows[i].sched.tasks_inlined),
+                 static_cast<unsigned long long>(rows[i].sched.tasks_heap),
+                 static_cast<unsigned long long>(
+                     rows[i].sched.windows_pipelined),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -596,7 +665,8 @@ int main(int argc, char** argv) {
                     report.exec.tensor_allocs,
                     report.exec.arena_bytes_high_water,
                     pcts_of(metrics, "modeled/latency_ms"),
-                    pcts_of(metrics, "obs/wall_ms")});
+                    pcts_of(metrics, "obs/wall_ms"),
+                    report.scheduler});
     if (workers == 4) four_worker_report = report;
     last_report = std::move(report);
   }
@@ -606,6 +676,30 @@ int main(int argc, char** argv) {
               rows.back().modeled_latency_ms.p50,
               rows.back().modeled_latency_ms.p95,
               rows.back().modeled_latency_ms.p99, rows.back().obs_wall_ms.p95);
+
+  // ---- Scheduler counters per sweep row ---------------------------------
+  // All observability (wall-clock-class): steals and waits move with the
+  // machine; the determinism contract deliberately excludes them. The
+  // inlined/heap split is the exception — steady-state submissions must
+  // never heap-allocate, gated below.
+  util::Table sched_table({"Workers", "Tasks", "Inlined", "Heap", "Steals",
+                           "Steal fails", "Parks", "Queue wait ms",
+                           "Barrier wait ms", "Windows pipelined"});
+  for (const Row& row : rows) {
+    sched_table.add_row(
+        {std::to_string(row.workers),
+         std::to_string(row.sched.tasks_executed),
+         std::to_string(row.sched.tasks_inlined),
+         std::to_string(row.sched.tasks_heap),
+         std::to_string(row.sched.steals),
+         std::to_string(row.sched.steal_failures),
+         std::to_string(row.sched.parks),
+         util::fmt(static_cast<double>(row.sched.queue_wait_ns) / 1e6, 2),
+         util::fmt(static_cast<double>(row.sched.barrier_wait_ns) / 1e6, 2),
+         std::to_string(row.sched.windows_pipelined)});
+  }
+  std::printf("Work-stealing scheduler (per worker-sweep row):\n%s\n",
+              sched_table.render().c_str());
 
   // ---- Channel-scan sharing invariance gate -----------------------------
   // One run per toggle state on the identical stream: everything except the
@@ -653,6 +747,77 @@ int main(int argc, char** argv) {
                           static_cast<double>(shared.exec.channel_scans_unique)
                     : 0.0,
                 share_invariant ? "matches" : "DIVERGES FROM");
+  }
+
+  // ---- Scheduler toggle + scaling gates ---------------------------------
+  // One 4-worker run per disabled scheduler feature on the identical
+  // stream: stealing off (every task stays on the worker that received it)
+  // and window pipelining off (depth 1, the pre-overlap barrier schedule).
+  // Both must reproduce the sweep's 4-worker report bitwise — the scheduler
+  // is a pure wall-clock knob. The sweep rows themselves gate two more
+  // properties: fps must not degrade as workers grow (up to the machine's
+  // core count), and no steady-state submission may touch the heap.
+  SchedSummary sched_summary;
+  sched_summary.stats = four_worker_report.scheduler;
+  {
+    auto run_sched = [&](bool steal, bool pipelined) {
+      runtime::PipelineConfig config;
+      config.workers = 4;
+      config.window = kBenchWindow;
+      config.share_channel_scans = share_enabled;
+      config.tracing = trace_enabled;
+      config.steal = steal;
+      config.pipeline_windows = pipelined;
+      runtime::StreamingPipeline pipeline(engine, config);
+      runtime::FrameStream stream(stream_config);
+      return pipeline.run(stream, gate_factory);
+    };
+    const runtime::PipelineReport steal_off = run_sched(false, true);
+    sched_summary.steal_off_bitwise =
+        reports_bitwise_equal(steal_off, four_worker_report);
+    sched_summary.steal_off_no_steals = steal_off.scheduler.steals == 0;
+    const runtime::PipelineReport pipeline_off = run_sched(true, false);
+    sched_summary.pipeline_off_bitwise =
+        reports_bitwise_equal(pipeline_off, four_worker_report);
+    sched_summary.pipeline_off_sequential =
+        pipeline_off.scheduler.windows_pipelined == 0;
+
+    // Monotone non-degrading scaling: each doubling of workers (while they
+    // still fit the machine) must keep at least 90% of the previous row's
+    // fps — the old shared-queue scheduler lost throughput with every
+    // worker added. 0.9 absorbs shared-runner noise; real contention
+    // collapse is far below it. Oversubscribed rows (workers > hw) are
+    // reported but not gated.
+    sched_summary.sweep_monotone = true;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].workers > hw) break;
+      if (rows[i].frames_per_second < 0.9 * rows[i - 1].frames_per_second) {
+        sched_summary.sweep_monotone = false;
+        std::fprintf(stderr,
+                     "error: fps degraded with workers: %.1f @ %zu -> %.1f "
+                     "@ %zu\n",
+                     rows[i - 1].frames_per_second, rows[i - 1].workers,
+                     rows[i].frames_per_second, rows[i].workers);
+      }
+    }
+    sched_summary.zero_heap = steal_off.scheduler.tasks_heap == 0 &&
+                              pipeline_off.scheduler.tasks_heap == 0;
+    for (const Row& row : rows) {
+      sched_summary.zero_heap =
+          sched_summary.zero_heap && row.sched.tasks_heap == 0;
+    }
+    std::printf("Scheduler gates: steal-off %s bitwise (steals %llu), "
+                "pipeline-off %s bitwise (windows pipelined %llu); worker "
+                "sweep %s; task submissions %s.\n\n",
+                sched_summary.steal_off_bitwise ? "matches" : "DIVERGES",
+                static_cast<unsigned long long>(steal_off.scheduler.steals),
+                sched_summary.pipeline_off_bitwise ? "matches" : "DIVERGES",
+                static_cast<unsigned long long>(
+                    pipeline_off.scheduler.windows_pipelined),
+                sched_summary.sweep_monotone ? "monotone non-degrading"
+                                             : "DEGRADED",
+                sched_summary.zero_heap ? "all inline (zero heap)"
+                                        : "HEAP-ALLOCATED");
   }
 
   // ---- Shard sweep: N engine shards on one 4-worker pool ----------------
@@ -924,7 +1089,8 @@ int main(int argc, char** argv) {
   manifest.tool = "runtime_throughput";
   manifest.capture_env({"ECO_TRACE", "ECO_TRACE_PATH", "ECO_TRACE_CAPACITY",
                         "ECO_CHANNEL_SHARE", "ECO_REFERENCE_KERNELS",
-                        "ECO_SIMD", "ECO_BACKEND", "ECO_BASELINE_FPS"});
+                        "ECO_SIMD", "ECO_BACKEND", "ECO_BASELINE_FPS",
+                        "ECO_STEAL", "ECO_PIPELINE_WINDOWS"});
   manifest.params = {
       {"frames_per_sequence", std::to_string(frames_per_sequence)},
       {"sequences_per_scene",
@@ -961,6 +1127,11 @@ int main(int argc, char** argv) {
       {"trace_spans", static_cast<double>(obs_summary.spans)},
       {"trace_dropped_spans",
        static_cast<double>(obs_summary.dropped_spans)},
+      {"sched_steals", static_cast<double>(sched_summary.stats.steals)},
+      {"sched_tasks_heap",
+       static_cast<double>(sched_summary.stats.tasks_heap)},
+      {"sched_windows_pipelined",
+       static_cast<double>(sched_summary.stats.windows_pipelined)},
   };
   const std::string manifest_path = manifest_path_for(json_path);
   const std::string manifest_json = manifest.to_json();
@@ -975,7 +1146,7 @@ int main(int argc, char** argv) {
       write_json(json_path, last_report, frames_per_sequence, rows, shard_rows,
                  share_enabled, share_invariant, modeled_p, wall_p,
                  manifest_slices, obs_summary, backend_rows, plan_stats,
-                 plan_cache_ok);
+                 plan_cache_ok, sched_summary);
   const bool bench_json_valid = wrote && obs::json_valid(read_file(json_path));
   if (wrote && !bench_json_valid) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", json_path);
@@ -1017,11 +1188,22 @@ int main(int argc, char** argv) {
                  "error: cross-shard scan-plan reuse absent (hits below "
                  "(shards-1) x unique plans)\n");
   }
-  // Steady state = every frame past the first control window (slot arenas
-  // warm in window 0); those frames must report zero tensor allocations.
+  const bool sched_ok =
+      sched_summary.steal_off_bitwise && sched_summary.steal_off_no_steals &&
+      sched_summary.pipeline_off_bitwise &&
+      sched_summary.pipeline_off_sequential && sched_summary.sweep_monotone &&
+      sched_summary.zero_heap;
+  if (!sched_ok) {
+    std::fprintf(stderr,
+                 "error: scheduler gate failed (toggle divergence, degraded "
+                 "worker scaling, or heap-allocated task submissions)\n");
+  }
+  // Steady state = every frame past the first TWO control windows (the
+  // window-pipelined runtime ping-pongs two slot sets, so arenas warm over
+  // windows 0 and 1); those frames must report zero tensor allocations.
   bool steady_state_zero_allocs = true;
   for (const runtime::FrameStats& stats : last_report.frame_stats) {
-    if (stats.stream_index >= kBenchWindow && stats.tensor_allocs != 0) {
+    if (stats.stream_index >= 2 * kBenchWindow && stats.tensor_allocs != 0) {
       steady_state_zero_allocs = false;
       std::fprintf(stderr,
                    "error: steady-state frame %zu made %zu tensor "
@@ -1057,7 +1239,8 @@ int main(int argc, char** argv) {
   }
   tracer.uninstall();
   return (all_invariant && share_invariant && kernels_ok &&
-          backends_invariant && plan_cache_ok && steady_state_zero_allocs &&
+          backends_invariant && plan_cache_ok && sched_ok &&
+          steady_state_zero_allocs &&
           wrote && bench_json_valid && obs_summary.traced_invariant &&
           obs_summary.zero_spans_when_off && obs_summary.trace_valid &&
           obs_summary.stages_ok && manifest_ok && baseline_ok)

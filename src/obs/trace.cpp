@@ -40,6 +40,7 @@ constexpr std::array<StageInfo, kNumStages> kStages = {{
      {"config", "batch", "arena_bytes", nullptr}},
     {"window_update", "control", {"lambda_e", "lambda_l", "frames", nullptr}},
     {"shard_merge", "runtime", {"shards", "frames", nullptr, nullptr}},
+    {"scheduler_idle", "scheduler", {"worker", nullptr, nullptr, nullptr}},
 }};
 
 void append_number(std::string& out, double value) {

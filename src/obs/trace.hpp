@@ -57,6 +57,7 @@ enum class Stage : std::uint8_t {
   kFinishFrame,      // per-frame execute/fuse/loss/accounting tail
   kWindowUpdate,     // control-window reduction + λ updates
   kShardMerge,       // sharded-report merge + finalize
+  kSchedulerIdle,    // a pool worker waiting for work (starvation gap)
   kNumStages,
 };
 

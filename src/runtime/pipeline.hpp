@@ -24,10 +24,26 @@
 // count (the scan counters' unique/requested split is the one field that
 // legitimately moves with the sharing toggle).
 //
+// Windows are dispatched through per-window dependency tracking, not
+// pool-wide barriers (PR 8): each in-flight window owns two completion
+// events — select_done (every phase-A lane finished; the last lane forms
+// the phase-B groups and submits them as a continuation) and window_done
+// (every frame finished). The driver only ever blocks on those events at
+// the stream-order commit point, so with no controller configured, window
+// W+1's phase A overlaps window W's phase B (two windows in flight over
+// ping-ponged slot sets). With a budget/deadline controller the depth
+// drops to 1 — λ(W+1) genuinely depends on window W's fold — but even
+// then the stream pull of W+1 overlaps W's execution and the two
+// pool-wide barriers per window are gone. ECO_PIPELINE_WINDOWS=0 (or
+// PipelineConfig::pipeline_windows=false) forces depth 1; the slot
+// topology does NOT change with the toggle (see stem_cache_sequences
+// note), so reports stay bitwise identical across it.
+//
 // The pipeline can run on a pool it owns (run/2) or as one client of a
 // shared pool (run/3): the sharded front-end (runtime/shard.hpp) drives one
 // pipeline per engine shard over the same pool, each waiting on its own
-// TaskGroup so one shard's window barrier never stalls another shard.
+// per-window events so one shard's window commit never stalls another
+// shard.
 //
 // Determinism contract: aggregate results — per-frame selections, losses,
 // energies, modeled latencies, the λ_E/λ_L traces, the per-scene breakdown,
@@ -39,7 +55,10 @@
 // window aggregates accumulated in stream order (the deadline loop observes
 // *modeled* latency, never wall-clock), (d) final reduction runs in stream
 // order on one thread, and (e) stem cache hits depend only on sequence
-// grouping, which is fixed by the stream order. Wall-clock fields
+// grouping, which is fixed by the stream order — window W+1's phase A is
+// chained behind window W's select_done event, so per-sequence cache
+// refreshes stay sequential and retain() arguments are pure stream-order
+// functions even when windows overlap. Wall-clock fields
 // (wall_seconds, frames_per_second, FrameStats::wall_ms, mean_wall_ms) are
 // explicitly outside the contract. tests/runtime_test.cpp and
 // tests/shard_test.cpp pin the contract bitwise.
@@ -109,6 +128,17 @@ struct PipelineConfig {
   /// Shard lane label for spans and the report's control slice
   /// (observability only; the sharded front-end stamps it per shard).
   std::size_t shard_index = 0;
+  /// Allow idle pool workers to steal queued tasks from busy workers'
+  /// deques (pools the pipeline creates; a caller-supplied pool keeps its
+  /// own setting). Scheduling only — reports are bitwise identical either
+  /// way. ECO_STEAL=0 force-disables process-wide.
+  bool steal = true;
+  /// Overlap window W+1's phase A with window W's phase B when no
+  /// controller creates a cross-window λ dependency. Scheduling only —
+  /// reports are bitwise identical either way (slot topology is fixed at
+  /// two ping-ponged sets regardless). ECO_PIPELINE_WINDOWS=0
+  /// force-disables process-wide.
+  bool pipeline_windows = true;
 };
 
 /// Per-frame accounting record (stream order).
@@ -142,7 +172,11 @@ struct FrameStats {
   /// Tensor-buffer heap allocations attributed to this frame's execution
   /// (tensor::tensor_alloc_count deltas over the frame's selection,
   /// batched-scan and execution stretches). Frames through a warmed slot
-  /// arena report 0 — the first window per slot pays the warm-up.
+  /// arena report 0 — the first window through each slot set pays the
+  /// warm-up. The pipeline keeps two ping-ponged slot sets (window index
+  /// parity) so pipelined windows never share live slots; the first TWO
+  /// windows per shard are therefore the warm-up stretch, independent of
+  /// every scheduling toggle.
   /// Deterministic for a fixed shard count; warm-up attribution shifts with
   /// shard count (different slot histories), so it is intentionally not
   /// part of the cross-shard invariance comparisons.
@@ -178,7 +212,8 @@ struct ExecCounters {
   std::size_t arena_bytes_high_water = 0;  // max per-frame arena footprint
   /// Frames that executed with zero tensor heap allocations. Steady state
   /// is every frame past its slot's warm-up window, so this must cover all
-  /// but (at most) the first window per shard; the bench gates on it.
+  /// but (at most) the first two windows per shard (one per ping-ponged
+  /// slot set); the bench gates on it.
   std::size_t zero_alloc_frames = 0;
 };
 
@@ -234,6 +269,14 @@ struct PipelineReport {
   /// Per-frame detections + ground truth, aligned with frame_stats
   /// (retained when keep_frame_results; consumed by the sharded merge).
   std::vector<eval::FrameResult> frame_results;
+  /// Scheduler observability (steals, queue/barrier waits, pipelined
+  /// windows; see runtime/thread_pool.hpp). Like the wall-clock fields,
+  /// NOT covered by the determinism contract — scheduling is timing-
+  /// dependent even though the reduced results are not. run/2 fills the
+  /// pool-side counters from its owned pool; run/3 fills only the
+  /// driver-side fields (barrier_wait_ns, windows_pipelined) because a
+  /// shared pool's counters span all of its clients.
+  SchedulerStats scheduler;
   // Wall-clock measurements; NOT covered by the determinism contract.
   double wall_seconds = 0.0;
   double frames_per_second = 0.0;

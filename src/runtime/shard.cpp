@@ -27,9 +27,16 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t shards = config_.shards;
 
-  // One pool shared by every shard; each shard's pipeline tags its work
-  // with a private TaskGroup, so window barriers are per shard.
-  ThreadPool pool(config_.pipeline.workers);
+  // One work-stealing pool shared by every shard; each shard's pipeline
+  // tracks its windows with private completion events, so one shard waiting
+  // at a window boundary never stalls another shard's in-flight work — and
+  // an idle worker steals across shards.
+  ThreadPoolConfig pool_config;
+  pool_config.workers = config_.pipeline.workers;
+  pool_config.steal = config_.pipeline.steal;
+  pool_config.trace =
+      config_.pipeline.tracing && obs::installed_tracer() != nullptr;
+  ThreadPool pool(pool_config);
 
   // Drive each shard on its own (lightweight) thread: the driver pulls the
   // shard's sub-stream, runs the window loop, and parks at that shard's
@@ -144,6 +151,17 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
     for (const ControlSlice& slice : reports[s].control_slices) {
       merged.control_slices.push_back(slice);
     }
+  }
+
+  // Scheduler counters for the whole sharded run: the shared pool's view,
+  // plus the driver-side fields each shard's pipeline accumulated. Like
+  // wall_seconds, these are observability only — excluded from the bitwise
+  // merge contract.
+  pool.wait_idle();  // let the final tasks' bookkeeping tails retire
+  merged.scheduler = pool.stats();
+  for (const PipelineReport& report : reports) {
+    merged.scheduler.barrier_wait_ns += report.scheduler.barrier_wait_ns;
+    merged.scheduler.windows_pipelined += report.scheduler.windows_pipelined;
   }
 
   const auto wall_end = std::chrono::steady_clock::now();

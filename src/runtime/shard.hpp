@@ -5,9 +5,10 @@
 // is a full vertical slice of the runtime: its own EcoFusionEngine, its
 // own StreamingPipeline with workspace slots, TemporalStemCache and
 // closed-loop λ_E/λ_L controllers — all driving frames through ONE shared
-// worker pool. A shard's window barriers wait on its private TaskGroup, so
-// shards interleave freely on the pool: while one shard sits at a barrier
-// reducing its window, the others keep the workers fed.
+// work-stealing worker pool. A shard's window boundaries wait on its
+// private per-window completion events, so shards interleave freely on the
+// pool: while one shard's driver folds a finished window, the other shards'
+// tasks keep the workers fed (and idle workers steal across shards).
 //
 // The per-shard reports are merged into a single PipelineReport that is
 // *bitwise identical for any shard count and worker count* whenever the
@@ -35,6 +36,10 @@
 //     shard topology (they grow with shard count: a shard's window spans
 //     fewer lanes). They are reported, and deterministic per topology, but
 //     shard-count dependent by nature.
+//   * scheduler counters (PipelineReport::scheduler) — steals, parks and
+//     wait times are timing-dependent by definition, exactly like
+//     wall_seconds. The merge reports the shared pool's totals plus the
+//     summed driver-side fields; no invariant covers them.
 // tests/shard_test.cpp pins all of the above.
 #pragma once
 

@@ -7,10 +7,13 @@
 // plans. The cache builds each plan once, hands out shared_ptr<const Plan>,
 // and every scratch in the process aliases the same immutable object.
 //
-// Concurrency: get_or_build() holds the cache mutex across the build, so a
-// key is built exactly once no matter how many shards race on it — misses
-// always equal the number of unique keys. Plans are immutable after build;
-// readers never lock.
+// Concurrency: the cache is read-mostly (after warm-up every probe is a
+// hit), so the hit path takes a shared lock only — concurrent hits from
+// every worker proceed in parallel, touching per-entry atomic LRU stamps.
+// A miss upgrades to the exclusive lock and RESCANS before building
+// (double-checked), so a key is still built exactly once no matter how many
+// shards race on it — misses always equal the number of unique keys. Plans
+// are immutable after build; plan readers never lock at all.
 //
 // Counters: hits/misses are recorded per thread (the tensor-alloc counter
 // pattern) so the exec layer can attribute them to frames without races.
@@ -19,10 +22,12 @@
 // accounting and the bench's sharing proof, never the bitwise report.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -57,56 +62,105 @@ class PlanCache {
   template <typename BuildFn>
   [[nodiscard]] std::shared_ptr<const Plan> get_or_build(const Key& key,
                                                          BuildFn&& build) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++tick_;
-    for (Entry& entry : entries_) {
-      if (entry.key == key) {
-        entry.last_used = tick_;
-        ++total_hits_;
-        note_plan_cache_hit();
-        return entry.plan;
+    const std::uint64_t now =
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+      // Read-mostly fast path: shared lock, atomic LRU stamp, no exclusive
+      // contention between concurrent hitters.
+      const std::shared_lock<std::shared_mutex> lock(mutex_);
+      if (std::shared_ptr<const Plan> plan = find_and_touch(key, now)) {
+        return plan;
       }
     }
-    ++total_misses_;
+    const std::lock_guard<std::shared_mutex> lock(mutex_);
+    // Double-checked: a racing thread may have built the plan between our
+    // shared probe and this exclusive acquire. Counting that as a hit keeps
+    // misses == unique keys.
+    if (std::shared_ptr<const Plan> plan = find_and_touch(key, now)) {
+      return plan;
+    }
+    total_misses_ += 1;
     note_plan_cache_miss();
     auto plan = std::make_shared<const Plan>(build(key));
     if (entries_.size() >= capacity_ && !entries_.empty()) {
       std::size_t oldest = 0;
+      std::uint64_t oldest_used =
+          entries_[0].last_used.load(std::memory_order_relaxed);
       for (std::size_t i = 1; i < entries_.size(); ++i) {
-        if (entries_[i].last_used < entries_[oldest].last_used) oldest = i;
+        const std::uint64_t used =
+            entries_[i].last_used.load(std::memory_order_relaxed);
+        if (used < oldest_used) {
+          oldest = i;
+          oldest_used = used;
+        }
       }
       entries_.erase(entries_.begin() +
                      static_cast<std::ptrdiff_t>(oldest));
     }
-    entries_.push_back(Entry{key, plan, tick_});
+    entries_.push_back(Entry{key, plan, now});
     return plan;
   }
 
   /// Number of resident plans.
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
     return entries_.size();
   }
 
   /// Lifetime hit/miss totals plus the resident plan count.
   [[nodiscard]] PlanCacheTotals totals() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return PlanCacheTotals{total_hits_, total_misses_, entries_.size()};
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    return PlanCacheTotals{total_hits_.load(std::memory_order_relaxed),
+                           total_misses_, entries_.size()};
   }
 
  private:
   struct Entry {
     Key key;
     std::shared_ptr<const Plan> plan;
-    std::uint64_t last_used = 0;
+    // Atomic so concurrent shared-lock hitters may stamp it; exactness
+    // under contention is not required (LRU ordering is a policy, and the
+    // single-threaded eviction tests see exact values).
+    std::atomic<std::uint64_t> last_used{0};
+
+    Entry(Key k, std::shared_ptr<const Plan> p, std::uint64_t used)
+        : key(std::move(k)), plan(std::move(p)), last_used(used) {}
+    // vector::erase relocates entries; atomics are not movable, so carry
+    // the stamp by value. Only ever runs under the exclusive lock.
+    Entry(Entry&& other) noexcept
+        : key(std::move(other.key)),
+          plan(std::move(other.plan)),
+          last_used(other.last_used.load(std::memory_order_relaxed)) {}
+    Entry& operator=(Entry&& other) noexcept {
+      key = std::move(other.key);
+      plan = std::move(other.plan);
+      last_used.store(other.last_used.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
   };
 
-  mutable std::mutex mutex_;
+  /// Scan under either lock mode; on a hit, stamps the entry and records
+  /// the hit counters.
+  [[nodiscard]] std::shared_ptr<const Plan> find_and_touch(
+      const Key& key, std::uint64_t now) {
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        entry.last_used.store(now, std::memory_order_relaxed);
+        total_hits_.fetch_add(1, std::memory_order_relaxed);
+        note_plan_cache_hit();
+        return entry.plan;
+      }
+    }
+    return nullptr;
+  }
+
+  mutable std::shared_mutex mutex_;
   std::vector<Entry> entries_;
   std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t total_hits_ = 0;
-  std::uint64_t total_misses_ = 0;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> total_hits_{0};
+  std::uint64_t total_misses_ = 0;  // written under the exclusive lock only
 };
 
 }  // namespace eco::tensor
