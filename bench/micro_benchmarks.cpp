@@ -12,6 +12,9 @@
 #include <benchmark/benchmark.h>
 #endif
 
+#include <cstdint>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "dataset/generator.hpp"
 #include "detect/rpn.hpp"
@@ -100,6 +103,22 @@ void BM_Conv2dRowsSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dRowsSimd);
 
+// Tier-B conv: quantized weights from the process-wide plan cache, a
+// calibrated activation range (so the input's max|x| pass is skipped, as
+// in an engine-stamped spec), int8×int8 madd interior.
+void BM_Conv2dRowsInt8(benchmark::State& state) {
+  tensor::Tensor input, weight, bias;
+  tensor::Conv2dSpec spec;
+  conv_kernel_inputs(input, weight, bias, spec);
+  spec.act_range = 1.0f;
+  tensor::Tensor out({8, 48, 48});
+  for (auto _ : state) {
+    tensor::conv2d_rows_int8(input, weight, bias, spec, 0, 48, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dRowsInt8);
+
 void BM_BoxBlur3Fast(benchmark::State& state) {
   const dataset::Frame frame = test_frame();
   const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
@@ -155,21 +174,68 @@ void BM_IntegralImageResetSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_IntegralImageResetSimd);
 
+// The int8 scan chain's stages on the same grid the float blur/integral
+// benches use: symmetric quantization, the 36×-scaled int16 blur, and the
+// int32 integral table.
+void BM_QuantizeGridInt8(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  std::vector<std::int16_t> q(grid.numel());
+  for (auto _ : state) {
+    detect::detail::quantize_grid_int8(grid.data(), grid.numel(), 127.0f,
+                                       q.data());
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_QuantizeGridInt8);
+
+void BM_BoxBlur3Int8(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
+  const std::size_t h = grid.size(1), w = grid.size(2);
+  std::vector<std::int16_t> q(grid.numel()), blurred(grid.numel());
+  detect::detail::quantize_grid_int8(grid.data(), grid.numel(), 127.0f,
+                                     q.data());
+  for (auto _ : state) {
+    detect::detail::box_blur3_int8(q.data(), h, w, blurred.data());
+    benchmark::DoNotOptimize(blurred.data());
+  }
+}
+BENCHMARK(BM_BoxBlur3Int8);
+
+void BM_IntegralInt32(benchmark::State& state) {
+  const dataset::Frame frame = test_frame();
+  const auto& grid = frame.grid(dataset::SensorKind::kLidar);
+  const std::size_t h = grid.size(1), w = grid.size(2);
+  std::vector<std::int16_t> q(grid.numel()), blurred(grid.numel());
+  std::vector<std::int32_t> table((h + 1) * (w + 1));
+  detect::detail::quantize_grid_int8(grid.data(), grid.numel(), 127.0f,
+                                     q.data());
+  detect::detail::box_blur3_int8(q.data(), h, w, blurred.data());
+  for (auto _ : state) {
+    detect::detail::integral_int32(blurred.data(), h, w, table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_IntegralInt32);
+
 // The vectorized anchor-contrast sweep vs its scalar equivalent inside a
 // full proposal pass: one Rpn per backend over the same plan/scratch.
+// Arg: 0 = fast, 1 = simd, 2 = int8 (Tier B, grid-dynamic quantization).
 void BM_RpnProposeBackend(benchmark::State& state) {
   const dataset::Frame frame = test_frame();
   const auto& grid = frame.grid(dataset::SensorKind::kCameraRight);
   detect::RpnConfig config;
-  config.backend = state.range(0) != 0 ? tensor::Backend::kSimd
-                                       : tensor::Backend::kFast;
+  config.backend = state.range(0) == 2   ? tensor::Backend::kInt8
+                   : state.range(0) == 1 ? tensor::Backend::kSimd
+                                         : tensor::Backend::kFast;
   const detect::Rpn rpn(config);
   detect::ScanScratch scratch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(rpn.propose(grid, &scratch));
   }
 }
-BENCHMARK(BM_RpnProposeBackend)->Arg(0)->Arg(1);
+BENCHMARK(BM_RpnProposeBackend)->Arg(0)->Arg(1)->Arg(2);
 
 // Warmed-arena acquisition vs fresh tensor construction — the allocation
 // cost the per-slot FrameArena removes from every steady-state frame.

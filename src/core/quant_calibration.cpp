@@ -1,0 +1,37 @@
+#include "core/quant_calibration.hpp"
+
+#include <algorithm>
+
+#include "dataset/generator.hpp"
+#include "dataset/scene.hpp"
+#include "tensor/quant.hpp"
+
+namespace eco::core {
+
+QuantCalibration calibrate_activation_range(
+    const QuantCalibrationConfig& config) {
+  // Same frame-id scheme as Dataset: a sequential id over scene blocks, so
+  // the calibration stream is a prefix-compatible replica of the dataset
+  // the benchmarks scan.
+  dataset::DatasetConfig stream;
+  stream.frames_per_scene = config.frames_per_scene;
+  stream.seed = config.seed;
+
+  QuantCalibration result;
+  result.seed = config.seed;
+  std::uint64_t next_id = 0;
+  for (dataset::SceneType scene : dataset::all_scene_types()) {
+    for (std::size_t i = 0; i < config.frames_per_scene; ++i) {
+      const dataset::Frame frame =
+          dataset::generate_frame(scene, stream, next_id++);
+      for (const tensor::Tensor& grid : frame.sensor_grids) {
+        result.act_range = std::max(
+            result.act_range, tensor::max_abs(grid.data(), grid.numel()));
+      }
+      ++result.frames;
+    }
+  }
+  return result;
+}
+
+}  // namespace eco::core

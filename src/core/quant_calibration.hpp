@@ -1,0 +1,48 @@
+// Activation-range calibration for the int8 (Tier B) backend.
+//
+// The int8 kernels quantize raw sensor cells symmetrically against one
+// fixed range; this module computes that range with a single deterministic
+// pass over a synthetic frame stream (every scene type × frames_per_scene,
+// the exact id scheme Dataset uses), taking max|cell| over every sensor
+// grid. The stream depends only on (seed, frames_per_scene), never on
+// worker count, shard layout, or scheduling — each shard engine running the
+// same calibration reproduces the identical scales bitwise, which is what
+// makes the quantized pipeline self-deterministic across process shapes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eco::core {
+
+/// Parameters of the calibration stream. Defaults match the dataset
+/// generator's seed so calibrated scales reflect the distribution the
+/// engine actually scans.
+struct QuantCalibrationConfig {
+  std::uint64_t seed = 2022;
+  /// Frames generated per scene type; 4 × 8 scenes = 32 grids × 4 sensors
+  /// is enough to pin the extreme cell (grids saturate near their additive
+  /// clutter ceiling well before that).
+  std::size_t frames_per_scene = 4;
+
+  friend bool operator==(const QuantCalibrationConfig&,
+                         const QuantCalibrationConfig&) = default;
+};
+
+/// Result of one calibration pass (recorded in run manifests).
+struct QuantCalibration {
+  /// max|cell| over every sensor grid of the stream; the symmetric scale
+  /// is act_range / 127.
+  float act_range = 0.0f;
+  std::uint64_t seed = 0;
+  /// Frames visited (kNumSceneTypes × frames_per_scene).
+  std::size_t frames = 0;
+};
+
+/// Runs the calibration pass. Pure in `config` — two calls with equal
+/// configs return bitwise-identical ranges regardless of threading or call
+/// site.
+[[nodiscard]] QuantCalibration calibrate_activation_range(
+    const QuantCalibrationConfig& config);
+
+}  // namespace eco::core

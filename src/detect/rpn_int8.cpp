@@ -1,0 +1,676 @@
+// Quantized RPN scan chain (Backend::kInt8, Tier B).
+//
+// Stage order mirrors the float path — blur, integral, contrast — but the
+// arithmetic is integer until the last expression:
+//
+//   grid ──quantize──▶ int8 codes (int16 storage)
+//        ──3×3 blur──▶ 36×-scaled int16 (every border factor 36/n exact)
+//        ──integral──▶ int32 cumulative table
+//        ──contrast──▶ double, via dequant·(inner·inv − ring·inv) with the
+//                      plan's precomputed reciprocal areas (no divides)
+//
+// Why 36: the float blur divides each cell by its tap count n ∈
+// {1,2,3,4,6,9}; multiplying by 36/n instead keeps every cell an exact
+// integer under ONE uniform scaling, so the whole blur+integral chain is
+// associative integer math and a single dequant factor (scale/36) moves
+// the contrast back to activation units. |cell| ≤ 127·36 = 4572 fits
+// int16; |table sum| ≤ 4572·H·W stays far inside int32 for these grids.
+//
+// Self-determinism: the integer stages cannot depend on evaluation order,
+// and the one double expression per anchor is a fixed chain. The vector
+// loops below compute the same integers as their scalar tails by
+// construction, so worker count, lane width, and AVX2 dispatch are all
+// invisible to the result.
+#include <cstddef>
+#include <cstdint>
+
+#include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
+#include "tensor/backend.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+// AVX2 function variants are compiled on any x86-64 GNU-compatible
+// toolchain (the target attribute lifts the baseline per function); they
+// are only *called* when the CPU reports AVX2.
+#if defined(__SSE2__) && defined(__x86_64__) && defined(__GNUC__)
+#define ECO_HAVE_AVX2_VARIANTS 1
+#if defined(__AVX2__)
+#define ECO_AVX2_TARGET
+#else
+#define ECO_AVX2_TARGET __attribute__((target("avx2")))
+#endif
+#endif
+
+#if defined(ECO_HAVE_AVX2_VARIANTS) && !defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace eco::detect::detail {
+
+namespace {
+
+/// Scalar quantizer: clamp to ±127 in float, then round half away from
+/// zero by adding copysign(0.5) and truncating. Clamping *before* the
+/// round is equivalent to the round-then-saturate definition for every
+/// in-range value (126.5 still rounds up to 127) and keeps the float→int
+/// conversion inside int range for arbitrarily large inputs. The vector
+/// loop runs this exact chain per lane.
+inline std::int16_t quantize_cell(float x, float inv_scale) {
+  float v = x * inv_scale;
+  if (v > 127.0f) v = 127.0f;
+  if (v < -127.0f) v = -127.0f;
+  return static_cast<std::int16_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+}
+
+/// Guarded blur of one cell on the quantized grid: sum the n valid taps in
+/// the reference's dy→dx order, scale by the exact integer 36/n.
+inline std::int32_t blur_cell_guarded_int8(const std::int16_t* q,
+                                           std::size_t h, std::size_t w,
+                                           std::size_t y, std::size_t x) {
+  std::int32_t acc = 0;
+  std::int32_t n = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + dy;
+    if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+    const std::int16_t* row = q + static_cast<std::size_t>(yy) * w;
+    for (int dx = -1; dx <= 1; ++dx) {
+      const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + dx;
+      if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+      acc += row[static_cast<std::size_t>(xx)];
+      ++n;
+    }
+  }
+  // n ≥ 1 (the cell itself is always in range) and every possible n — a
+  // product of {1,2,3}×{1,2,3} — divides 36 exactly.
+  return acc * (36 / n);
+}
+
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+
+/// Sixteen interior blur cells per step: nine unaligned int16 loads and
+/// eight adds, then ×4 — the SSE2 loop's integers at twice the width.
+ECO_AVX2_TARGET std::size_t blur_row_interior_int8_avx2(
+    const std::int16_t* rm, const std::int16_t* r0, const std::int16_t* rp,
+    std::int16_t* out_row, std::size_t x, std::size_t w) {
+  // No lambdas here: a lambda's call operator would not inherit the AVX2
+  // target attribute, so the intrinsics must be spelled inline.
+#define ECO_LOADU256(p) _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))
+  for (; x + 16 <= w - 1; x += 16) {
+    __m256i sum = ECO_LOADU256(rm + x - 1);
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(rm + x));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(rm + x + 1));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(r0 + x - 1));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(r0 + x));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(r0 + x + 1));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(rp + x - 1));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(rp + x));
+    sum = _mm256_add_epi16(sum, ECO_LOADU256(rp + x + 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_row + x),
+                        _mm256_slli_epi16(sum, 2));
+  }
+#undef ECO_LOADU256
+  return x;
+}
+
+#endif  // ECO_HAVE_AVX2_VARIANTS
+
+/// Scalar contrast of one anchor on the int32 table — the guarded chain
+/// the vector loops below fall back to for clamped-away boxes, and the
+/// per-anchor expression they reproduce exactly.
+inline double anchor_contrast_scalar_int8(const std::int32_t* table,
+                                          const AnchorGeometry& g,
+                                          double dequant) {
+  const std::int32_t inner =
+      g.inner_valid ? table[g.inner11] - table[g.inner01] -
+                          table[g.inner10] + table[g.inner00]
+                    : 0;
+  const std::int32_t ring = g.ring_valid
+                                ? table[g.ring11] - table[g.ring01] -
+                                      table[g.ring10] + table[g.ring00]
+                                : 0;
+  const double inside = static_cast<double>(inner) * g.inv_inner;
+  const double background = static_cast<double>(ring - inner) * g.inv_ring;
+  return dequant * (inside - background);
+}
+
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+
+/// Four anchors per step: the int32 box sums vectorize as epi32 adds over
+/// gathered corners, widen to 4-lane doubles, and score with multiplies
+/// only (the precomputed reciprocal areas replace the float pass's two
+/// div_pd). Per lane this is the scalar chain's exact operation order, so
+/// the results are bitwise identical to the scalar tail.
+ECO_AVX2_TARGET std::size_t anchor_contrast_int8_avx2(
+    const std::int32_t* table, const AnchorGeometry* geometry,
+    std::size_t count, double dequant, double* contrast_out) {
+  const __m256d dq = _mm256_set1_pd(dequant);
+  std::size_t i = 0;
+#define ECO_GATHER4(field) \
+  _mm_set_epi32(static_cast<int>(table[d.field]), \
+                static_cast<int>(table[c.field]), \
+                static_cast<int>(table[b.field]), \
+                static_cast<int>(table[a.field]))
+  for (; i + 4 <= count; i += 4) {
+    const AnchorGeometry& a = geometry[i];
+    const AnchorGeometry& b = geometry[i + 1];
+    const AnchorGeometry& c = geometry[i + 2];
+    const AnchorGeometry& d = geometry[i + 3];
+    if (!(a.inner_valid && a.ring_valid && b.inner_valid && b.ring_valid &&
+          c.inner_valid && c.ring_valid && d.inner_valid && d.ring_valid)) {
+      contrast_out[i] = anchor_contrast_scalar_int8(table, a, dequant);
+      contrast_out[i + 1] = anchor_contrast_scalar_int8(table, b, dequant);
+      contrast_out[i + 2] = anchor_contrast_scalar_int8(table, c, dequant);
+      contrast_out[i + 3] = anchor_contrast_scalar_int8(table, d, dequant);
+      continue;
+    }
+    // Exact int32 sums: (T11 - T01) - T10 + T00, four anchors per op.
+    const __m128i inner = _mm_add_epi32(
+        _mm_sub_epi32(_mm_sub_epi32(ECO_GATHER4(inner11),
+                                    ECO_GATHER4(inner01)),
+                      ECO_GATHER4(inner10)),
+        ECO_GATHER4(inner00));
+    const __m128i ring = _mm_add_epi32(
+        _mm_sub_epi32(_mm_sub_epi32(ECO_GATHER4(ring11),
+                                    ECO_GATHER4(ring01)),
+                      ECO_GATHER4(ring10)),
+        ECO_GATHER4(ring00));
+    const __m256d inner_d = _mm256_cvtepi32_pd(inner);
+    const __m256d ring_minus_inner_d =
+        _mm256_cvtepi32_pd(_mm_sub_epi32(ring, inner));
+    const __m256d inv_inner = _mm256_set_pd(d.inv_inner, c.inv_inner,
+                                            b.inv_inner, a.inv_inner);
+    const __m256d inv_ring =
+        _mm256_set_pd(d.inv_ring, c.inv_ring, b.inv_ring, a.inv_ring);
+    const __m256d inside = _mm256_mul_pd(inner_d, inv_inner);
+    const __m256d background = _mm256_mul_pd(ring_minus_inner_d, inv_ring);
+    _mm256_storeu_pd(contrast_out + i,
+                     _mm256_mul_pd(dq, _mm256_sub_pd(inside, background)));
+  }
+#undef ECO_GATHER4
+  return i;
+}
+
+#endif  // ECO_HAVE_AVX2_VARIANTS
+
+/// Scalar lane `k` of a streaming run — the exact operation chain of
+/// anchor_contrast_scalar_int8 for a run member (runs only ever contain
+/// valid anchors), addressed through the run's base corners and the
+/// repacked reciprocal-area lanes `pi` / `pr`.
+inline double run_lane_scalar_int8(const std::int32_t* table,
+                                   const Int8Run& run, const double* pi,
+                                   const double* pr, std::size_t k,
+                                   double dequant) {
+  const std::size_t off = static_cast<std::size_t>(run.delta) * k;
+  const std::int32_t inner = table[run.corner[3] + off] -
+                             table[run.corner[1] + off] -
+                             table[run.corner[2] + off] +
+                             table[run.corner[0] + off];
+  const std::int32_t ring = table[run.corner[7] + off] -
+                            table[run.corner[5] + off] -
+                            table[run.corner[6] + off] +
+                            table[run.corner[4] + off];
+  const double inside = static_cast<double>(inner) * pi[k];
+  const double background = static_cast<double>(ring - inner) * pr[k];
+  return dequant * (inside - background);
+}
+
+/// Scores run lanes [k, length): four per SSE2 step — contiguous corner
+/// loads, box sums taken *before* even-lane compaction on delta-2 runs
+/// (integer sums are exact, so compacting the two sum vectors instead of
+/// eight corner streams is free precision-wise and 4x fewer shuffles) —
+/// then a scalar tail. Serves as the baseline run scorer and as the AVX2
+/// kernel's sub-8 tail; per lane both run the scalar chain's exact
+/// operation order.
+void contrast_run_from(const std::int32_t* table, const Int8Run& run,
+                       const double* inv, std::size_t k, double dequant,
+                       double* out) {
+  const std::size_t stride = run.out_stride;
+  double* o = out + run.out_start;
+  const double* pi = inv + run.inv_offset;
+  const double* pr = pi + run.length;
+#if defined(__SSE2__)
+  const __m128d dq2 = _mm_set1_pd(dequant);
+#define ECO_LOADI128(p) _mm_loadu_si128(reinterpret_cast<const __m128i*>(p))
+#define ECO_SUMS4(c3, c1, c2, c0) \
+  _mm_add_epi32( \
+      _mm_sub_epi32(_mm_sub_epi32(ECO_LOADI128(c3), ECO_LOADI128(c1)), \
+                    ECO_LOADI128(c2)), \
+      ECO_LOADI128(c0))
+#define ECO_EVENS4(a, b) \
+  _mm_unpacklo_epi64(_mm_shuffle_epi32(a, _MM_SHUFFLE(3, 1, 2, 0)), \
+                     _mm_shuffle_epi32(b, _MM_SHUFFLE(3, 1, 2, 0)))
+#define ECO_SCORE4(inner, ring) \
+  const __m128i diff = _mm_sub_epi32(ring, inner); \
+  const __m128i inner_hi = \
+      _mm_shuffle_epi32(inner, _MM_SHUFFLE(1, 0, 3, 2)); \
+  const __m128i diff_hi = _mm_shuffle_epi32(diff, _MM_SHUFFLE(1, 0, 3, 2)); \
+  const __m128d in_lo = \
+      _mm_mul_pd(_mm_cvtepi32_pd(inner), _mm_loadu_pd(pi + k)); \
+  const __m128d in_hi = \
+      _mm_mul_pd(_mm_cvtepi32_pd(inner_hi), _mm_loadu_pd(pi + k + 2)); \
+  const __m128d bg_lo = \
+      _mm_mul_pd(_mm_cvtepi32_pd(diff), _mm_loadu_pd(pr + k)); \
+  const __m128d bg_hi = \
+      _mm_mul_pd(_mm_cvtepi32_pd(diff_hi), _mm_loadu_pd(pr + k + 2)); \
+  double tmp4[4]; \
+  _mm_storeu_pd(tmp4, _mm_mul_pd(dq2, _mm_sub_pd(in_lo, bg_lo))); \
+  _mm_storeu_pd(tmp4 + 2, _mm_mul_pd(dq2, _mm_sub_pd(in_hi, bg_hi))); \
+  for (std::size_t j = 0; j < 4; ++j) o[(k + j) * stride] = tmp4[j];
+  if (run.delta == 1) {
+    for (; k + 4 <= run.length; k += 4) {
+      const std::int32_t* base = table + k;
+      const __m128i inner =
+          ECO_SUMS4(base + run.corner[3], base + run.corner[1],
+                    base + run.corner[2], base + run.corner[0]);
+      const __m128i ring =
+          ECO_SUMS4(base + run.corner[7], base + run.corner[5],
+                    base + run.corner[6], base + run.corner[4]);
+      ECO_SCORE4(inner, ring)
+    }
+  } else {
+    for (; k + 4 <= run.length; k += 4) {
+      const std::int32_t* base = table + 2 * k;
+      const __m128i in_a =
+          ECO_SUMS4(base + run.corner[3], base + run.corner[1],
+                    base + run.corner[2], base + run.corner[0]);
+      const __m128i in_b =
+          ECO_SUMS4(base + 4 + run.corner[3], base + 4 + run.corner[1],
+                    base + 4 + run.corner[2], base + 4 + run.corner[0]);
+      const __m128i rg_a =
+          ECO_SUMS4(base + run.corner[7], base + run.corner[5],
+                    base + run.corner[6], base + run.corner[4]);
+      const __m128i rg_b =
+          ECO_SUMS4(base + 4 + run.corner[7], base + 4 + run.corner[5],
+                    base + 4 + run.corner[6], base + 4 + run.corner[4]);
+      const __m128i inner = ECO_EVENS4(in_a, in_b);
+      const __m128i ring = ECO_EVENS4(rg_a, rg_b);
+      ECO_SCORE4(inner, ring)
+    }
+  }
+#undef ECO_SCORE4
+#undef ECO_EVENS4
+#undef ECO_SUMS4
+#undef ECO_LOADI128
+#endif
+  for (; k < run.length; ++k) {
+    o[k * stride] = run_lane_scalar_int8(table, run, pi, pr, k, dequant);
+  }
+}
+
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+
+/// Eight run anchors per step. Corner fetches are contiguous 256-bit
+/// loads: delta-1 runs sum them directly; delta-2 runs sum the even/odd-
+/// interleaved vectors first — integer box sums are exact in any lane
+/// arrangement — and compact the even lanes of just the two results
+/// (permutevar gathers a register's even lanes into its low half,
+/// permute2x128 splices two low halves), two cross-lane shuffles per step
+/// instead of eight. Reciprocal areas stream from the plan's repacked
+/// lanes. The per-lane double chain matches run_lane_scalar_int8, so
+/// results are bitwise identical to the scalar tail and the gather pass.
+ECO_AVX2_TARGET void contrast_runs_int8_avx2(
+    const std::int32_t* table, const Int8Run* runs, std::size_t run_count,
+    const AnchorGeometry* geometry,
+    const std::pair<std::uint32_t, std::uint32_t>* leftovers,
+    std::size_t leftover_count, const double* inv, double dequant,
+    double* out) {
+  const __m256d dq = _mm256_set1_pd(dequant);
+  const __m128d dq2 = _mm_set1_pd(dequant);
+  const __m256i even = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+#define ECO_LOADI256(p) _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))
+#define ECO_LOADI128(p) _mm_loadu_si128(reinterpret_cast<const __m128i*>(p))
+#define ECO_SUMS4(c3, c1, c2, c0) \
+  _mm_add_epi32( \
+      _mm_sub_epi32(_mm_sub_epi32(ECO_LOADI128(c3), ECO_LOADI128(c1)), \
+                    ECO_LOADI128(c2)), \
+      ECO_LOADI128(c0))
+#define ECO_EVENS4(a, b) \
+  _mm_unpacklo_epi64(_mm_shuffle_epi32(a, _MM_SHUFFLE(3, 1, 2, 0)), \
+                     _mm_shuffle_epi32(b, _MM_SHUFFLE(3, 1, 2, 0)))
+#define ECO_SCORE4(inner, ring) \
+  const __m128i diff = _mm_sub_epi32(ring, inner); \
+  const __m128i inner_hi = \
+      _mm_shuffle_epi32(inner, _MM_SHUFFLE(1, 0, 3, 2)); \
+  const __m128i diff_hi = _mm_shuffle_epi32(diff, _MM_SHUFFLE(1, 0, 3, 2)); \
+  const __m128d in_lo = \
+      _mm_mul_pd(_mm_cvtepi32_pd(inner), _mm_loadu_pd(pi + k)); \
+  const __m128d in_hi = \
+      _mm_mul_pd(_mm_cvtepi32_pd(inner_hi), _mm_loadu_pd(pi + k + 2)); \
+  const __m128d bg_lo = \
+      _mm_mul_pd(_mm_cvtepi32_pd(diff), _mm_loadu_pd(pr + k)); \
+  const __m128d bg_hi = \
+      _mm_mul_pd(_mm_cvtepi32_pd(diff_hi), _mm_loadu_pd(pr + k + 2)); \
+  double tmp4[4]; \
+  _mm_storeu_pd(tmp4, _mm_mul_pd(dq2, _mm_sub_pd(in_lo, bg_lo))); \
+  _mm_storeu_pd(tmp4 + 2, _mm_mul_pd(dq2, _mm_sub_pd(in_hi, bg_hi))); \
+  for (std::size_t j = 0; j < 4; ++j) o[(k + j) * stride] = tmp4[j];
+#define ECO_SUMS8(c3, c1, c2, c0) \
+  _mm256_add_epi32( \
+      _mm256_sub_epi32(_mm256_sub_epi32(ECO_LOADI256(c3), ECO_LOADI256(c1)), \
+                       ECO_LOADI256(c2)), \
+      ECO_LOADI256(c0))
+#define ECO_EVENS8(a, b) \
+  _mm256_permute2x128_si256(_mm256_permutevar8x32_epi32(a, even), \
+                            _mm256_permutevar8x32_epi32(b, even), 0x20)
+#define ECO_SCORE8(inner, ring) \
+  const __m256i diff = _mm256_sub_epi32(ring, inner); \
+  const __m256d in_lo = _mm256_mul_pd( \
+      _mm256_cvtepi32_pd(_mm256_castsi256_si128(inner)), \
+      _mm256_loadu_pd(pi + k)); \
+  const __m256d in_hi = _mm256_mul_pd( \
+      _mm256_cvtepi32_pd(_mm256_extracti128_si256(inner, 1)), \
+      _mm256_loadu_pd(pi + k + 4)); \
+  const __m256d bg_lo = _mm256_mul_pd( \
+      _mm256_cvtepi32_pd(_mm256_castsi256_si128(diff)), \
+      _mm256_loadu_pd(pr + k)); \
+  const __m256d bg_hi = _mm256_mul_pd( \
+      _mm256_cvtepi32_pd(_mm256_extracti128_si256(diff, 1)), \
+      _mm256_loadu_pd(pr + k + 4)); \
+  double tmp[8]; \
+  _mm256_storeu_pd(tmp, _mm256_mul_pd(dq, _mm256_sub_pd(in_lo, bg_lo))); \
+  _mm256_storeu_pd(tmp + 4, \
+                   _mm256_mul_pd(dq, _mm256_sub_pd(in_hi, bg_hi))); \
+  for (std::size_t j = 0; j < 8; ++j) o[(k + j) * stride] = tmp[j];
+  for (std::size_t r = 0; r < run_count; ++r) {
+    const Int8Run& run = runs[r];
+    const std::size_t stride = run.out_stride;
+    double* o = out + run.out_start;
+    const double* pi = inv + run.inv_offset;
+    const double* pr = pi + run.length;
+    std::size_t k = 0;
+    if (run.delta == 1) {
+      for (; k + 8 <= run.length; k += 8) {
+        const std::int32_t* base = table + k;
+        const __m256i inner =
+            ECO_SUMS8(base + run.corner[3], base + run.corner[1],
+                      base + run.corner[2], base + run.corner[0]);
+        const __m256i ring =
+            ECO_SUMS8(base + run.corner[7], base + run.corner[5],
+                      base + run.corner[6], base + run.corner[4]);
+        ECO_SCORE8(inner, ring)
+      }
+    } else {
+      for (; k + 8 <= run.length; k += 8) {
+        const std::int32_t* base = table + 2 * k;
+        const __m256i in_a =
+            ECO_SUMS8(base + run.corner[3], base + run.corner[1],
+                      base + run.corner[2], base + run.corner[0]);
+        const __m256i in_b =
+            ECO_SUMS8(base + 8 + run.corner[3], base + 8 + run.corner[1],
+                      base + 8 + run.corner[2], base + 8 + run.corner[0]);
+        const __m256i rg_a =
+            ECO_SUMS8(base + run.corner[7], base + run.corner[5],
+                      base + run.corner[6], base + run.corner[4]);
+        const __m256i rg_b =
+            ECO_SUMS8(base + 8 + run.corner[7], base + 8 + run.corner[5],
+                      base + 8 + run.corner[6], base + 8 + run.corner[4]);
+        const __m256i inner = ECO_EVENS8(in_a, in_b);
+        const __m256i ring = ECO_EVENS8(rg_a, rg_b);
+        ECO_SCORE8(inner, ring)
+      }
+    }
+    // Sub-8 tail stays inside this target function: the 4-wide step and
+    // the scalar lanes compile to VEX forms here, so no SSE-AVX
+    // transition penalty is paid per run (calling the baseline SSE2
+    // scorer from dirty-upper state costs more than the tail itself).
+    if (run.delta == 1) {
+      for (; k + 4 <= run.length; k += 4) {
+        const std::int32_t* base = table + k;
+        const __m128i inner =
+            ECO_SUMS4(base + run.corner[3], base + run.corner[1],
+                      base + run.corner[2], base + run.corner[0]);
+        const __m128i ring =
+            ECO_SUMS4(base + run.corner[7], base + run.corner[5],
+                      base + run.corner[6], base + run.corner[4]);
+        ECO_SCORE4(inner, ring)
+      }
+    } else {
+      for (; k + 4 <= run.length; k += 4) {
+        const std::int32_t* base = table + 2 * k;
+        const __m128i in_a =
+            ECO_SUMS4(base + run.corner[3], base + run.corner[1],
+                      base + run.corner[2], base + run.corner[0]);
+        const __m128i in_b =
+            ECO_SUMS4(base + 4 + run.corner[3], base + 4 + run.corner[1],
+                      base + 4 + run.corner[2], base + 4 + run.corner[0]);
+        const __m128i rg_a =
+            ECO_SUMS4(base + run.corner[7], base + run.corner[5],
+                      base + run.corner[6], base + run.corner[4]);
+        const __m128i rg_b =
+            ECO_SUMS4(base + 4 + run.corner[7], base + 4 + run.corner[5],
+                      base + 4 + run.corner[6], base + 4 + run.corner[4]);
+        const __m128i inner = ECO_EVENS4(in_a, in_b);
+        const __m128i ring = ECO_EVENS4(rg_a, rg_b);
+        ECO_SCORE4(inner, ring)
+      }
+    }
+    for (; k < run.length; ++k) {
+      o[k * stride] = run_lane_scalar_int8(table, run, pi, pr, k, dequant);
+    }
+  }
+  // Border leftovers scored in the same target function — one dispatch
+  // and one AVX-SSE domain round-trip for the whole plan instead of one
+  // per range (the default 48×48 plan has ~150 ranges).
+  for (std::size_t l = 0; l < leftover_count; ++l) {
+    const std::size_t begin = leftovers[l].first;
+    const std::size_t count = leftovers[l].second - begin;
+    const AnchorGeometry* geo = geometry + begin;
+    double* o = out + begin;
+    std::size_t i = anchor_contrast_int8_avx2(table, geo, count, dequant, o);
+    for (; i < count; ++i) {
+      o[i] = anchor_contrast_scalar_int8(table, geo[i], dequant);
+    }
+  }
+#undef ECO_SCORE8
+#undef ECO_EVENS8
+#undef ECO_SUMS8
+#undef ECO_SCORE4
+#undef ECO_EVENS4
+#undef ECO_SUMS4
+#undef ECO_LOADI128
+#undef ECO_LOADI256
+}
+
+#endif  // ECO_HAVE_AVX2_VARIANTS
+
+}  // namespace
+
+void quantize_grid_int8(const float* grid, std::size_t count, float inv_scale,
+                        std::int16_t* out) {
+  std::size_t i = 0;
+#if defined(__SSE2__)
+  const __m128 inv = _mm_set1_ps(inv_scale);
+  const __m128 hi = _mm_set1_ps(127.0f);
+  const __m128 lo = _mm_set1_ps(-127.0f);
+  const __m128 half = _mm_set1_ps(0.5f);
+  const __m128 sign_mask = _mm_set1_ps(-0.0f);
+  for (; i + 8 <= count; i += 8) {
+    const auto code4 = [&](const float* p) {
+      __m128 v = _mm_mul_ps(_mm_loadu_ps(p), inv);
+      v = _mm_min_ps(v, hi);
+      v = _mm_max_ps(v, lo);
+      // v + copysign(0.5, v), truncated: round half away from zero.
+      const __m128 bias = _mm_or_ps(_mm_and_ps(v, sign_mask), half);
+      return _mm_cvttps_epi32(_mm_add_ps(v, bias));
+    };
+    const __m128i a = code4(grid + i);
+    const __m128i b = code4(grid + i + 4);
+    // Values are already in ±127, so the saturating pack is a plain
+    // narrowing.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packs_epi32(a, b));
+  }
+#endif
+  for (; i < count; ++i) {
+    out[i] = quantize_cell(grid[i], inv_scale);
+  }
+}
+
+void box_blur3_int8(const std::int16_t* q, std::size_t h, std::size_t w,
+                    std::int16_t* out) {
+  for (std::size_t y = 0; y < h; ++y) {
+    std::int16_t* out_row = out + y * w;
+    const bool row_interior = y > 0 && y + 1 < h;
+    if (!row_interior || w < 3) {
+      for (std::size_t x = 0; x < w; ++x) {
+        out_row[x] =
+            static_cast<std::int16_t>(blur_cell_guarded_int8(q, h, w, y, x));
+      }
+      continue;
+    }
+    const std::int16_t* rm = q + (y - 1) * w;
+    const std::int16_t* r0 = rm + w;
+    const std::int16_t* rp = r0 + w;
+    out_row[0] =
+        static_cast<std::int16_t>(blur_cell_guarded_int8(q, h, w, y, 0));
+    std::size_t x = 1;
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+    if (tensor::cpu_has_avx2()) {
+      x = blur_row_interior_int8_avx2(rm, r0, rp, out_row, x, w);
+    }
+#endif
+#if defined(__SSE2__)
+    for (; x + 8 <= w - 1; x += 8) {
+      const auto load = [](const std::int16_t* p) {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      };
+      __m128i sum = load(rm + x - 1);
+      sum = _mm_add_epi16(sum, load(rm + x));
+      sum = _mm_add_epi16(sum, load(rm + x + 1));
+      sum = _mm_add_epi16(sum, load(r0 + x - 1));
+      sum = _mm_add_epi16(sum, load(r0 + x));
+      sum = _mm_add_epi16(sum, load(r0 + x + 1));
+      sum = _mm_add_epi16(sum, load(rp + x - 1));
+      sum = _mm_add_epi16(sum, load(rp + x));
+      sum = _mm_add_epi16(sum, load(rp + x + 1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out_row + x),
+                       _mm_slli_epi16(sum, 2));
+    }
+#endif
+    for (; x + 1 < w; ++x) {
+      // Interior: nine taps ×4 (= ×36/9), exact in int16.
+      std::int32_t acc = 0;
+      acc += rm[x - 1];
+      acc += rm[x];
+      acc += rm[x + 1];
+      acc += r0[x - 1];
+      acc += r0[x];
+      acc += r0[x + 1];
+      acc += rp[x - 1];
+      acc += rp[x];
+      acc += rp[x + 1];
+      out_row[x] = static_cast<std::int16_t>(acc * 4);
+    }
+    out_row[w - 1] =
+        static_cast<std::int16_t>(blur_cell_guarded_int8(q, h, w, y, w - 1));
+  }
+}
+
+void integral_int32(const std::int16_t* blurred, std::size_t h, std::size_t w,
+                    std::int32_t* table) {
+  const std::size_t w1 = w + 1;
+  for (std::size_t x = 0; x < w1; ++x) table[x] = 0;
+  const std::int32_t* above = table;
+  std::int32_t* current = table + w1;
+  for (std::size_t y = 0; y < h; ++y) {
+    const std::int16_t* row_in = blurred + y * w;
+    std::int32_t row = 0;
+    current[0] = 0;
+    for (std::size_t x = 0; x < w; ++x) {
+      row += row_in[x];
+      current[x + 1] = above[x + 1] + row;
+    }
+    above = current;
+    current += w1;
+  }
+}
+
+void anchor_contrast_pass_int8(const std::int32_t* table,
+                               const AnchorGeometry* geometry,
+                               std::size_t count, double dequant,
+                               double* contrast_out) {
+  std::size_t i = 0;
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+  if (tensor::cpu_has_avx2()) {
+    i = anchor_contrast_int8_avx2(table, geometry, count, dequant,
+                                  contrast_out);
+  }
+#endif
+#if defined(__SSE2__)
+  // Two anchors per step, multiplies only: where the float pass's vector
+  // win is amortizing its divides, the int8 pass has none to amortize —
+  // the gathered int32 sums widen to 2-lane doubles and score against the
+  // precomputed reciprocal areas. Clamped-away boxes (rare: only
+  // degenerate configs produce them) take the guarded scalar chain.
+  const __m128d dq2 = _mm_set1_pd(dequant);
+#define ECO_GATHER2(field) \
+  _mm_set_epi32(0, 0, static_cast<int>(table[b.field]), \
+                static_cast<int>(table[a.field]))
+  for (; i + 2 <= count; i += 2) {
+    const AnchorGeometry& a = geometry[i];
+    const AnchorGeometry& b = geometry[i + 1];
+    if (!(a.inner_valid && a.ring_valid && b.inner_valid && b.ring_valid)) {
+      contrast_out[i] = anchor_contrast_scalar_int8(table, a, dequant);
+      contrast_out[i + 1] = anchor_contrast_scalar_int8(table, b, dequant);
+      continue;
+    }
+    const __m128i inner = _mm_add_epi32(
+        _mm_sub_epi32(_mm_sub_epi32(ECO_GATHER2(inner11),
+                                    ECO_GATHER2(inner01)),
+                      ECO_GATHER2(inner10)),
+        ECO_GATHER2(inner00));
+    const __m128i ring = _mm_add_epi32(
+        _mm_sub_epi32(_mm_sub_epi32(ECO_GATHER2(ring11),
+                                    ECO_GATHER2(ring01)),
+                      ECO_GATHER2(ring10)),
+        ECO_GATHER2(ring00));
+    const __m128d inner_d = _mm_cvtepi32_pd(inner);
+    const __m128d ring_minus_inner_d =
+        _mm_cvtepi32_pd(_mm_sub_epi32(ring, inner));
+    const __m128d inv_inner = _mm_set_pd(b.inv_inner, a.inv_inner);
+    const __m128d inv_ring = _mm_set_pd(b.inv_ring, a.inv_ring);
+    const __m128d inside = _mm_mul_pd(inner_d, inv_inner);
+    const __m128d background = _mm_mul_pd(ring_minus_inner_d, inv_ring);
+    _mm_storeu_pd(contrast_out + i,
+                  _mm_mul_pd(dq2, _mm_sub_pd(inside, background)));
+  }
+#undef ECO_GATHER2
+#endif
+  for (; i < count; ++i) {
+    contrast_out[i] = anchor_contrast_scalar_int8(table, geometry[i],
+                                                  dequant);
+  }
+}
+
+void anchor_contrast_pass_int8(const std::int32_t* table, const ScanPlan& plan,
+                               double dequant, double* contrast_out) {
+  // Streaming runs first (~70% of a default 48×48 plan): contiguous
+  // corner loads replace the gather pass's eight scalar fetches per
+  // anchor. Border leftovers keep the gather pass, which handles invalid
+  // anchors internally. Together the two cover every index exactly once.
+  const double* inv = plan.int8_run_inv.data();
+#if defined(ECO_HAVE_AVX2_VARIANTS)
+  if (tensor::cpu_has_avx2()) {
+    contrast_runs_int8_avx2(table, plan.int8_runs.data(),
+                            plan.int8_runs.size(), plan.geometry.data(),
+                            plan.int8_leftovers.data(),
+                            plan.int8_leftovers.size(), inv, dequant,
+                            contrast_out);
+    return;
+  }
+#endif
+  for (const Int8Run& run : plan.int8_runs) {
+    contrast_run_from(table, run, inv, 0, dequant, contrast_out);
+  }
+  for (const auto& [begin, end] : plan.int8_leftovers) {
+    anchor_contrast_pass_int8(table, plan.geometry.data() + begin,
+                              end - begin, dequant, contrast_out + begin);
+  }
+}
+
+}  // namespace eco::detect::detail

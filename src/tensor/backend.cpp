@@ -1,5 +1,7 @@
 #include "tensor/backend.hpp"
 
+#include <stdexcept>
+
 #include "tensor/ops.hpp"
 #include "util/env.hpp"
 
@@ -15,6 +17,8 @@ const char* backend_name(Backend backend) noexcept {
       return "fast";
     case Backend::kSimd:
       return "simd";
+    case Backend::kInt8:
+      return "int8";
   }
   return "auto";
 }
@@ -23,16 +27,30 @@ std::optional<Backend> parse_backend(const std::string& name) {
   if (name == "reference") return Backend::kReference;
   if (name == "fast") return Backend::kFast;
   if (name == "simd") return Backend::kSimd;
+  if (name == "int8") return Backend::kInt8;
   if (name == "auto") return Backend::kAuto;
   return std::nullopt;
+}
+
+Backend backend_from_env_value(const std::string& name) {
+  const std::optional<Backend> parsed = parse_backend(name);
+  if (!parsed.has_value()) {
+    throw std::invalid_argument(
+        "ECO_BACKEND=\"" + name +
+        "\" is not a backend; valid values: auto, reference, fast, simd, "
+        "int8");
+  }
+  return *parsed;
 }
 
 Backend default_backend() {
   static const Backend resolved = [] {
     if (use_reference_kernels()) return Backend::kReference;
     if (const std::string* name = util::env_value("ECO_BACKEND")) {
-      const std::optional<Backend> parsed = parse_backend(*name);
-      if (parsed.has_value() && *parsed != Backend::kAuto) return *parsed;
+      // Throws on a typo: a misspelled backend must fail loudly instead of
+      // silently benchmarking the simd default.
+      const Backend parsed = backend_from_env_value(*name);
+      if (parsed != Backend::kAuto) return parsed;
     }
     if (util::env_disabled("ECO_SIMD")) return Backend::kFast;
     return Backend::kSimd;
@@ -46,6 +64,14 @@ Backend resolve_backend(Backend backend) {
 
 bool simd_kernels_compiled() noexcept {
 #if defined(__AVX2__) || defined(__SSE2__) || defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool int8_kernels_compiled() noexcept {
+#if defined(__AVX2__) || defined(__SSE2__)
   return true;
 #else
   return false;

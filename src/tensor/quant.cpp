@@ -1,0 +1,91 @@
+#include "tensor/quant.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace eco::tensor {
+
+float max_abs(const float* x, std::size_t n) noexcept {
+  float best = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = x[i] < 0.0f ? -x[i] : x[i];
+    if (a > best) best = a;
+  }
+  return best;
+}
+
+void quantize_array(const float* x, std::size_t n, float inv_scale,
+                    std::int8_t* q) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = quantize_value(x[i], inv_scale);
+  }
+}
+
+std::uint64_t weight_digest(const Tensor& weight) noexcept {
+  // FNV-1a over the raw float bytes: cheap, stable, and content-sensitive
+  // enough for a cache whose keys also carry the full shape.
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(weight.data());
+  const std::size_t n = weight.numel() * sizeof(float);
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+QuantConvPlan build_quant_conv_plan(const Tensor& weight) {
+  if (weight.dim() != 4) {
+    throw std::invalid_argument("quant conv plan needs a 4-D weight, got " +
+                                shape_to_string(weight.shape()));
+  }
+  QuantConvPlan plan;
+  plan.out_channels = weight.size(0);
+  plan.in_channels = weight.size(1);
+  plan.kernel = weight.size(2);
+  const std::size_t per_channel =
+      plan.in_channels * plan.kernel * plan.kernel;
+  plan.weights.resize(weight.numel());
+  plan.weight_scale.resize(plan.out_channels);
+  const float* w = weight.data();
+  for (std::size_t oc = 0; oc < plan.out_channels; ++oc) {
+    const float* channel = w + oc * per_channel;
+    const float range = max_abs(channel, per_channel);
+    plan.weight_scale[oc] = symmetric_scale(range);
+    quantize_array(channel, per_channel, inverse_scale(range),
+                   plan.weights.data() + oc * per_channel);
+  }
+  return plan;
+}
+
+namespace {
+
+PlanCache<QuantConvKey, QuantConvPlan>& quant_plan_cache() {
+  // Process-wide, like scan_plan_cache(): every shard's stem bank resolves
+  // identical weights to one shared immutable plan.
+  static PlanCache<QuantConvKey, QuantConvPlan>* cache =
+      new PlanCache<QuantConvKey, QuantConvPlan>(32);
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const QuantConvPlan> quant_conv_plan(const Tensor& weight) {
+  if (weight.dim() != 4) {
+    throw std::invalid_argument("quant conv plan needs a 4-D weight, got " +
+                                shape_to_string(weight.shape()));
+  }
+  const QuantConvKey key{weight_digest(weight), weight.size(0),
+                         weight.size(1), weight.size(2)};
+  return quant_plan_cache().get_or_build(
+      key, [&weight](const QuantConvKey&) {
+        return build_quant_conv_plan(weight);
+      });
+}
+
+PlanCacheTotals quant_plan_cache_totals() {
+  return quant_plan_cache().totals();
+}
+
+}  // namespace eco::tensor

@@ -1,0 +1,114 @@
+// Symmetric int8 quantization primitives for the Tier-B kernel backend.
+//
+// The scheme is the standard per-channel symmetric affine-free quantizer:
+//
+//   scale  = max|x| / 127        (0 when the channel has zero range)
+//   q(x)   = clamp(round_half_away_from_zero(x / scale), -127, 127)
+//   x̂      = q · scale
+//
+// Zero point is always 0 (symmetric), the representable range is ±127 (the
+// -128 code is never produced, which keeps |q·q'| ≤ 127·127 and lets the
+// int8 conv kernel accumulate pairs in int16 without saturation). Rounding
+// is half-away-from-zero — ties like ±2.5 quantize to ±3 — implemented as
+// one float add + truncate so scalar and vector quantizers are trivially
+// identical.
+//
+// Weight quantization happens once per unique weight tensor: plans are
+// keyed by an FNV-1a digest of the weight bytes plus the shape and cached
+// in a process-wide PlanCache (the PR-7 pattern), so every shard's stem
+// bank shares one quantized copy of identical weights.
+//
+// Determinism: everything here is exact integer arithmetic plus a fixed
+// float expression per element; results do not depend on threading, call
+// order, or row restriction. That property is what makes the int8 backend
+// Tier-B self-deterministic (see backend.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/plan_cache.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eco::tensor {
+
+/// Round-half-away-from-zero to the nearest integer. ±2.5 → ±3 (lrintf
+/// would give round-half-even's ±2).
+[[nodiscard]] inline std::int32_t quant_round(float v) noexcept {
+  return static_cast<std::int32_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+}
+
+/// Clamp to the symmetric int8 code range ±127 (the -128 code is unused).
+[[nodiscard]] inline std::int8_t saturate_int8(std::int32_t v) noexcept {
+  if (v > 127) return 127;
+  if (v < -127) return -127;
+  return static_cast<std::int8_t>(v);
+}
+
+/// Quantize one value with a precomputed reciprocal scale (127/range).
+/// inv_scale == 0 encodes a zero-range input: everything quantizes to 0.
+[[nodiscard]] inline std::int8_t quantize_value(float x,
+                                                float inv_scale) noexcept {
+  return saturate_int8(quant_round(x * inv_scale));
+}
+
+/// The symmetric scale for a magnitude range: range/127, or 0 when the
+/// range is empty (a zero-range channel dequantizes to exactly 0).
+[[nodiscard]] inline float symmetric_scale(float range) noexcept {
+  return range > 0.0f ? range / 127.0f : 0.0f;
+}
+
+/// The matching reciprocal (127/range, or 0 for an empty range).
+[[nodiscard]] inline float inverse_scale(float range) noexcept {
+  return range > 0.0f ? 127.0f / range : 0.0f;
+}
+
+/// max |x| over a float array (0 for an empty array). NaN-free inputs
+/// assumed (the dataset generator never produces NaN).
+[[nodiscard]] float max_abs(const float* x, std::size_t n) noexcept;
+
+/// Quantize an array elementwise with one reciprocal scale.
+void quantize_array(const float* x, std::size_t n, float inv_scale,
+                    std::int8_t* q) noexcept;
+
+/// A conv weight tensor quantized per output channel, plus the scales
+/// needed to dequantize int32 accumulators back to float.
+struct QuantConvPlan {
+  /// (C_out, C_in, K, K), same layout as the source weight tensor.
+  std::vector<std::int8_t> weights;
+  /// Per output channel: max|w|/127 (0 for an all-zero channel, whose
+  /// outputs dequantize to exactly bias).
+  std::vector<float> weight_scale;
+  std::size_t out_channels = 0;
+  std::size_t in_channels = 0;
+  std::size_t kernel = 0;
+};
+
+/// Cache key: content digest + shape. The digest is FNV-1a over the raw
+/// weight bytes, so two engines constructed from the same seed share one
+/// plan while genuinely different weights never collide on shape alone.
+struct QuantConvKey {
+  std::uint64_t digest = 0;
+  std::size_t out_channels = 0;
+  std::size_t in_channels = 0;
+  std::size_t kernel = 0;
+  friend bool operator==(const QuantConvKey&, const QuantConvKey&) = default;
+};
+
+/// FNV-1a over the weight tensor's bytes.
+[[nodiscard]] std::uint64_t weight_digest(const Tensor& weight) noexcept;
+
+/// Quantize a (C_out, C_in, K, K) weight tensor per output channel —
+/// the pure builder behind the cache, exposed for tests.
+[[nodiscard]] QuantConvPlan build_quant_conv_plan(const Tensor& weight);
+
+/// The process-wide cached quantization of `weight` (built on first use).
+[[nodiscard]] std::shared_ptr<const QuantConvPlan> quant_conv_plan(
+    const Tensor& weight);
+
+/// Lifetime totals of the process-wide quant-plan cache (bench reporting).
+[[nodiscard]] PlanCacheTotals quant_plan_cache_totals();
+
+}  // namespace eco::tensor

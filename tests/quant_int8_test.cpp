@@ -1,0 +1,599 @@
+// Pins the int8 (Tier B) backend's contracts: the quantizer's rounding and
+// saturation rules, zero-range channels, the conv kernel's bitwise
+// agreement with its scalar integer model across awkward geometries
+// (unaligned tails, row restriction), the quantized RPN scan's
+// self-consistency across every propose entry point, calibration
+// determinism across threads, the loud ECO_BACKEND failure, and that the
+// act_range plumbing is inert on Tier-A backends.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/quant_calibration.hpp"
+#include "detect/rpn.hpp"
+#include "detect/scan_scratch.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+#include "util/rng.hpp"
+
+namespace eco::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, util::Rng& rng, float lo = -1.0f,
+                     float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  for (float& v : t.vec()) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+// ---- quantizer primitives ------------------------------------------------
+
+TEST(QuantPrimitivesTest, RoundsHalfAwayFromZero) {
+  EXPECT_EQ(quant_round(2.5f), 3);
+  EXPECT_EQ(quant_round(-2.5f), -3);
+  EXPECT_EQ(quant_round(0.5f), 1);
+  EXPECT_EQ(quant_round(-0.5f), -1);
+  EXPECT_EQ(quant_round(2.4f), 2);
+  EXPECT_EQ(quant_round(-2.4f), -2);
+  EXPECT_EQ(quant_round(0.0f), 0);
+}
+
+TEST(QuantPrimitivesTest, SaturatesAtPlusMinus127) {
+  EXPECT_EQ(saturate_int8(127), 127);
+  EXPECT_EQ(saturate_int8(128), 127);
+  EXPECT_EQ(saturate_int8(-127), -127);
+  // -128 is representable in int8 but never produced (symmetric range).
+  EXPECT_EQ(saturate_int8(-128), -127);
+  EXPECT_EQ(saturate_int8(100000), 127);
+  EXPECT_EQ(saturate_int8(-100000), -127);
+  // quantize_value saturates end to end: a value far beyond the range.
+  EXPECT_EQ(quantize_value(10.0f, inverse_scale(1.0f)), 127);
+  EXPECT_EQ(quantize_value(-10.0f, inverse_scale(1.0f)), -127);
+}
+
+TEST(QuantPrimitivesTest, ZeroRangeMapsEverythingToZero) {
+  EXPECT_EQ(symmetric_scale(0.0f), 0.0f);
+  EXPECT_EQ(inverse_scale(0.0f), 0.0f);
+  EXPECT_EQ(quantize_value(123.0f, inverse_scale(0.0f)), 0);
+  EXPECT_EQ(quantize_value(-123.0f, inverse_scale(0.0f)), 0);
+}
+
+TEST(QuantPrimitivesTest, MaxAbsCoversTailsAndEmpty) {
+  EXPECT_EQ(max_abs(nullptr, 0), 0.0f);
+  // Odd lengths exercise the vector loop's scalar tail; the max must be
+  // found regardless of where it lands relative to lane boundaries.
+  for (std::size_t n : {1u, 3u, 4u, 7u, 8u, 9u, 31u, 100u}) {
+    std::vector<float> x(n, 0.25f);
+    for (std::size_t peak = 0; peak < n; ++peak) {
+      x[peak] = -3.5f;
+      EXPECT_EQ(max_abs(x.data(), n), 3.5f) << "n=" << n << " peak=" << peak;
+      x[peak] = 0.25f;
+    }
+  }
+}
+
+TEST(QuantPrimitivesTest, QuantizeArrayMatchesScalarQuantizer) {
+  util::Rng rng(31337);
+  for (std::size_t n : {1u, 5u, 8u, 13u, 16u, 33u, 100u}) {
+    std::vector<float> x(n);
+    for (float& v : x) v = rng.uniform_f(-4.0f, 4.0f);
+    // Include exact ties and out-of-range values.
+    if (n >= 4) {
+      x[0] = 2.5f;
+      x[1] = -2.5f;
+      x[2] = 100.0f;
+      x[3] = -100.0f;
+    }
+    const float inv = inverse_scale(2.0f);
+    std::vector<std::int8_t> q(n);
+    quantize_array(x.data(), n, inv, q.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(q[i], quantize_value(x[i], inv)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// ---- weight plans --------------------------------------------------------
+
+TEST(QuantConvPlanTest, ZeroRangeChannelDequantizesToBias) {
+  // Channel 0 is all zeros: its scale must be 0 and every output cell of
+  // that channel must equal the bias exactly, for any input.
+  Tensor weight({2, 1, 3, 3});
+  weight.zero();
+  weight.at(1, 0, 1, 1) = 1.0f;
+  const QuantConvPlan plan = build_quant_conv_plan(weight);
+  ASSERT_EQ(plan.weight_scale.size(), 2u);
+  EXPECT_EQ(plan.weight_scale[0], 0.0f);
+  EXPECT_GT(plan.weight_scale[1], 0.0f);
+
+  util::Rng rng(99);
+  const Tensor input = random_tensor({1, 7, 9}, rng);
+  Tensor bias({2});
+  bias[0] = 0.75f;
+  bias[1] = -0.25f;
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  Tensor out({2, 7, 9});
+  conv2d_rows_int8(input, weight, bias, spec, 0, 7, out);
+  for (std::size_t y = 0; y < 7; ++y) {
+    for (std::size_t x = 0; x < 9; ++x) {
+      ASSERT_EQ(out.at(0, y, x), 0.75f) << y << "," << x;
+    }
+  }
+}
+
+TEST(QuantConvPlanTest, CacheSharesIdenticalWeights) {
+  util::Rng rng(7);
+  const Tensor weight = random_tensor({4, 2, 3, 3}, rng);
+  Tensor copy = weight;  // same bytes, distinct tensor
+  const auto a = quant_conv_plan(weight);
+  const auto b = quant_conv_plan(copy);
+  EXPECT_EQ(a.get(), b.get());  // one shared plan, not two builds
+}
+
+// ---- int8 conv vs its scalar integer model -------------------------------
+
+/// The kernel's documented arithmetic, in plain scalar code: quantize the
+/// whole input against the effective range, accumulate guarded int32 taps,
+/// dequantize with float(acc)·(in_scale·w_scale[oc]) + bias[oc].
+Tensor int8_conv_model(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const Conv2dSpec& spec) {
+  const std::size_t h = input.size(1), w = input.size(2);
+  const std::size_t oh = spec.out_extent(h), ow = spec.out_extent(w);
+  const QuantConvPlan plan = build_quant_conv_plan(weight);
+  const float in_range = spec.act_range > 0.0f
+                             ? spec.act_range
+                             : max_abs(input.data(), input.numel());
+  const float in_scale = symmetric_scale(in_range);
+  std::vector<std::int8_t> q(input.numel());
+  quantize_array(input.data(), input.numel(), inverse_scale(in_range),
+                 q.data());
+  Tensor out({spec.out_channels, oh, ow});
+  const std::size_t k = spec.kernel;
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    const float dequant = in_scale * plan.weight_scale[oc];
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        std::int32_t acc = 0;
+        for (std::size_t ic = 0; ic < spec.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const auto iy = static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                            static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const auto ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += static_cast<std::int32_t>(
+                         q[(ic * h + static_cast<std::size_t>(iy)) * w +
+                           static_cast<std::size_t>(ix)]) *
+                     static_cast<std::int32_t>(
+                         plan.weights[((oc * spec.in_channels + ic) * k + ky) *
+                                          k +
+                                      kx]);
+            }
+          }
+        }
+        out.at(oc, oy, ox) = static_cast<float>(acc) * dequant + bias[oc];
+      }
+    }
+  }
+  return out;
+}
+
+struct Int8Case {
+  std::size_t in_channels, out_channels, kernel, stride, padding, h, w;
+  float act_range;
+};
+
+class Int8ConvEquivalence : public ::testing::TestWithParam<Int8Case> {};
+
+TEST_P(Int8ConvEquivalence, KernelMatchesScalarModelBitwise) {
+  const Int8Case c = GetParam();
+  Conv2dSpec spec;
+  spec.in_channels = c.in_channels;
+  spec.out_channels = c.out_channels;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  spec.act_range = c.act_range;
+  util::Rng rng(c.kernel * 7919 + c.h * 13 + c.w);
+  const Tensor input = random_tensor({c.in_channels, c.h, c.w}, rng);
+  const Tensor weight = random_tensor(
+      {c.out_channels, c.in_channels, c.kernel, c.kernel}, rng);
+  const Tensor bias = random_tensor({c.out_channels}, rng);
+  const std::size_t oh = spec.out_extent(c.h), ow = spec.out_extent(c.w);
+  ASSERT_GT(oh, 0u);
+  ASSERT_GT(ow, 0u);
+
+  Tensor kernel_out({spec.out_channels, oh, ow});
+  conv2d_rows_int8(input, weight, bias, spec, 0, oh, kernel_out);
+  const Tensor model = int8_conv_model(input, weight, bias, spec);
+  EXPECT_TRUE(kernel_out.equals(model))
+      << "k=" << c.kernel << " s=" << c.stride << " p=" << c.padding
+      << " h=" << c.h << " w=" << c.w << " range=" << c.act_range;
+
+  // The dispatching entry point reaches the same kernel for kInt8.
+  Conv2dSpec dispatched_spec = spec;
+  dispatched_spec.backend = Backend::kInt8;
+  Tensor dispatched({spec.out_channels, oh, ow});
+  conv2d_rows(input, weight, bias, dispatched_spec, 0, oh, dispatched);
+  EXPECT_TRUE(dispatched.equals(model));
+}
+
+TEST_P(Int8ConvEquivalence, RowRestrictedMatchesFullConvolution) {
+  const Int8Case c = GetParam();
+  Conv2dSpec spec;
+  spec.in_channels = c.in_channels;
+  spec.out_channels = c.out_channels;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  spec.act_range = c.act_range;
+  util::Rng rng(c.h * 101 + c.w);
+  const Tensor input = random_tensor({c.in_channels, c.h, c.w}, rng);
+  const Tensor weight = random_tensor(
+      {c.out_channels, c.in_channels, c.kernel, c.kernel}, rng);
+  const Tensor bias = random_tensor({c.out_channels}, rng);
+  const std::size_t oh = spec.out_extent(c.h), ow = spec.out_extent(c.w);
+
+  Tensor full({spec.out_channels, oh, ow});
+  conv2d_rows_int8(input, weight, bias, spec, 0, oh, full);
+  // Row-by-row refresh composes to the identical result — including with
+  // the dynamic (act_range == 0) scale, which is pinned to the WHOLE
+  // input's max so partial refreshes agree with the full pass.
+  Tensor rows({spec.out_channels, oh, ow});
+  for (std::size_t row = 0; row < oh; ++row) {
+    conv2d_rows_int8(input, weight, bias, spec, row, row + 1, rows);
+  }
+  EXPECT_TRUE(rows.equals(full));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Int8ConvEquivalence,
+    ::testing::Values(
+        // The stem shape, calibrated and dynamic.
+        Int8Case{1, 8, 3, 1, 1, 48, 48, 0.0f},
+        Int8Case{1, 8, 3, 1, 1, 48, 48, 2.0f},
+        // Odd extents and non-square grids (vector-tail coverage: widths
+        // straddle the 8-cell SSE span and every residue near it).
+        Int8Case{1, 2, 3, 1, 1, 5, 7, 0.0f},
+        Int8Case{2, 3, 3, 1, 1, 9, 13, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 3, 1, 0.0f},
+        Int8Case{2, 2, 3, 1, 1, 4, 2, 1.5f},
+        Int8Case{1, 2, 3, 1, 1, 6, 4, 0.0f},
+        Int8Case{2, 1, 3, 1, 1, 6, 5, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 7, 6, 0.0f},
+        Int8Case{2, 3, 3, 1, 1, 8, 7, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 8, 9, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 8, 10, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 8, 11, 0.0f},
+        Int8Case{1, 1, 3, 1, 1, 1, 48, 0.0f},
+        // Shapes leaving the k==3/s==1 fast path (guarded walk).
+        Int8Case{2, 2, 5, 1, 2, 9, 9, 0.0f},
+        Int8Case{1, 2, 3, 2, 1, 11, 17, 0.0f},
+        Int8Case{4, 4, 1, 1, 0, 10, 12, 0.0f},
+        // Padding beyond the kernel: fully guarded rows.
+        Int8Case{1, 1, 3, 1, 3, 6, 6, 0.0f}));
+
+// ---- quantized RPN scan --------------------------------------------------
+
+/// The int8 scan stages against a brute-force integer model.
+TEST(Int8RpnChainTest, BlurIntegralMatchBruteForceModel) {
+  util::Rng rng(2024);
+  for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 5}, {4, 7}, {5, 9}, {17, 19},
+           {48, 48}}) {
+    const Tensor grid = random_tensor({1, h, w}, rng, -1.0f, 1.0f);
+    const float range = max_abs(grid.data(), grid.numel());
+    std::vector<std::int16_t> q(h * w);
+    detect::detail::quantize_grid_int8(grid.data(), h * w,
+                                       inverse_scale(range), q.data());
+    // Quantized codes agree with the scalar quantizer (int16 storage).
+    for (std::size_t i = 0; i < h * w; ++i) {
+      ASSERT_EQ(q[i], quantize_value(grid.data()[i], inverse_scale(range)))
+          << h << "x" << w << " cell " << i;
+    }
+    // Blur: n valid taps × (36/n), computed by brute force per cell.
+    std::vector<std::int16_t> blurred(h * w);
+    detect::detail::box_blur3_int8(q.data(), h, w, blurred.data());
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        std::int32_t acc = 0, n = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+            const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+            if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h) || xx < 0 ||
+                xx >= static_cast<std::ptrdiff_t>(w)) {
+              continue;
+            }
+            acc += q[static_cast<std::size_t>(yy) * w +
+                     static_cast<std::size_t>(xx)];
+            ++n;
+          }
+        }
+        ASSERT_EQ(blurred[y * w + x], acc * (36 / n))
+            << h << "x" << w << " cell " << y << "," << x;
+      }
+    }
+    // Integral: plain double-loop prefix sums.
+    std::vector<std::int32_t> table((h + 1) * (w + 1));
+    detect::detail::integral_int32(blurred.data(), h, w, table.data());
+    for (std::size_t y = 0; y <= h; ++y) {
+      for (std::size_t x = 0; x <= w; ++x) {
+        std::int32_t sum = 0;
+        for (std::size_t yy = 0; yy < y; ++yy) {
+          for (std::size_t xx = 0; xx < x; ++xx) sum += blurred[yy * w + xx];
+        }
+        ASSERT_EQ(table[y * (w + 1) + x], sum)
+            << h << "x" << w << " corner " << y << "," << x;
+      }
+    }
+  }
+}
+
+// ---- int8 streaming-run decomposition ------------------------------------
+
+namespace {
+
+/// Grid extents exercising both run flavours and the degenerate cases:
+/// the default 48×48 (stride-2 delta, full rows), odd non-square extents
+/// (delta-2 table-end trim), and small grids where most anchors clip.
+const std::vector<std::pair<std::size_t, std::size_t>>& run_extents() {
+  static const std::vector<std::pair<std::size_t, std::size_t>> extents{
+      {48, 48}, {47, 53}, {16, 16}, {9, 9}, {5, 12}};
+  return extents;
+}
+
+detect::RpnConfig stride_config(std::size_t stride) {
+  detect::RpnConfig rc;
+  rc.anchors.stride = stride;
+  return rc;
+}
+
+}  // namespace
+
+/// Every anchor index is covered exactly once by runs ∪ leftovers, every
+/// run member's corners/validity/reciprocals match its AnchorGeometry
+/// (corners advanced by delta·k, inv lanes bitwise copies), and delta-2
+/// runs leave their one-past-the-last-corner load inside the table.
+TEST(Int8ScanPlanRunsTest, DecompositionCoversEveryIndexExactlyOnce) {
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+    for (const auto& [h, w] : run_extents()) {
+      const detect::RpnConfig rc = stride_config(stride);
+      const detect::ScanPlan plan = detect::build_scan_plan({h, w, rc});
+      const std::size_t n = plan.geometry.size();
+      std::vector<int> covered(n, 0);
+      const std::size_t table_size = (h + 1) * (w + 1);
+      for (const detect::Int8Run& run : plan.int8_runs) {
+        ASSERT_GE(run.length, 4u);
+        EXPECT_EQ(run.delta, stride);
+        for (std::size_t k = 0; k < run.length; ++k) {
+          const std::size_t idx = run.out_start + k * run.out_stride;
+          ASSERT_LT(idx, n);
+          ++covered[idx];
+          const detect::AnchorGeometry& g = plan.geometry[idx];
+          EXPECT_TRUE(g.inner_valid);
+          EXPECT_TRUE(g.ring_valid);
+          const std::size_t off = run.delta * k;
+          EXPECT_EQ(run.corner[0] + off, g.inner00);
+          EXPECT_EQ(run.corner[1] + off, g.inner01);
+          EXPECT_EQ(run.corner[2] + off, g.inner10);
+          EXPECT_EQ(run.corner[3] + off, g.inner11);
+          EXPECT_EQ(run.corner[4] + off, g.ring00);
+          EXPECT_EQ(run.corner[5] + off, g.ring01);
+          EXPECT_EQ(run.corner[6] + off, g.ring10);
+          EXPECT_EQ(run.corner[7] + off, g.ring11);
+          // Repacked reciprocal areas are bitwise copies per lane.
+          const std::size_t inv = run.inv_offset;
+          EXPECT_EQ(plan.int8_run_inv.at(inv + k), g.inv_inner);
+          EXPECT_EQ(plan.int8_run_inv.at(inv + run.length + k), g.inv_ring);
+        }
+        if (run.delta == 2) {
+          // A delta-2 vector group reads one entry past its last corner.
+          EXPECT_LT(run.corner[7] + run.delta * (run.length - 1) + 1,
+                    table_size)
+              << h << "x" << w;
+        }
+      }
+      for (const auto& [begin, end] : plan.int8_leftovers) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, n);
+        for (std::size_t i = begin; i < end; ++i) ++covered[i];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(covered[i], 1)
+            << "stride " << stride << " " << h << "x" << w << " index " << i;
+      }
+    }
+  }
+}
+
+/// The plan-driven pass (streaming runs + leftover gathers, with its AVX2
+/// dispatch) scores bitwise identically to the plain gather pass over the
+/// full geometry array, across stride-1 and stride-2 plans and extents
+/// that force short runs, trims, and scalar tails.
+TEST(Int8ScanPlanRunsTest, PlanPassMatchesGatherPassBitwise) {
+  util::Rng rng(77);
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+    for (const auto& [h, w] : run_extents()) {
+      const detect::RpnConfig rc = stride_config(stride);
+      const detect::ScanPlan plan = detect::build_scan_plan({h, w, rc});
+      const Tensor grid = random_tensor({1, h, w}, rng, -1.0f, 1.0f);
+      const float range = max_abs(grid.data(), grid.numel());
+      std::vector<std::int16_t> q(h * w), blurred(h * w);
+      std::vector<std::int32_t> table((h + 1) * (w + 1));
+      detect::detail::quantize_grid_int8(grid.data(), h * w,
+                                         inverse_scale(range), q.data());
+      detect::detail::box_blur3_int8(q.data(), h, w, blurred.data());
+      detect::detail::integral_int32(blurred.data(), h, w, table.data());
+      const double dequant =
+          static_cast<double>(symmetric_scale(range)) / 36.0;
+      std::vector<double> via_plan(plan.geometry.size(), -1.0);
+      std::vector<double> via_gather(plan.geometry.size(), -2.0);
+      detect::detail::anchor_contrast_pass_int8(table.data(), plan, dequant,
+                                                via_plan.data());
+      detect::detail::anchor_contrast_pass_int8(
+          table.data(), plan.geometry.data(), plan.geometry.size(), dequant,
+          via_gather.data());
+      for (std::size_t i = 0; i < plan.geometry.size(); ++i) {
+        ASSERT_EQ(via_plan[i], via_gather[i])
+            << "stride " << stride << " " << h << "x" << w << " anchor " << i;
+      }
+    }
+  }
+}
+
+TEST(Int8RpnTest, ProposeEntryPointsAgreeBitwise) {
+  util::Rng rng(4096);
+  const Tensor grid = random_tensor({1, 48, 48}, rng, 0.0f, 1.0f);
+  for (const float act_range : {0.0f, 1.0f}) {
+    detect::RpnConfig config;
+    config.backend = Backend::kInt8;
+    config.act_range = act_range;
+    const detect::Rpn rpn(config);
+    detect::ScanScratch scratch;
+    const auto with_scratch = rpn.propose(grid, &scratch);
+    const auto without = rpn.propose(grid);
+    const auto batch = rpn.propose_batch({&grid});
+    const auto anchors = detect::generate_anchors(48, 48, config.anchors);
+    const auto with_anchors = rpn.propose_with_anchors(grid, anchors);
+    ASSERT_FALSE(with_scratch.empty()) << "range=" << act_range;
+    ASSERT_EQ(batch.size(), 1u);
+    for (const auto* other : {&without, &batch[0], &with_anchors}) {
+      ASSERT_EQ(other->size(), with_scratch.size()) << "range=" << act_range;
+      for (std::size_t i = 0; i < with_scratch.size(); ++i) {
+        EXPECT_EQ((*other)[i].box.x1, with_scratch[i].box.x1);
+        EXPECT_EQ((*other)[i].box.y1, with_scratch[i].box.y1);
+        EXPECT_EQ((*other)[i].box.x2, with_scratch[i].box.x2);
+        EXPECT_EQ((*other)[i].box.y2, with_scratch[i].box.y2);
+        EXPECT_EQ((*other)[i].objectness, with_scratch[i].objectness);
+      }
+    }
+  }
+}
+
+TEST(Int8RpnTest, ActRangeFieldInertOnTierABackends) {
+  // act_range participates in config equality (plan-cache keys) but must
+  // not change Tier-A results.
+  util::Rng rng(6001);
+  const Tensor grid = random_tensor({1, 48, 48}, rng, 0.0f, 1.0f);
+  detect::RpnConfig reference_config;
+  reference_config.backend = Backend::kReference;
+  const auto reference = detect::Rpn(reference_config).propose(grid);
+  for (const Backend backend : {Backend::kReference, Backend::kFast,
+                                Backend::kSimd}) {
+    detect::RpnConfig config;
+    config.backend = backend;
+    config.act_range = 5.0f;
+    const auto proposals = detect::Rpn(config).propose(grid);
+    ASSERT_EQ(proposals.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(proposals[i].objectness, reference[i].objectness);
+    }
+  }
+}
+
+// ---- calibration ---------------------------------------------------------
+
+TEST(QuantCalibrationTest, DeterministicAcrossCallsAndThreads) {
+  core::QuantCalibrationConfig config;
+  const core::QuantCalibration first = core::calibrate_activation_range(config);
+  EXPECT_GT(first.act_range, 0.0f);
+  EXPECT_EQ(first.frames, dataset::kNumSceneTypes * config.frames_per_scene);
+  EXPECT_EQ(first.seed, config.seed);
+  // Same seed stream → bitwise-identical scales, regardless of how many
+  // threads calibrate concurrently (each shard engine runs this).
+  std::vector<core::QuantCalibration> results(4);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (auto& slot : results) {
+    threads.emplace_back([&slot, config] {
+      slot = core::calibrate_activation_range(config);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& r : results) {
+    ASSERT_EQ(r.act_range, first.act_range);
+    ASSERT_EQ(r.frames, first.frames);
+  }
+  // A different stream may calibrate differently, but stays positive.
+  core::QuantCalibrationConfig other;
+  other.seed = 777;
+  other.frames_per_scene = 2;
+  const core::QuantCalibration second =
+      core::calibrate_activation_range(other);
+  EXPECT_GT(second.act_range, 0.0f);
+}
+
+TEST(QuantCalibrationTest, EngineStampsCalibratedRangeUnderInt8) {
+  core::EngineConfig config;
+  config.backend = Backend::kInt8;
+  const core::EcoFusionEngine engine(config);
+  const core::QuantCalibration expected =
+      core::calibrate_activation_range(config.quant);
+  EXPECT_EQ(engine.config().stem.act_range, expected.act_range);
+  EXPECT_GT(engine.config().stem.act_range, 0.0f);
+  // Every branch RPN sees the same calibrated range.
+  for (std::size_t b = 0; b < core::kNumBranches; ++b) {
+    const auto& branch =
+        engine.branch_detector(static_cast<core::BranchId>(b));
+    EXPECT_EQ(branch.config().rpn.act_range, expected.act_range);
+    EXPECT_EQ(branch.config().rpn.backend, Backend::kInt8);
+  }
+  // A user-pinned range skips calibration.
+  core::EngineConfig pinned;
+  pinned.backend = Backend::kInt8;
+  pinned.stem.act_range = 3.25f;
+  const core::EcoFusionEngine pinned_engine(pinned);
+  EXPECT_EQ(pinned_engine.config().stem.act_range, 3.25f);
+  // Tier-A engines never calibrate.
+  core::EngineConfig simd;
+  simd.backend = Backend::kSimd;
+  const core::EcoFusionEngine simd_engine(simd);
+  EXPECT_EQ(simd_engine.config().stem.act_range, 0.0f);
+}
+
+// ---- backend env parsing -------------------------------------------------
+
+TEST(BackendEnvTest, ParsesEveryBackendName) {
+  EXPECT_EQ(backend_from_env_value("reference"), Backend::kReference);
+  EXPECT_EQ(backend_from_env_value("fast"), Backend::kFast);
+  EXPECT_EQ(backend_from_env_value("simd"), Backend::kSimd);
+  EXPECT_EQ(backend_from_env_value("int8"), Backend::kInt8);
+  EXPECT_EQ(backend_from_env_value("auto"), Backend::kAuto);
+}
+
+TEST(BackendEnvTest, UnknownValueFailsLoudlyListingValidNames) {
+  try {
+    (void)backend_from_env_value("int9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("int9"), std::string::npos) << message;
+    for (const char* name : {"auto", "reference", "fast", "simd", "int8"}) {
+      EXPECT_NE(message.find(name), std::string::npos)
+          << "missing '" << name << "' in: " << message;
+    }
+  }
+}
+
+TEST(BackendEnvTest, Int8NamesRoundTrip) {
+  EXPECT_STREQ(backend_name(Backend::kInt8), "int8");
+  const auto parsed = parse_backend("int8");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, Backend::kInt8);
+}
+
+}  // namespace
+}  // namespace eco::tensor
