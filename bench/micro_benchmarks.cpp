@@ -17,6 +17,8 @@
 
 #include "core/engine.hpp"
 #include "dataset/generator.hpp"
+#include "dataset/sensor_model.hpp"
+#include "dataset/sequence.hpp"
 #include "detect/rpn.hpp"
 #include "detect/scan_scratch.hpp"
 #include "fusion/wbf.hpp"
@@ -302,6 +304,66 @@ void BM_RegionExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegionExtraction);
+
+// Full sequence synthesis (plan + render of every frame) — the ingest unit
+// of work a FrameStream generation task performs. Reported per-iteration;
+// divide by the length for µs/frame.
+void BM_GenerateSequence(benchmark::State& state) {
+  dataset::SequenceConfig config;
+  config.length = 16;
+  config.seed = 31;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset::generate_sequence(dataset::SceneType::kRain, config, 3));
+  }
+}
+BENCHMARK(BM_GenerateSequence);
+
+// One sensor render, fast vs reference backend, per sensor kind
+// (Arg 0-3 = camera_left, camera_right, lidar, radar). The two are pinned
+// bitwise identical in tests; the ratio here is the row-pointer walk +
+// hoisted blob tables + batched noise fill payoff.
+void render_bench_inputs(dataset::SceneEnvironment& env,
+                         std::vector<detect::GroundTruth>& objects,
+                         std::vector<dataset::Phantom>& phantoms,
+                         dataset::SensorGridSpec& spec) {
+  env = dataset::scene_environment(dataset::SceneType::kRain);
+  util::Rng obj_rng(13);
+  objects = dataset::generate_objects(env, spec, obj_rng);
+  util::Rng phantom_rng(14);
+  phantoms = dataset::generate_phantoms(env, spec, phantom_rng);
+}
+
+void BM_RenderSensorFast(benchmark::State& state) {
+  dataset::SceneEnvironment env;
+  std::vector<detect::GroundTruth> objects;
+  std::vector<dataset::Phantom> phantoms;
+  dataset::SensorGridSpec spec;
+  render_bench_inputs(env, objects, phantoms, spec);
+  const auto kind = static_cast<dataset::SensorKind>(state.range(0));
+  dataset::RenderScratch scratch;
+  util::Rng rng(404);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataset::render_sensor_fast(
+        kind, env, objects, phantoms, spec, rng, scratch));
+  }
+}
+BENCHMARK(BM_RenderSensorFast)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_RenderSensorReference(benchmark::State& state) {
+  dataset::SceneEnvironment env;
+  std::vector<detect::GroundTruth> objects;
+  std::vector<dataset::Phantom> phantoms;
+  dataset::SensorGridSpec spec;
+  render_bench_inputs(env, objects, phantoms, spec);
+  const auto kind = static_cast<dataset::SensorKind>(state.range(0));
+  util::Rng rng(404);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataset::render_sensor_reference(
+        kind, env, objects, phantoms, spec, rng));
+  }
+}
+BENCHMARK(BM_RenderSensorReference)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_BranchDetect(benchmark::State& state) {
   const dataset::Frame frame = test_frame();

@@ -1,7 +1,10 @@
 #include "dataset/sensor_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "tensor/ops.hpp"
 
 namespace eco::dataset {
 
@@ -140,7 +143,47 @@ float phantom_susceptibility(SensorKind kind,
 
 namespace {
 
+std::atomic<std::uint64_t> g_render_scratch_allocs{0};
+
+}  // namespace
+
+void RenderScratch::reserve(const SensorGridSpec& spec) {
+  const std::size_t cells = spec.height * spec.width;
+  if (noise.size() < cells) {
+    noise.resize(cells);
+    g_render_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (blob_row.size() < spec.height) {
+    blob_row.resize(spec.height);
+    g_render_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (blob_col.size() < spec.width) {
+    blob_col.resize(spec.width);
+    g_render_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RenderScratch& render_scratch_for_current_thread() {
+  static thread_local RenderScratch scratch;
+  return scratch;
+}
+
+std::uint64_t render_scratch_allocs() noexcept {
+  return g_render_scratch_allocs.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// The primitives below are templated on the addressing strategy. <false> is
+// the reference implementation: per-cell grid.at() loops, the semantic
+// ground truth. <true> is the fast path: row-pointer walks, hoisted per-axis
+// blob falloff tables, and batched noise fills staged through RenderScratch.
+// Both instantiations draw from the rng in exactly the same order with
+// exactly the same arithmetic, so their outputs are bitwise identical —
+// the bench self-gate and sequence_test pin this on every run.
+
 /// Splats a filled rectangle of amplitude `value` (max-composited).
+template <bool Fast>
 void splat_rect(tensor::Tensor& grid, const detect::Box& box, float value) {
   const auto h = grid.size(1), w = grid.size(2);
   const auto y0 = static_cast<std::size_t>(std::max(0.0f, box.y1));
@@ -149,46 +192,105 @@ void splat_rect(tensor::Tensor& grid, const detect::Box& box, float value) {
       std::clamp(box.y2, 0.0f, static_cast<float>(h)));
   const auto x1 = static_cast<std::size_t>(
       std::clamp(box.x2, 0.0f, static_cast<float>(w)));
-  for (std::size_t y = y0; y < y1; ++y) {
-    for (std::size_t x = x0; x < x1; ++x) {
-      grid.at(0, y, x) = std::max(grid.at(0, y, x), value);
+  if constexpr (Fast) {
+    float* base = grid.vec().data();
+    for (std::size_t y = y0; y < y1; ++y) {
+      float* row = base + y * w;
+      for (std::size_t x = x0; x < x1; ++x) {
+        row[x] = std::max(row[x], value);
+      }
+    }
+  } else {
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) {
+        grid.at(0, y, x) = std::max(grid.at(0, y, x), value);
+      }
     }
   }
 }
 
 /// Splats an isotropic Gaussian blob centred at (cx, cy).
+template <bool Fast>
 void splat_blob(tensor::Tensor& grid, float cx, float cy, float sigma_x,
-                float sigma_y, float value) {
+                float sigma_y, float value, RenderScratch* scratch) {
   const auto h = static_cast<std::ptrdiff_t>(grid.size(1));
   const auto w = static_cast<std::ptrdiff_t>(grid.size(2));
   const auto reach_x = static_cast<std::ptrdiff_t>(3.0f * sigma_x + 1.0f);
   const auto reach_y = static_cast<std::ptrdiff_t>(3.0f * sigma_y + 1.0f);
   const auto icx = static_cast<std::ptrdiff_t>(cx);
   const auto icy = static_cast<std::ptrdiff_t>(cy);
-  for (std::ptrdiff_t y = std::max<std::ptrdiff_t>(0, icy - reach_y);
-       y <= std::min(h - 1, icy + reach_y); ++y) {
-    for (std::ptrdiff_t x = std::max<std::ptrdiff_t>(0, icx - reach_x);
-         x <= std::min(w - 1, icx + reach_x); ++x) {
-      const float dx = (static_cast<float>(x) - cx) / sigma_x;
+  const std::ptrdiff_t ylo = std::max<std::ptrdiff_t>(0, icy - reach_y);
+  const std::ptrdiff_t yhi = std::min(h - 1, icy + reach_y);
+  const std::ptrdiff_t xlo = std::max<std::ptrdiff_t>(0, icx - reach_x);
+  const std::ptrdiff_t xhi = std::min(w - 1, icx + reach_x);
+  if constexpr (Fast) {
+    if (ylo > yhi || xlo > xhi) return;
+    // dx depends only on the column and dy only on the row: hoist both
+    // squared offsets so the inner loop is one add and one expf. The sum
+    // ax + ay uses the same operands in the same order as the reference's
+    // dx*dx + dy*dy (this file is compiled with -ffp-contract=off, so no
+    // FMA contraction can split the two instantiations apart).
+    float* ay = scratch->blob_row.data();
+    float* ax = scratch->blob_col.data();
+    for (std::ptrdiff_t y = ylo; y <= yhi; ++y) {
       const float dy = (static_cast<float>(y) - cy) / sigma_y;
-      const float g = value * std::exp(-0.5f * (dx * dx + dy * dy));
-      auto& cell = grid.at(0, static_cast<std::size_t>(y),
-                           static_cast<std::size_t>(x));
-      cell = std::max(cell, g);
+      ay[y - ylo] = dy * dy;
+    }
+    for (std::ptrdiff_t x = xlo; x <= xhi; ++x) {
+      const float dx = (static_cast<float>(x) - cx) / sigma_x;
+      ax[x - xlo] = dx * dx;
+    }
+    float* base = grid.vec().data();
+    for (std::ptrdiff_t y = ylo; y <= yhi; ++y) {
+      float* row = base + y * w;
+      const float ayv = ay[y - ylo];
+      for (std::ptrdiff_t x = xlo; x <= xhi; ++x) {
+        const float g = value * std::exp(-0.5f * (ax[x - xlo] + ayv));
+        row[x] = std::max(row[x], g);
+      }
+    }
+  } else {
+    for (std::ptrdiff_t y = ylo; y <= yhi; ++y) {
+      for (std::ptrdiff_t x = xlo; x <= xhi; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / sigma_x;
+        const float dy = (static_cast<float>(y) - cy) / sigma_y;
+        const float g = value * std::exp(-0.5f * (dx * dx + dy * dy));
+        auto& cell = grid.at(0, static_cast<std::size_t>(y),
+                             static_cast<std::size_t>(x));
+        cell = std::max(cell, g);
+      }
     }
   }
 }
 
 /// Adds i.i.d. Gaussian noise of the given sigma (clamped at 0 below).
-void add_noise(tensor::Tensor& grid, float sigma, util::Rng& rng) {
+/// Deviates come from Rng's trig-free polar sampler: the dense noise field
+/// is ~87% of the whole frame-synthesis cost, and a Box-Muller draw spends
+/// two thirds of its time in libm's sincos.
+template <bool Fast>
+void add_noise(tensor::Tensor& grid, float sigma, util::Rng& rng,
+               RenderScratch* scratch) {
   if (sigma <= 0.0f) return;
-  for (float& v : grid.vec()) {
-    v += static_cast<float>(rng.normal(0.0, sigma));
-    if (v < 0.0f) v = 0.0f;
+  if constexpr (Fast) {
+    auto& vec = grid.vec();
+    const std::size_t n = vec.size();
+    double* noise = scratch->noise.data();
+    rng.fill_normal_polar(0.0, sigma, noise, n);
+    float* cells = vec.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = cells[i] + static_cast<float>(noise[i]);
+      cells[i] = v < 0.0f ? 0.0f : v;
+    }
+  } else {
+    for (float& v : grid.vec()) {
+      v += static_cast<float>(rng.normal_polar(0.0, sigma));
+      if (v < 0.0f) v = 0.0f;
+    }
   }
 }
 
 /// Adds salt speckle: `count` single-cell spikes (rain streaks, droplets).
+/// Draw-dominated either way, so there is a single implementation.
 void add_speckle(tensor::Tensor& grid, int count, float amplitude,
                  util::Rng& rng) {
   const auto h = grid.size(1), w = grid.size(2);
@@ -200,16 +302,18 @@ void add_speckle(tensor::Tensor& grid, int count, float amplitude,
   }
 }
 
+template <bool Fast>
 tensor::Tensor render_camera(SensorKind kind, const SceneEnvironment& env,
                              const std::vector<detect::GroundTruth>& objects,
                              const std::vector<Phantom>& phantoms,
-                             const SensorGridSpec& spec, util::Rng& rng) {
+                             const SensorGridSpec& spec, util::Rng& rng,
+                             RenderScratch* scratch) {
   tensor::Tensor grid({1, spec.height, spec.width});
   const float quality = sensor_quality(kind, env.type);
   const SceneType scene = env.type;
 
   // Ambient background texture (stronger in cluttered scenes).
-  add_noise(grid, 0.02f + 0.05f * env.clutter, rng);
+  add_noise<Fast>(grid, 0.02f + 0.05f * env.clutter, rng, scratch);
 
   for (const auto& gt : objects) {
     if (rng.bernoulli(sensor_miss_probability(kind, scene, gt.cls))) continue;
@@ -226,15 +330,15 @@ tensor::Tensor render_camera(SensorKind kind, const SceneEnvironment& env,
       box.x1 += shift;
       box.x2 += shift;
     }
-    splat_rect(grid, box, amplitude + rng.uniform_f(-0.02f, 0.02f));
+    splat_rect<Fast>(grid, box, amplitude + rng.uniform_f(-0.02f, 0.02f));
   }
 
   // Shared weather phantoms: streak clusters / glare patches.
   for (const Phantom& ph : phantoms) {
     if (!rng.bernoulli(phantom_susceptibility(kind, env))) continue;
-    splat_rect(grid, ph.box,
-               0.42f * ph.strength * (0.45f + 0.55f * quality) +
-                   rng.uniform_f(-0.02f, 0.02f));
+    splat_rect<Fast>(grid, ph.box,
+                     0.42f * ph.strength * (0.45f + 0.55f * quality) +
+                         rng.uniform_f(-0.02f, 0.02f));
   }
 
   // Precipitation speckle on the lens + sensor noise grows as quality drops.
@@ -243,18 +347,22 @@ tensor::Tensor render_camera(SensorKind kind, const SceneEnvironment& env,
               0.35f + 0.2f * env.precipitation, rng);
   const int clutter_blobs = rng.poisson(sensor_clutter_rate(kind, scene));
   for (int i = 0; i < clutter_blobs; ++i) {
-    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
-               rng.uniform_f(0.0f, h), rng.uniform_f(0.8f, 2.0f),
-               rng.uniform_f(0.8f, 2.0f), rng.uniform_f(0.15f, 0.45f));
+    splat_blob<Fast>(grid,
+                     rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+                     rng.uniform_f(0.0f, h), rng.uniform_f(0.8f, 2.0f),
+                     rng.uniform_f(0.8f, 2.0f), rng.uniform_f(0.15f, 0.45f),
+                     scratch);
   }
-  add_noise(grid, 0.02f + 0.10f * (1.0f - quality), rng);
+  add_noise<Fast>(grid, 0.02f + 0.10f * (1.0f - quality), rng, scratch);
   return grid;
 }
 
+template <bool Fast>
 tensor::Tensor render_lidar(const SceneEnvironment& env,
                             const std::vector<detect::GroundTruth>& objects,
                             const std::vector<Phantom>& phantoms,
-                            const SensorGridSpec& spec, util::Rng& rng) {
+                            const SensorGridSpec& spec, util::Rng& rng,
+                            RenderScratch* scratch) {
   tensor::Tensor grid({1, spec.height, spec.width});
   const float quality = sensor_quality(SensorKind::kLidar, env.type);
 
@@ -277,11 +385,22 @@ tensor::Tensor render_lidar(const SceneEnvironment& env,
         gt.box.y2, 0.0f, static_cast<float>(spec.height)));
     const auto x1 = static_cast<std::size_t>(std::clamp(
         gt.box.x2, 0.0f, static_cast<float>(spec.width)));
-    for (std::size_t y = y0; y < y1; ++y) {
-      for (std::size_t x = x0; x < x1; ++x) {
-        if (!rng.bernoulli(keep)) continue;
-        grid.at(0, y, x) = std::max(
-            grid.at(0, y, x), amplitude * rng.uniform_f(0.75f, 1.05f));
+    if constexpr (Fast) {
+      float* base = grid.vec().data();
+      for (std::size_t y = y0; y < y1; ++y) {
+        float* row = base + y * spec.width;
+        for (std::size_t x = x0; x < x1; ++x) {
+          if (!rng.bernoulli(keep)) continue;
+          row[x] = std::max(row[x], amplitude * rng.uniform_f(0.75f, 1.05f));
+        }
+      }
+    } else {
+      for (std::size_t y = y0; y < y1; ++y) {
+        for (std::size_t x = x0; x < x1; ++x) {
+          if (!rng.bernoulli(keep)) continue;
+          grid.at(0, y, x) = std::max(
+              grid.at(0, y, x), amplitude * rng.uniform_f(0.75f, 1.05f));
+        }
       }
     }
   }
@@ -298,11 +417,22 @@ tensor::Tensor render_lidar(const SceneEnvironment& env,
         ph.box.y2, 0.0f, static_cast<float>(spec.height)));
     const auto px1 = static_cast<std::size_t>(std::clamp(
         ph.box.x2, 0.0f, static_cast<float>(spec.width)));
-    for (std::size_t y = py0; y < py1; ++y) {
-      for (std::size_t x = px0; x < px1; ++x) {
-        if (!rng.bernoulli(0.75)) continue;
-        grid.at(0, y, x) =
-            std::max(grid.at(0, y, x), amp * rng.uniform_f(0.7f, 1.1f));
+    if constexpr (Fast) {
+      float* base = grid.vec().data();
+      for (std::size_t y = py0; y < py1; ++y) {
+        float* row = base + y * spec.width;
+        for (std::size_t x = px0; x < px1; ++x) {
+          if (!rng.bernoulli(0.75)) continue;
+          row[x] = std::max(row[x], amp * rng.uniform_f(0.7f, 1.1f));
+        }
+      }
+    } else {
+      for (std::size_t y = py0; y < py1; ++y) {
+        for (std::size_t x = px0; x < px1; ++x) {
+          if (!rng.bernoulli(0.75)) continue;
+          grid.at(0, y, x) =
+              std::max(grid.at(0, y, x), amp * rng.uniform_f(0.7f, 1.1f));
+        }
       }
     }
   }
@@ -316,19 +446,22 @@ tensor::Tensor render_lidar(const SceneEnvironment& env,
   const int clutter_blobs =
       rng.poisson(sensor_clutter_rate(SensorKind::kLidar, env.type));
   for (int i = 0; i < clutter_blobs; ++i) {
-    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
-               rng.uniform_f(0.0f, static_cast<float>(spec.height)),
-               rng.uniform_f(0.6f, 1.5f), rng.uniform_f(0.6f, 1.5f),
-               rng.uniform_f(0.15f, 0.4f));
+    splat_blob<Fast>(grid,
+                     rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+                     rng.uniform_f(0.0f, static_cast<float>(spec.height)),
+                     rng.uniform_f(0.6f, 1.5f), rng.uniform_f(0.6f, 1.5f),
+                     rng.uniform_f(0.15f, 0.4f), scratch);
   }
-  add_noise(grid, 0.02f + 0.06f * (1.0f - quality), rng);
+  add_noise<Fast>(grid, 0.02f + 0.06f * (1.0f - quality), rng, scratch);
   return grid;
 }
 
+template <bool Fast>
 tensor::Tensor render_radar(const SceneEnvironment& env,
                             const std::vector<detect::GroundTruth>& objects,
                             const std::vector<Phantom>& phantoms,
-                            const SensorGridSpec& spec, util::Rng& rng) {
+                            const SensorGridSpec& spec, util::Rng& rng,
+                            RenderScratch* scratch) {
   tensor::Tensor grid({1, spec.height, spec.width});
   const float quality = sensor_quality(SensorKind::kRadar, env.type);
 
@@ -343,9 +476,10 @@ tensor::Tensor render_radar(const SceneEnvironment& env,
     // extent estimation is what caps radar mAP in clear scenes.
     const float jx = static_cast<float>(rng.normal(0.0, 0.45));
     const float jy = static_cast<float>(rng.normal(0.0, 0.45));
-    splat_blob(grid, gt.box.cx() + jx, gt.box.cy() + jy,
-               std::max(1.0f, 0.38f * gt.box.width()),
-               std::max(1.0f, 0.38f * gt.box.height()), amplitude);
+    splat_blob<Fast>(grid, gt.box.cx() + jx, gt.box.cy() + jy,
+                     std::max(1.0f, 0.38f * gt.box.width()),
+                     std::max(1.0f, 0.38f * gt.box.height()), amplitude,
+                     scratch);
   }
 
   // Shared weather phantoms: weak multipath-like blobs (radar is largely
@@ -354,39 +488,73 @@ tensor::Tensor render_radar(const SceneEnvironment& env,
     if (!rng.bernoulli(phantom_susceptibility(SensorKind::kRadar, env))) {
       continue;
     }
-    splat_blob(grid, ph.box.cx(), ph.box.cy(),
-               std::max(1.0f, 0.38f * ph.box.width()),
-               std::max(1.0f, 0.38f * ph.box.height()),
-               0.35f * ph.strength);
+    splat_blob<Fast>(grid, ph.box.cx(), ph.box.cy(),
+                     std::max(1.0f, 0.38f * ph.box.width()),
+                     std::max(1.0f, 0.38f * ph.box.height()),
+                     0.35f * ph.strength, scratch);
   }
   const int clutter_blobs =
       rng.poisson(sensor_clutter_rate(SensorKind::kRadar, env.type));
   for (int i = 0; i < clutter_blobs; ++i) {
-    splat_blob(grid, rng.uniform_f(0.0f, static_cast<float>(spec.width)),
-               rng.uniform_f(0.0f, static_cast<float>(spec.height)),
-               rng.uniform_f(1.0f, 2.2f), rng.uniform_f(1.0f, 2.2f),
-               rng.uniform_f(0.15f, 0.35f));
+    splat_blob<Fast>(grid,
+                     rng.uniform_f(0.0f, static_cast<float>(spec.width)),
+                     rng.uniform_f(0.0f, static_cast<float>(spec.height)),
+                     rng.uniform_f(1.0f, 2.2f), rng.uniform_f(1.0f, 2.2f),
+                     rng.uniform_f(0.15f, 0.35f), scratch);
   }
-  add_noise(grid, 0.05f, rng);
+  add_noise<Fast>(grid, 0.05f, rng, scratch);
   return grid;
 }
 
+template <bool Fast>
+tensor::Tensor render_dispatch(SensorKind kind, const SceneEnvironment& env,
+                               const std::vector<detect::GroundTruth>& objects,
+                               const std::vector<Phantom>& phantoms,
+                               const SensorGridSpec& spec, util::Rng& rng,
+                               RenderScratch* scratch) {
+  switch (kind) {
+    case SensorKind::kCameraLeft:
+    case SensorKind::kCameraRight:
+      return render_camera<Fast>(kind, env, objects, phantoms, spec, rng,
+                                 scratch);
+    case SensorKind::kLidar:
+      return render_lidar<Fast>(env, objects, phantoms, spec, rng, scratch);
+    case SensorKind::kRadar:
+      return render_radar<Fast>(env, objects, phantoms, spec, rng, scratch);
+  }
+  return tensor::Tensor({1, spec.height, spec.width});
+}
+
 }  // namespace
+
+tensor::Tensor render_sensor_fast(
+    SensorKind kind, const SceneEnvironment& env,
+    const std::vector<detect::GroundTruth>& objects,
+    const std::vector<Phantom>& phantoms, const SensorGridSpec& spec,
+    util::Rng& rng, RenderScratch& scratch) {
+  scratch.reserve(spec);
+  return render_dispatch<true>(kind, env, objects, phantoms, spec, rng,
+                               &scratch);
+}
+
+tensor::Tensor render_sensor_reference(
+    SensorKind kind, const SceneEnvironment& env,
+    const std::vector<detect::GroundTruth>& objects,
+    const std::vector<Phantom>& phantoms, const SensorGridSpec& spec,
+    util::Rng& rng) {
+  return render_dispatch<false>(kind, env, objects, phantoms, spec, rng,
+                                nullptr);
+}
 
 tensor::Tensor render_sensor(SensorKind kind, const SceneEnvironment& env,
                              const std::vector<detect::GroundTruth>& objects,
                              const std::vector<Phantom>& phantoms,
                              const SensorGridSpec& spec, util::Rng& rng) {
-  switch (kind) {
-    case SensorKind::kCameraLeft:
-    case SensorKind::kCameraRight:
-      return render_camera(kind, env, objects, phantoms, spec, rng);
-    case SensorKind::kLidar:
-      return render_lidar(env, objects, phantoms, spec, rng);
-    case SensorKind::kRadar:
-      return render_radar(env, objects, phantoms, spec, rng);
+  if (tensor::use_reference_kernels()) {
+    return render_sensor_reference(kind, env, objects, phantoms, spec, rng);
   }
-  return tensor::Tensor({1, spec.height, spec.width});
+  return render_sensor_fast(kind, env, objects, phantoms, spec, rng,
+                            render_scratch_for_current_thread());
 }
 
 }  // namespace eco::dataset

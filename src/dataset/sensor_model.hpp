@@ -89,10 +89,51 @@ struct Phantom {
 [[nodiscard]] float phantom_susceptibility(SensorKind kind,
                                            const SceneEnvironment& env) noexcept;
 
+/// Reusable render scratch: the dense-noise staging buffer and splat_blob's
+/// hoisted per-axis falloff tables. Buffers grow to the largest grid seen
+/// and are then reused, so steady-state rendering performs no scratch
+/// allocations; grow events are counted process-wide (render_scratch_allocs)
+/// the same way tensor_allocs audits the inference-side arena.
+struct RenderScratch {
+  std::vector<double> noise;
+  std::vector<float> blob_row;
+  std::vector<float> blob_col;
+
+  /// Grows the buffers to cover `spec` (no-op once large enough).
+  void reserve(const SensorGridSpec& spec);
+};
+
+/// The calling thread's RenderScratch; pool workers reuse it across
+/// generation tasks, so after warm-up no render allocates.
+[[nodiscard]] RenderScratch& render_scratch_for_current_thread();
+
+/// Process-wide count of RenderScratch grow events (stable once warm).
+[[nodiscard]] std::uint64_t render_scratch_allocs() noexcept;
+
 /// Renders the observation of `objects` (and phantom artifacts) in `env` as
 /// seen by `kind`. Deterministic in (inputs, rng state).
 /// Output: (1, H, W) tensor in [0, ~1].
+///
+/// Dispatches to the fast row-pointer render, or to the reference per-cell
+/// render when ECO_REFERENCE_KERNELS=1 (the tensor-kernel audit pattern).
+/// Both paths draw from `rng` in the same order and are bitwise identical.
 [[nodiscard]] tensor::Tensor render_sensor(
+    SensorKind kind, const SceneEnvironment& env,
+    const std::vector<detect::GroundTruth>& objects,
+    const std::vector<Phantom>& phantoms, const SensorGridSpec& spec,
+    util::Rng& rng);
+
+/// Fast render: row-pointer walks, hoisted blob falloff tables, and batched
+/// dense-noise fills staged through `scratch`.
+[[nodiscard]] tensor::Tensor render_sensor_fast(
+    SensorKind kind, const SceneEnvironment& env,
+    const std::vector<detect::GroundTruth>& objects,
+    const std::vector<Phantom>& phantoms, const SensorGridSpec& spec,
+    util::Rng& rng, RenderScratch& scratch);
+
+/// Reference render: the original per-cell at() loops, kept as the semantic
+/// ground truth the fast path is gated against.
+[[nodiscard]] tensor::Tensor render_sensor_reference(
     SensorKind kind, const SceneEnvironment& env,
     const std::vector<detect::GroundTruth>& objects,
     const std::vector<Phantom>& phantoms, const SensorGridSpec& spec,

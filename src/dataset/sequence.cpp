@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/ops.hpp"
+
 namespace eco::dataset {
 
 namespace {
@@ -53,13 +55,17 @@ float class_speed(detect::ObjectClass cls, float vehicle_speed) {
 
 }  // namespace
 
-Sequence generate_sequence(SceneType scene, const SequenceConfig& config,
+SequencePlan plan_sequence(SceneType scene, const SequenceConfig& config,
                            std::uint64_t sequence_id) {
   util::Rng rng(util::hash_combine(config.seed, sequence_id));
   const SceneEnvironment env = scene_environment(scene);
 
-  Sequence sequence;
-  sequence.scene = scene;
+  SequencePlan plan;
+  plan.scene = scene;
+  plan.env = env;
+  plan.grid = config.grid;
+  plan.frames.reserve(config.length);
+  plan.tracks.reserve(config.length);
 
   // Initial objects from the static generator; attach kinematic state.
   std::vector<detect::GroundTruth> initial =
@@ -135,21 +141,63 @@ Sequence generate_sequence(SceneType scene, const SequenceConfig& config,
       if (!births.empty()) phantoms.push_back(births.front());
     }
 
-    // Render the frame.
-    Frame frame;
-    frame.id = util::hash_combine(sequence_id, t);
-    frame.scene = scene;
+    // Snapshot the frame. Where the in-order path forked a per-sensor rng
+    // here (rng.fork(kind + t) = Rng(hash_combine(next_u64(), kind + t))),
+    // the plan captures the forked seed instead: the master rng advances
+    // exactly as before, and rendering later reconstructs the identical
+    // child generator from the seed alone.
+    FramePlan fp;
+    fp.frame_id = util::hash_combine(sequence_id, t);
+    fp.objects.reserve(objects.size());
     for (const TrackedObject& object : objects) {
-      frame.objects.push_back(object.truth);
+      fp.objects.push_back(object.truth);
     }
+    fp.phantoms = phantoms;
     for (SensorKind kind : all_sensor_kinds()) {
-      util::Rng sensor_rng = rng.fork(static_cast<std::uint64_t>(kind) + t);
-      frame.sensor_grids[static_cast<std::size_t>(kind)] = render_sensor(
-          kind, env, frame.objects, phantoms, config.grid, sensor_rng);
+      fp.render_seeds[static_cast<std::size_t>(kind)] = util::hash_combine(
+          rng.next_u64(), static_cast<std::uint64_t>(kind) + t);
     }
-    sequence.frames.push_back(std::move(frame));
-    sequence.tracks.push_back(objects);
+    plan.frames.push_back(std::move(fp));
+    plan.tracks.push_back(objects);
   }
+  return plan;
+}
+
+Frame render_planned_frame(const SequencePlan& plan, std::size_t t,
+                           RenderScratch& scratch) {
+  const FramePlan& fp = plan.frames[t];
+  Frame frame;
+  frame.id = fp.frame_id;
+  frame.scene = plan.scene;
+  frame.objects = fp.objects;
+  const bool reference = tensor::use_reference_kernels();
+  for (SensorKind kind : all_sensor_kinds()) {
+    util::Rng sensor_rng(fp.render_seeds[static_cast<std::size_t>(kind)]);
+    frame.sensor_grids[static_cast<std::size_t>(kind)] =
+        reference ? render_sensor_reference(kind, plan.env, frame.objects,
+                                            fp.phantoms, plan.grid,
+                                            sensor_rng)
+                  : render_sensor_fast(kind, plan.env, frame.objects,
+                                       fp.phantoms, plan.grid, sensor_rng,
+                                       scratch);
+  }
+  return frame;
+}
+
+Frame render_planned_frame(const SequencePlan& plan, std::size_t t) {
+  return render_planned_frame(plan, t, render_scratch_for_current_thread());
+}
+
+Sequence generate_sequence(SceneType scene, const SequenceConfig& config,
+                           std::uint64_t sequence_id) {
+  SequencePlan plan = plan_sequence(scene, config, sequence_id);
+  Sequence sequence;
+  sequence.scene = scene;
+  sequence.frames.reserve(plan.frames.size());
+  for (std::size_t t = 0; t < plan.frames.size(); ++t) {
+    sequence.frames.push_back(render_planned_frame(plan, t));
+  }
+  sequence.tracks = std::move(plan.tracks);
   return sequence;
 }
 

@@ -10,6 +10,7 @@
 // sequence is a drop-in stream of Frames for the temporal gating machinery.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -53,5 +54,46 @@ struct Sequence {
 [[nodiscard]] Sequence generate_sequence(SceneType scene,
                                          const SequenceConfig& config,
                                          std::uint64_t sequence_id);
+
+/// The drawless snapshot of one frame: ground truths, the phantom field as
+/// of that frame, and one pre-forked rng seed per sensor. With the seeds
+/// captured at snapshot time, rendering needs no further state from the
+/// sequence rng — so frames can be rendered in any order, on any thread,
+/// bitwise identical to the sequential path.
+struct FramePlan {
+  std::uint64_t frame_id = 0;
+  std::vector<detect::GroundTruth> objects;
+  std::vector<Phantom> phantoms;
+  std::array<std::uint64_t, kNumSensors> render_seeds{};
+};
+
+/// The cheap sequential half of sequence generation: kinematic track
+/// advance, phantom churn, and per-(frame, sensor) seed capture. The
+/// expensive half (sensor rendering, ~100x the cost) is deferred to
+/// render_planned_frame.
+struct SequencePlan {
+  SceneType scene = SceneType::kCity;
+  SceneEnvironment env;
+  SensorGridSpec grid;
+  std::vector<FramePlan> frames;
+  std::vector<std::vector<TrackedObject>> tracks;  // per frame
+};
+
+/// Rolls out the track/phantom dynamics for one scene without rendering.
+/// Draws from the sequence rng exactly as generate_sequence does, so a plan
+/// rendered in order reproduces generate_sequence bit-for-bit.
+[[nodiscard]] SequencePlan plan_sequence(SceneType scene,
+                                         const SequenceConfig& config,
+                                         std::uint64_t sequence_id);
+
+/// Renders frame `t` of a plan. Safe to call concurrently for distinct `t`
+/// on the same plan; the result does not depend on render order.
+[[nodiscard]] Frame render_planned_frame(const SequencePlan& plan,
+                                         std::size_t t);
+
+/// Scratch-reusing overload for pool workers (zero steady-state allocs).
+[[nodiscard]] Frame render_planned_frame(const SequencePlan& plan,
+                                         std::size_t t,
+                                         RenderScratch& scratch);
 
 }  // namespace eco::dataset

@@ -41,6 +41,8 @@ constexpr std::array<StageInfo, kNumStages> kStages = {{
     {"window_update", "control", {"lambda_e", "lambda_l", "frames", nullptr}},
     {"shard_merge", "runtime", {"shards", "frames", nullptr, nullptr}},
     {"scheduler_idle", "scheduler", {"worker", nullptr, nullptr, nullptr}},
+    {"ingest_generate", "ingest", {"sequence", "frames", nullptr, nullptr}},
+    {"ingest_wait", "ingest", {"index", nullptr, nullptr, nullptr}},
 }};
 
 void append_number(std::string& out, double value) {

@@ -58,6 +58,8 @@ enum class Stage : std::uint8_t {
   kWindowUpdate,     // control-window reduction + λ updates
   kShardMerge,       // sharded-report merge + finalize
   kSchedulerIdle,    // a pool worker waiting for work (starvation gap)
+  kIngestGenerate,   // one sequence synthesized (pool task or inline)
+  kIngestWait,       // a consumer pop blocked on an unrendered frame
   kNumStages,
 };
 

@@ -328,6 +328,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   SchedulerStats stats = pool.stats();
   stats.barrier_wait_ns = report.scheduler.barrier_wait_ns;
   stats.windows_pipelined = report.scheduler.windows_pipelined;
+  stats.ingest_blocked_pops = report.scheduler.ingest_blocked_pops;
+  stats.ingest_blocked_ns = report.scheduler.ingest_blocked_ns;
   report.scheduler = stats;
   return report;
 }
@@ -345,6 +347,11 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   const bool trace = config_.tracing && obs::installed_tracer() != nullptr;
   const std::size_t shard_lane = config_.shard_index;
   obs::ShardScope driver_scope(shard_lane, trace);
+
+  // Hand the stream the shared pool: frame synthesis runs as sequence
+  // tasks through the injector ring, `stream.config().prefetch` sequences
+  // ahead of the pull loop below (0 = inline generation, no tasks).
+  stream.attach_pool(pool, trace);
 
   // One gate per pool worker; per-worker gates must be behaviourally
   // identical (GateFactory contract), so which worker runs a lane — or
@@ -570,6 +577,8 @@ PipelineReport StreamingPipeline::run(FrameStream& stream,
   finalize_report(report);
   report.scheduler.barrier_wait_ns = barrier_wait_ns;
   report.scheduler.windows_pipelined = windows_pipelined;
+  report.scheduler.ingest_blocked_pops = stream.blocked_pops();
+  report.scheduler.ingest_blocked_ns = stream.blocked_ns();
 
   // This run's control trajectory as a slice (shard.cpp concatenates the
   // per-shard slices under the merged report, so traces survive the merge).
@@ -745,6 +754,10 @@ obs::MetricsRegistry collect_run_metrics(const PipelineReport& report) {
                       report.scheduler.barrier_wait_ns);
   metrics.add_counter("obs/sched_windows_pipelined",
                       report.scheduler.windows_pipelined);
+  metrics.add_counter("obs/sched_ingest_blocked_pops",
+                      report.scheduler.ingest_blocked_pops);
+  metrics.add_counter("obs/sched_ingest_blocked_ns",
+                      report.scheduler.ingest_blocked_ns);
   metrics.set_gauge("modeled/mean_energy_j", report.mean_energy_j);
   metrics.set_gauge("modeled/mean_latency_ms", report.mean_latency_ms);
   metrics.set_gauge("modeled/mean_loss", report.mean_loss);

@@ -162,6 +162,8 @@ ShardedReport ShardedPipeline::run(const StreamConfig& stream_config,
   for (const PipelineReport& report : reports) {
     merged.scheduler.barrier_wait_ns += report.scheduler.barrier_wait_ns;
     merged.scheduler.windows_pipelined += report.scheduler.windows_pipelined;
+    merged.scheduler.ingest_blocked_pops += report.scheduler.ingest_blocked_pops;
+    merged.scheduler.ingest_blocked_ns += report.scheduler.ingest_blocked_ns;
   }
 
   const auto wall_end = std::chrono::steady_clock::now();

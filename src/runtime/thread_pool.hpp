@@ -340,6 +340,11 @@ struct SchedulerStats {
   /// window's phase B.
   std::uint64_t barrier_wait_ns = 0;
   std::uint64_t windows_pipelined = 0;
+  /// Filled by the pipeline from FrameStream: consumer pops that blocked on
+  /// a frame whose generation task had not finished, and the summed blocked
+  /// time (ingest starvation — the dataloader-bound signal).
+  std::uint64_t ingest_blocked_pops = 0;
+  std::uint64_t ingest_blocked_ns = 0;
 };
 
 struct ThreadPoolConfig {

@@ -58,6 +58,15 @@ std::size_t env_size_or(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+std::size_t env_size_allowing_zero(const char* name, std::size_t fallback) {
+  const std::string* value = env_value(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  if (end == value->c_str()) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
 double env_double_or(const char* name, double fallback) {
   const std::string* value = env_value(name);
   if (value == nullptr) return fallback;

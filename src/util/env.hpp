@@ -32,6 +32,12 @@ namespace eco::util {
 /// Unsigned integer value of `name`, or `fallback` when unset/zero/unparsable.
 [[nodiscard]] std::size_t env_size_or(const char* name, std::size_t fallback);
 
+/// Unsigned integer value of `name`, or `fallback` when unset or unparsable.
+/// Unlike env_size_or, an explicit "0" parses as 0 — the ECO_PREFETCH=0
+/// convention, where zero selects a distinct mode rather than the default.
+[[nodiscard]] std::size_t env_size_allowing_zero(const char* name,
+                                                std::size_t fallback);
+
 /// Double value of `name`, or `fallback` when unset or not positive.
 [[nodiscard]] double env_double_or(const char* name, double fallback);
 

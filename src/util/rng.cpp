@@ -103,6 +103,48 @@ double Rng::normal(double mean, double stddev) noexcept {
   return mean + stddev * normal();
 }
 
+double Rng::normal_polar() noexcept {
+  if (has_cached_polar_) {
+    has_cached_polar_ = false;
+    return cached_polar_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s <= 0.0);
+  const double mult = std::sqrt(-2.0 * std::log(s) / s);
+  cached_polar_ = v * mult;
+  has_cached_polar_ = true;
+  return u * mult;
+}
+
+double Rng::normal_polar(double mean, double stddev) noexcept {
+  return mean + stddev * normal_polar();
+}
+
+void Rng::fill_normal_polar(double mean, double stddev, double* out,
+                            std::size_t n) noexcept {
+  std::size_t i = 0;
+  if (i < n && has_cached_polar_) {
+    has_cached_polar_ = false;
+    out[i++] = mean + stddev * cached_polar_;
+  }
+  while (i + 1 < n) {
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s <= 0.0);
+    const double mult = std::sqrt(-2.0 * std::log(s) / s);
+    out[i++] = mean + stddev * (u * mult);
+    out[i++] = mean + stddev * (v * mult);
+  }
+  if (i < n) out[i] = mean + stddev * normal_polar();
+}
+
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 double Rng::exponential(double lambda) noexcept {

@@ -54,6 +54,25 @@ class Rng {
   /// Normal with given mean / standard deviation.
   [[nodiscard]] double normal(double mean, double stddev) noexcept;
 
+  /// Standard normal via the Marsaglia polar method (cached second deviate).
+  /// Trig-free, so roughly 2x cheaper per draw than normal(); intended for
+  /// dense per-cell noise fields where the draw count dominates. Consumes a
+  /// different number of uniforms than normal(), so the two samplers are
+  /// distinct streams — pick one per call site and keep it. The polar cache
+  /// is independent of normal()'s Box-Muller cache.
+  [[nodiscard]] double normal_polar() noexcept;
+
+  /// Polar normal with given mean / standard deviation.
+  [[nodiscard]] double normal_polar(double mean, double stddev) noexcept;
+
+  /// Fills out[0..n) with mean + stddev * N(0,1), bitwise identical to
+  /// calling normal_polar(mean, stddev) n times on the same generator,
+  /// including cache hand-off at both ends. The batched loop keeps the
+  /// rejection state in registers instead of round-tripping the cache flag
+  /// through memory every draw.
+  void fill_normal_polar(double mean, double stddev, double* out,
+                         std::size_t n) noexcept;
+
   /// Bernoulli draw with probability p of true.
   [[nodiscard]] bool bernoulli(double p) noexcept;
 
@@ -88,6 +107,8 @@ class Rng {
   std::uint64_t seed_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
+  double cached_polar_ = 0.0;
+  bool has_cached_polar_ = false;
 };
 
 }  // namespace eco::util

@@ -48,7 +48,6 @@ StreamConfig small_stream() {
   config.sequence.length = 8;
   config.sequences_per_scene = 1;
   config.seed = 99;
-  config.queue_capacity = 8;
   return config;
 }
 

@@ -52,7 +52,6 @@ StreamConfig small_stream() {
   config.sequence.length = 8;
   config.sequences_per_scene = 1;
   config.seed = 99;
-  config.queue_capacity = 8;
   return config;
 }
 
@@ -109,6 +108,48 @@ TEST(FrameStreamTest, OrderIsDeterministicAndMixesScenes) {
   }
   // Round-robin lanes: the first |scenes| frames cover every scene type.
   EXPECT_EQ(scenes_in_first_round.size(), dataset::kNumSceneTypes);
+}
+
+TEST(FrameStreamTest, PrefetchDepthAndPoolNeverChangeTheStream) {
+  // The stitch contract: inline generation (prefetch 0), a shallow pooled
+  // window, and a window deeper than the lane count all deliver the
+  // bitwise-identical stream, on pools of different sizes.
+  StreamConfig base = small_stream();
+  base.sequences_per_scene = 2;
+
+  base.prefetch = 0;
+  FrameStream inline_stream(base);
+  std::vector<StreamFrame> expected;
+  while (auto frame = inline_stream.next()) {
+    expected.push_back(std::move(*frame));
+  }
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(inline_stream.blocked_pops(), 0u);  // no tasks to wait on
+
+  for (std::size_t depth : {2u, 5u, 64u}) {
+    for (std::size_t workers : {1u, 4u}) {
+      StreamConfig config = base;
+      config.prefetch = depth;
+      ThreadPool pool(workers);
+      FrameStream stream(config);
+      stream.attach_pool(pool);
+      std::size_t i = 0;
+      while (auto frame = stream.next()) {
+        ASSERT_LT(i, expected.size());
+        EXPECT_EQ(frame->index, expected[i].index);
+        EXPECT_EQ(frame->sequence_id, expected[i].sequence_id);
+        EXPECT_EQ(frame->scene, expected[i].scene);
+        EXPECT_EQ(frame->frame.id, expected[i].frame.id);
+        for (dataset::SensorKind kind : dataset::all_sensor_kinds()) {
+          EXPECT_TRUE(
+              frame->frame.grid(kind).equals(expected[i].frame.grid(kind)))
+              << "depth " << depth << " workers " << workers << " frame " << i;
+        }
+        ++i;
+      }
+      EXPECT_EQ(i, expected.size());
+    }
+  }
 }
 
 TEST(FrameStreamTest, SeverityJitterVariesPerSequenceButIsStable) {

@@ -7,6 +7,34 @@
 namespace eco::dataset {
 namespace {
 
+TEST(RenderBackendTest, FastMatchesReferenceBitwise) {
+  // The fast render (row-pointer walks, hoisted blob tables, batched noise
+  // fills) must be bitwise identical to the reference per-cell render for
+  // every sensor kind — same contract the tensor kernels pin with
+  // ECO_REFERENCE_KERNELS.
+  const SensorGridSpec spec;
+  RenderScratch scratch;
+  for (SceneType scene : {SceneType::kCity, SceneType::kFog}) {
+    const SceneEnvironment env = scene_environment(scene);
+    util::Rng obj_rng(13);
+    const auto objects = generate_objects(env, spec, obj_rng);
+    util::Rng phantom_rng(14);
+    const auto phantoms = generate_phantoms(env, spec, phantom_rng);
+    for (SensorKind kind : all_sensor_kinds()) {
+      util::Rng fast_rng(404), ref_rng(404);
+      const auto fast = render_sensor_fast(kind, env, objects, phantoms,
+                                           spec, fast_rng, scratch);
+      const auto ref = render_sensor_reference(kind, env, objects, phantoms,
+                                               spec, ref_rng);
+      EXPECT_TRUE(fast.equals(ref))
+          << scene_type_name(scene) << "/" << sensor_kind_name(kind);
+      // Both paths must leave the rng in the same state too, or sequential
+      // callers downstream of a render would diverge between backends.
+      EXPECT_EQ(fast_rng.next_u64(), ref_rng.next_u64());
+    }
+  }
+}
+
 TEST(SensorQualityTest, CamerasCollapseInFogAndSnow) {
   for (SensorKind cam : {SensorKind::kCameraLeft, SensorKind::kCameraRight}) {
     EXPECT_LT(sensor_quality(cam, SceneType::kFog),
@@ -144,10 +172,19 @@ TEST_P(RenderSweep, ObjectsRaiseSignalAboveEmptyScene) {
   util::Rng obj_rng(13);
   const auto objects = generate_objects(env, spec, obj_rng);
   ASSERT_FALSE(objects.empty());
-  util::Rng r1(99), r2(99);
-  const auto with = render_sensor(SensorKind::kLidar, env, objects, {}, spec, r1);
-  const auto without = render_sensor(SensorKind::kLidar, env, {}, {}, spec, r2);
-  EXPECT_GT(with.sum(), without.sum());
+  // Object draws consume RNG state, so with/without see different noise
+  // realizations; average a few seeds so weak-signal scenes (snow lidar)
+  // don't hinge on one realization.
+  double with_total = 0.0;
+  double without_total = 0.0;
+  for (std::uint64_t seed = 99; seed < 103; ++seed) {
+    util::Rng r1(seed), r2(seed);
+    with_total +=
+        render_sensor(SensorKind::kLidar, env, objects, {}, spec, r1).sum();
+    without_total +=
+        render_sensor(SensorKind::kLidar, env, {}, {}, spec, r2).sum();
+  }
+  EXPECT_GT(with_total, without_total);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenes, RenderSweep,

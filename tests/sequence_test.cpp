@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <random>
 
 namespace eco::dataset {
 namespace {
@@ -104,6 +107,55 @@ TEST(SequenceTest, ClassesArePersistent) {
     ASSERT_EQ(frame.objects.size(), first.size());
     for (std::size_t i = 0; i < first.size(); ++i) {
       EXPECT_EQ(frame.objects[i].cls, first[i].cls);
+    }
+  }
+}
+
+TEST(SequencePlanTest, PlanMatchesSequenceSnapshots) {
+  const SequenceConfig config = test_config();
+  const Sequence seq = generate_sequence(SceneType::kFog, config, 11);
+  const SequencePlan plan = plan_sequence(SceneType::kFog, config, 11);
+  ASSERT_EQ(plan.frames.size(), seq.frames.size());
+  ASSERT_EQ(plan.tracks.size(), seq.tracks.size());
+  for (std::size_t t = 0; t < plan.frames.size(); ++t) {
+    EXPECT_EQ(plan.frames[t].frame_id, seq.frames[t].id);
+    ASSERT_EQ(plan.frames[t].objects.size(), seq.frames[t].objects.size());
+    for (std::size_t i = 0; i < plan.frames[t].objects.size(); ++i) {
+      EXPECT_EQ(plan.frames[t].objects[i].box.x1,
+                seq.frames[t].objects[i].box.x1);
+      EXPECT_EQ(plan.frames[t].objects[i].cls, seq.frames[t].objects[i].cls);
+    }
+  }
+}
+
+TEST(SequencePlanTest, FramesRenderBitwiseIdenticalInAnyOrder) {
+  // The detachment contract: per-(frame, sensor) rng seeds are captured at
+  // snapshot time, so rendering order (and thread) cannot matter. Render a
+  // shuffled permutation and require bitwise equality with the sequential
+  // in-order path.
+  const SequenceConfig config = test_config();
+  for (SceneType scene : {SceneType::kCity, SceneType::kSnow}) {
+    const Sequence sequential = generate_sequence(scene, config, 21);
+    const SequencePlan plan = plan_sequence(scene, config, 21);
+    ASSERT_EQ(plan.frames.size(), sequential.frames.size());
+
+    std::vector<std::size_t> order(plan.frames.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::mt19937_64 shuffler(20260808);
+    std::shuffle(order.begin(), order.end(), shuffler);
+
+    std::vector<Frame> rendered(plan.frames.size());
+    for (std::size_t t : order) {
+      rendered[t] = render_planned_frame(plan, t);
+    }
+    for (std::size_t t = 0; t < rendered.size(); ++t) {
+      EXPECT_EQ(rendered[t].id, sequential.frames[t].id);
+      for (SensorKind kind : all_sensor_kinds()) {
+        EXPECT_TRUE(rendered[t].grid(kind).equals(
+            sequential.frames[t].grid(kind)))
+            << scene_type_name(scene) << " frame " << t << " sensor "
+            << sensor_kind_name(kind);
+      }
     }
   }
 }

@@ -47,7 +47,6 @@ StreamConfig small_stream() {
   config.sequence.length = 8;
   config.sequences_per_scene = 1;
   config.seed = 99;
-  config.queue_capacity = 8;
   return config;
 }
 
@@ -200,6 +199,48 @@ TEST(ShardedStreamTest, ShardsPartitionTheStreamWithGlobalIndices) {
     total += part.size();
   }
   EXPECT_EQ(total, full.size());  // no frame lost, none duplicated
+}
+
+// Sequences owned by *other* shards must still advance the global index —
+// the precomputed stitch schedule has to skip them without generating them.
+// Odd sequences_per_scene makes ownership uneven across shard counts, which
+// is exactly where an off-by-one in the round arithmetic would surface.
+TEST(ShardedStreamTest, NonOwnedLanesAdvanceGlobalIndexForOddSequenceCounts) {
+  StreamConfig base = small_stream();
+  base.sequences_per_scene = 3;
+
+  // The unsharded stream is the schedule: indices are exactly 0..N-1.
+  FrameStream full_stream(base);
+  std::vector<StreamFrame> full;
+  while (auto frame = full_stream.next()) full.push_back(std::move(*frame));
+  ASSERT_FALSE(full.empty());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].index, i);
+  }
+
+  for (std::size_t shards : {1u, 2u, 3u}) {
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      StreamConfig config = base;
+      config.shard_count = shards;
+      config.shard_index = s;
+      FrameStream stream(config);
+      while (auto frame = stream.next()) {
+        ASSERT_LT(frame->index, full.size());
+        const StreamFrame& expected = full[frame->index];
+        EXPECT_EQ(expected.sequence_id, frame->sequence_id);
+        EXPECT_EQ(expected.scene, frame->scene);
+        EXPECT_EQ(expected.frame.id, frame->frame.id);
+        EXPECT_TRUE(expected.frame.grid(dataset::SensorKind::kLidar)
+                        .equals(frame->frame.grid(dataset::SensorKind::kLidar)));
+        EXPECT_TRUE(seen.insert(frame->index).second);
+        ++total;
+      }
+    }
+    // Union over shards is the full stream: no frame lost, none duplicated.
+    EXPECT_EQ(total, full.size()) << shards << " shards";
+  }
 }
 
 // The headline contract: with fixed scoring weights the merged report is
